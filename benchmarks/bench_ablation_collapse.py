@@ -1,0 +1,45 @@
+"""Ablation A3 — collapse support bound (the paper's 10–15 input nodes).
+
+Sweeps ``max_support`` of the technology-independent collapse.  Tiny bounds
+keep the network close to the mapped gates (little don't-care leverage per
+node); large bounds produce big complex nodes whose flattened SOPs can cost
+area and depth.  The paper's 10–15 range is the sweet spot this sweep
+exposes.
+"""
+
+import pytest
+
+from repro.benchcircuits import make_benchmark
+from repro.core import mask_circuit
+
+_BOUNDS = (4, 8, 12, 15)
+_ROWS = []
+
+
+@pytest.mark.parametrize("max_support", _BOUNDS)
+def test_collapse_bound_sweep(benchmark, max_support, lsi_lib):
+    circuit = make_benchmark("cu", lsi_lib)
+    res = benchmark.pedantic(
+        lambda: mask_circuit(circuit, lsi_lib, max_support=max_support),
+        rounds=1,
+        iterations=1,
+    )
+    r = res.report
+    assert r.sound and r.coverage_percent == 100.0
+    _ROWS.append((max_support, res))
+    if len(_ROWS) == len(_BOUNDS):
+        print(
+            "\nAblation A3: collapse support bound on 'cu' (paper: 10-15)\n"
+            f"{'K':>3s} {'technet nodes':>14s} {'slack%':>7s} "
+            f"{'area%':>7s} {'power%':>7s}"
+        )
+        for k, rr in _ROWS:
+            print(
+                f"{k:3d} {rr.masking.technet.num_nodes:14d} "
+                f"{rr.report.slack_percent:7.1f} "
+                f"{rr.report.area_overhead_percent:7.1f} "
+                f"{rr.report.power_overhead_percent:7.1f}"
+            )
+        # Larger bounds can only shrink (or keep) the technet node count.
+        nodes = [rr.masking.technet.num_nodes for _, rr in _ROWS]
+        assert nodes == sorted(nodes, reverse=True)

@@ -1,0 +1,47 @@
+"""Ablation A1 — speed-path threshold sweep.
+
+The paper fixes ``Delta_y = 0.9 * Delta`` (protect paths within 10% of the
+critical delay).  This sweep varies the protected band and reports how the
+SPCF size and the masking overheads respond: a wider band means more
+patterns to cover and a tighter delay budget for the masking circuit, so
+overhead rises and slack falls — the design-space trade-off behind the
+paper's 10% choice.
+"""
+
+import pytest
+
+from benchmarks.conftest import fmt_count
+from repro.benchcircuits import make_benchmark
+from repro.core import mask_circuit
+
+_THRESHOLDS = (0.8, 0.85, 0.9, 0.95)
+_ROWS = []
+
+
+@pytest.mark.parametrize("threshold", _THRESHOLDS)
+def test_threshold_sweep(benchmark, threshold, lsi_lib):
+    circuit = make_benchmark("cu", lsi_lib)
+    res = benchmark.pedantic(
+        lambda: mask_circuit(circuit, lsi_lib, threshold=threshold),
+        rounds=1,
+        iterations=1,
+    )
+    r = res.report
+    assert r.sound and r.coverage_percent == 100.0
+    _ROWS.append((threshold, r))
+    if len(_ROWS) == len(_THRESHOLDS):
+        print(
+            "\nAblation A1: threshold sweep on 'cu' "
+            "(paper uses 0.9)\n"
+            f"{'Delta_y/Delta':>13s} {'critPOs':>8s} {'minterms':>10s} "
+            f"{'slack%':>7s} {'area%':>7s} {'power%':>7s}"
+        )
+        for th, r in _ROWS:
+            print(
+                f"{th:13.2f} {r.critical_outputs:8d} "
+                f"{fmt_count(r.critical_minterms):>10s} {r.slack_percent:7.1f} "
+                f"{r.area_overhead_percent:7.1f} {r.power_overhead_percent:7.1f}"
+            )
+        # Lowering the threshold (wider band) can only add critical outputs.
+        crit = [r.critical_outputs for _, r in sorted(_ROWS)]
+        assert crit == sorted(crit, reverse=True)

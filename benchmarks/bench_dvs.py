@@ -1,0 +1,63 @@
+"""Future-work extension — aggressive DVS/overclocking with error masking.
+
+The paper's conclusions propose "aggressive dynamic voltage scaling by
+masking timing errors".  This bench sweeps the clock period below the
+nominal (compensated) period on a masked design and reports raw vs.
+residual error rates: the masked design overclocks safely until the period
+cuts into paths below the protected 10% band.
+"""
+
+from repro.apps import dvs_sweep
+from repro.benchcircuits import make_benchmark
+from repro.core import mask_circuit
+
+
+def test_dvs_overclocking(benchmark, lsi_lib):
+    circuit = make_benchmark("cmb", lsi_lib)
+    res = mask_circuit(circuit, lsi_lib)
+
+    sweep = benchmark.pedantic(
+        lambda: dvs_sweep(res.masking, res.design, cycles=120, seed=5),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nDVS sweep on '{circuit.name}' "
+        f"(nominal period {sweep.nominal_period}):\n"
+        f"{'period':>7s} {'raw-err':>8s} {'masked-ev':>10s} {'residual':>9s}"
+    )
+    for p in sweep.points:
+        print(
+            f"{p.period:7d} {p.raw_error_rate:8.3f} "
+            f"{p.masked_error_rate:10.3f} {p.residual_error_rate:9.3f}"
+        )
+    print(
+        f"min safe period {sweep.min_safe_period()} -> "
+        f"{sweep.speedup_percent:.1f}% overclock with zero escaped errors"
+    )
+    assert sweep.min_safe_period() < sweep.nominal_period
+    assert sweep.speedup_percent > 0
+
+
+def test_bodybias_recovery(benchmark, lsi_lib):
+    """Future-work extension — adaptive body-bias of critical gates."""
+    from repro.apps import plan_body_bias
+    from repro.sim import aged_copy
+    from repro.sta import analyze
+
+    circuit = make_benchmark("cmb", lsi_lib)
+    nominal = analyze(circuit, target=0).critical_delay
+    aged = aged_copy(circuit, 1.3)
+
+    plan = benchmark.pedantic(
+        lambda: plan_body_bias(aged, target=nominal, recovery=1.0),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nBody-bias plan on aged '{circuit.name}': "
+        f"delay {plan.delay_before} -> {plan.delay_after} "
+        f"(target {plan.target}) by biasing {len(plan.biased_gates)} gates "
+        f"= {plan.area_fraction * 100:.1f}% of area"
+    )
+    assert plan.meets_target

@@ -1,0 +1,72 @@
+"""Table 2 — area and power overhead for 100% masking on all 20 circuits.
+
+Paper columns: circuit, I/O, gates, critical POs, critical minterms, slack %,
+area overhead %, power overhead %.  The paper reports averages of 57% slack,
+18% area, and 16% power; our measured averages are printed at the end of the
+run (see EXPERIMENTS.md for the recorded comparison).
+"""
+
+import pytest
+
+from benchmarks.conftest import fmt_count
+from repro.benchcircuits import PAPER_SPECS, make_benchmark
+from repro.core import mask_circuit
+
+_ROWS: list[tuple] = []
+
+#: The largest circuits dominate wall-clock; keep them in the sweep but
+#: benchmark them with a single round.
+_NAMES = tuple(PAPER_SPECS)
+
+
+def _print_table():
+    print(
+        "\nTable 2: overhead for 100% masking of speed-path timing errors\n"
+        f"{'circuit':18s} {'I/O':>9s} {'gates':>6s} {'critPO':>7s} "
+        f"{'crit minterms':>14s} {'slack%':>7s} {'area%':>7s} {'power%':>7s} "
+        f"{'cov%':>5s}"
+    )
+    slacks, areas, powers = [], [], []
+    for row in _ROWS:
+        name, io, gates, crit, minterms, slack, area, power, cov = row
+        print(
+            f"{name:18s} {io:>9s} {gates:6d} {crit:7d} {minterms:>14s} "
+            f"{slack:7.1f} {area:7.1f} {power:7.1f} {cov:5.0f}"
+        )
+        slacks.append(slack)
+        areas.append(area)
+        powers.append(power)
+    n = len(_ROWS)
+    print(
+        f"{'Average':18s} {'':>9s} {'':>6s} {'':>7s} {'':>14s} "
+        f"{sum(slacks) / n:7.1f} {sum(areas) / n:7.1f} {sum(powers) / n:7.1f}"
+        f"\n(paper averages: slack 57, area 18, power 16)"
+    )
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_table2_row(benchmark, name, lsi_lib):
+    circuit = make_benchmark(name, lsi_lib)
+
+    result = benchmark.pedantic(
+        lambda: mask_circuit(circuit, lsi_lib), rounds=1, iterations=1
+    )
+    r = result.report
+    assert r.sound, name
+    assert r.coverage_percent == 100.0, name
+    assert r.critical_outputs == PAPER_SPECS[name].deep_outputs
+    _ROWS.append(
+        (
+            name,
+            f"{len(circuit.inputs)}/{len(circuit.outputs)}",
+            circuit.num_gates,
+            r.critical_outputs,
+            fmt_count(r.critical_minterms),
+            r.slack_percent,
+            r.area_overhead_percent,
+            r.power_overhead_percent,
+            r.coverage_percent,
+        )
+    )
+    if len(_ROWS) == len(_NAMES):
+        _print_table()

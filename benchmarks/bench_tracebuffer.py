@@ -1,0 +1,45 @@
+"""Sec. 2.1 — trace-buffer window expansion via selective capture.
+
+Sweeps the buffer depth and reports the observation-window expansion factor
+when capture is gated on the masking circuit's indicator outputs (store a
+cycle only when a speed-path was exercised) versus capture-every-cycle.
+"""
+
+import pytest
+
+from repro.apps import capture_experiment
+from repro.benchcircuits import make_benchmark
+from repro.core import mask_circuit
+
+_ROWS = []
+_DEPTHS = (8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def design(lsi_lib):
+    circuit = make_benchmark("cu", lsi_lib)
+    return mask_circuit(circuit, lsi_lib).design
+
+
+@pytest.mark.parametrize("depth", _DEPTHS)
+def test_window_expansion(benchmark, design, depth):
+    report = benchmark.pedantic(
+        lambda: capture_experiment(design, buffer_depth=depth, cycles=8192, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.always_window == depth
+    assert report.expansion_factor >= 1.0
+    _ROWS.append(report)
+    if len(_ROWS) == len(_DEPTHS):
+        print(
+            "\nTrace-buffer selective capture (indicator-gated) on 'cu':\n"
+            f"{'depth':>6s} {'always-window':>14s} {'selective-window':>17s} "
+            f"{'expansion':>10s} {'e-rate':>7s}"
+        )
+        for r in _ROWS:
+            print(
+                f"{r.buffer_depth:6d} {r.always_window:14d} "
+                f"{r.selective_window:17d} {r.expansion_factor:10.1f} "
+                f"{r.indicator_rate:7.3f}"
+            )

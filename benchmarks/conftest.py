@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md) and prints the corresponding rows; timings
+come from pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import lsi10k_like_library
+
+
+@pytest.fixture(scope="session")
+def lsi_lib():
+    return lsi10k_like_library()
+
+
+def fmt_count(n: int) -> str:
+    """Scientific-notation formatting like the paper's tables."""
+    if n == 0:
+        return "0"
+    exponent = len(str(n)) - 1
+    mantissa = n / (10**exponent)
+    return f"{mantissa:.2f}e{exponent}"

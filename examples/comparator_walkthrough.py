@@ -1,0 +1,65 @@
+"""The paper's Sec. 4.2 walkthrough: the 2-bit comparator, step by step.
+
+Reproduces every intermediate quantity of the worked example:
+
+* the mapped comparator with the unit delay model (INV=1, 2-input gates=2)
+  and its critical path delay of 7,
+* the two speed-paths within 10% of the critical delay,
+* the exact SPCF  ``Sigma_y = a1' + a0' b1``  (10 of 16 patterns),
+* the satisfiability care sets s0/s1 induced by Sigma,
+* the synthesized prediction/indicator logic and the output mux.
+
+Run with::
+
+    python examples/comparator_walkthrough.py
+"""
+
+from repro import mask_circuit, unit_library
+from repro.benchcircuits import comparator2
+from repro.netlist import write_blif
+from repro.spcf import SpcfContext, spcf_shortpath
+from repro.sta import analyze, enumerate_speed_paths
+
+
+def main() -> None:
+    library = unit_library()
+    circuit = comparator2(library)
+    print("== the circuit (Fig. 2a) ==")
+    print(write_blif(circuit))
+
+    report = analyze(circuit)
+    print(f"critical path delay Delta = {report.critical_delay} "
+          f"(paper: 7), Delta_y = {report.target} (paper: 6.3 -> floor 6)")
+
+    print("\n== speed-paths within 10% of Delta ==")
+    for path in enumerate_speed_paths(circuit, report=report):
+        print(f"  {' -> '.join(path.nets)}   delay {path.delay}")
+
+    ctx = SpcfContext(circuit)
+    sigma = spcf_shortpath(circuit, context=ctx).per_output["y"]
+    mgr = ctx.manager
+    paper_sigma = (~mgr.var("a1")) | (~mgr.var("a0") & mgr.var("b1"))
+    print(f"\n== SPCF ==\n|Sigma| = {sigma.count(4)} of 16 patterns; "
+          f"equals paper's a1' + a0' b1: {sigma == paper_sigma}")
+
+    f_y = ctx.functions["y"]
+    print(f"care sets: |s0| = {(sigma & ~f_y).count(4)}, "
+          f"|s1| = {(sigma & f_y).count(4)}")
+
+    result = mask_circuit(circuit, library, max_support=8)
+    print("\n== the error-masking circuit ==")
+    print(write_blif(result.masking.masking_circuit))
+    r = result.report
+    print(f"sound: {r.sound}, coverage: {r.coverage_percent:.0f}%, "
+          f"masking delay {r.masking_delay} vs Delta {r.original_delay}")
+
+    print("\n== the masked design (original + C~ + mux) ==")
+    masked = result.design
+    mux_net = masked.output_map["y"]
+    mux = masked.circuit.gate(mux_net)
+    print(f"output mux: {mux_net} = MUX2(select={mux.fanins[0]}, "
+          f"d0={mux.fanins[1]}, d1={mux.fanins[2]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""In-system silicon debug with selective trace capture (paper Sec. 2.1).
+
+Trace buffers store a fixed number of entries per debug session.  Capturing
+every cycle observes only ``depth`` consecutive cycles; gating capture on
+the masking circuit's indicator ``e_i`` — "this cycle exercised a
+speed-path" — stores only the suspect cycles, expanding the observation
+window by the inverse of the indicator activation rate.
+
+Run with::
+
+    python examples/debug_trace_capture.py
+"""
+
+from repro import lsi10k_like_library, make_benchmark, mask_circuit
+from repro.apps import capture_experiment
+
+
+def main() -> None:
+    library = lsi10k_like_library()
+    circuit = make_benchmark("cu", library)
+    result = mask_circuit(circuit, library)
+    design = result.design
+    print(f"{circuit.name}: {len(result.masking.outputs)} critical outputs, "
+          f"indicator nets {sorted(set(design.indicator_nets.values()))}")
+
+    print(f"\n{'depth':>6} {'always-on window':>17} {'selective window':>17} "
+          f"{'expansion':>10} {'indicator rate':>15}")
+    for depth in (8, 16, 32, 64, 128):
+        report = capture_experiment(
+            design, buffer_depth=depth, cycles=16384, seed=31
+        )
+        print(f"{depth:6d} {report.always_window:17d} "
+              f"{report.selective_window:17d} "
+              f"{report.expansion_factor:10.1f} "
+              f"{report.indicator_rate:15.3f}")
+
+    print("\nSelective capture stores a cycle only when a speed-path was "
+          "exercised, so the same buffer observes a window ~1/e-rate wider "
+          "— the paper's argument for indicator-guided debug.")
+
+
+if __name__ == "__main__":
+    main()

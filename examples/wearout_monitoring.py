@@ -1,0 +1,64 @@
+"""Wearout prediction with the error-masking circuit (paper Sec. 2.1).
+
+Deploys the masking circuit on a benchmark, then ages the speed-path gates
+epoch by epoch (NBTI-style saturating slowdown).  Each epoch runs a
+workload on the aged design and logs the paper's masked-error event
+``e AND (y XOR y~)``.  The wearout monitor watches the windowed event rate
+and flags onset — while the output muxes keep every architectural output
+correct (residual error rate stays zero).
+
+Run with::
+
+    python examples/wearout_monitoring.py
+"""
+
+from repro import lsi10k_like_library, make_benchmark, mask_circuit
+from repro.apps import WearoutMonitor, predict_onset, wearout_experiment
+from repro.sim import SaturatingAging
+
+
+def main() -> None:
+    library = lsi10k_like_library()
+    circuit = make_benchmark("cu", library)
+    result = mask_circuit(circuit, library)
+    print(f"{circuit.name}: masking synthesized "
+          f"(slack {result.report.slack_percent:.1f}%, "
+          f"area +{result.report.area_overhead_percent:.1f}%)")
+
+    epochs = wearout_experiment(
+        result.masking,
+        result.design,
+        aging=SaturatingAging(amplitude=0.6, tau=4.0),
+        epochs=10,
+        cycles_per_epoch=200,
+        seed=17,
+    )
+    monitor = WearoutMonitor(rate_threshold=0.02, trend_windows=3)
+    onset = predict_onset(epochs, monitor)
+
+    print(f"\n{'epoch':>5} {'delay scale':>12} {'masked-error rate':>18} "
+          f"{'raw-error rate':>15} {'residual':>9}")
+    for i, e in enumerate(epochs):
+        mark = "  <-- wearout onset flagged" if onset == i else ""
+        print(f"{i:5d} {e.delay_scale:12.3f} {e.masked_error_rate:18.3f} "
+              f"{e.unmasked_error_rate:15.3f} {e.residual_error_rate:9.3f}"
+              f"{mark}")
+
+    protected = [e for e in epochs if e.delay_scale <= 1.0 / 0.9]
+    exceeded = [e for e in epochs if e.delay_scale > 1.0 / 0.9]
+    assert all(e.residual_error_rate == 0.0 for e in protected)
+    print(
+        "\nWhile the slowdown stays within the protected 10% band "
+        f"(scale <= {1.0 / 0.9:.2f}), every timing error is masked "
+        "(residual rate 0)."
+    )
+    if exceeded and any(e.residual_error_rate > 0 for e in exceeded):
+        print(
+            "Beyond the band, paths that were never speed-paths cross the "
+            "clock and escape the mask — which is exactly why the monitor "
+            f"flags onset early (epoch {onset}), long before that point."
+        )
+
+
+if __name__ == "__main__":
+    main()

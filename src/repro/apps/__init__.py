@@ -1,0 +1,39 @@
+"""Applications: wearout prediction, debug capture, DVS, body-bias planning."""
+
+from repro.apps.bodybias import (
+    BodyBiasPlan,
+    critical_gate_ranking,
+    plan_body_bias,
+)
+from repro.apps.dvs import DvsPoint, DvsResult, dvs_sweep
+from repro.apps.tracebuffer import (
+    CaptureReport,
+    TraceBuffer,
+    TraceEntry,
+    capture_experiment,
+)
+from repro.apps.wearout import (
+    ErrorLogger,
+    WearoutEpoch,
+    WearoutMonitor,
+    predict_onset,
+    wearout_experiment,
+)
+
+__all__ = [
+    "BodyBiasPlan",
+    "critical_gate_ranking",
+    "plan_body_bias",
+    "DvsPoint",
+    "DvsResult",
+    "dvs_sweep",
+    "ErrorLogger",
+    "WearoutMonitor",
+    "WearoutEpoch",
+    "wearout_experiment",
+    "predict_onset",
+    "TraceBuffer",
+    "TraceEntry",
+    "CaptureReport",
+    "capture_experiment",
+]

@@ -1,0 +1,137 @@
+"""Adaptive speed-up of critical gates (body-bias planning).
+
+The paper's conclusions name "adaptive speed-up of critical gates using body
+bias" as future work: when the logged masked-error rate shows a speed-path
+slowing down, forward body bias can be applied to the gates on that path to
+recover timing, at a leakage cost proportional to the biased area.
+
+This module implements the *planning* side on top of our substrate:
+
+* :func:`critical_gate_ranking` — rank gates by how many still-failing
+  speed-paths run through them (the classic greedy set-cover signal),
+* :func:`plan_body_bias` — greedily choose the smallest-area gate set whose
+  speed-up brings every speed-path back under the target, modelling forward
+  body bias as a per-gate delay de-rating factor on aged gates,
+* :class:`BodyBiasPlan` — the chosen gates, recovered slack, and area cost.
+
+The adaptive loop is: masking hides the errors (so the system keeps running
+correctly), the logger localizes the slowdown, and the plan selects where to
+spend bias.  Exercised end-to-end in ``benchmarks/bench_bodybias.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.sta.timing import analyze
+
+
+@dataclass(frozen=True)
+class BodyBiasPlan:
+    """Result of :func:`plan_body_bias`."""
+
+    biased_gates: tuple[str, ...]
+    biased_area: float
+    total_area: float
+    delay_before: int
+    delay_after: int
+    target: int
+
+    @property
+    def meets_target(self) -> bool:
+        return self.delay_after <= self.target
+
+    @property
+    def area_fraction(self) -> float:
+        """Fraction of circuit area receiving bias (the leakage proxy)."""
+        return self.biased_area / self.total_area if self.total_area else 0.0
+
+
+def critical_gate_ranking(circuit: Circuit, target: int) -> list[str]:
+    """Gates ranked by decreasing criticality w.r.t. the target period.
+
+    Criticality is the gate's negative slack (how far its worst path
+    overshoots the target); ties break toward smaller area, since biasing a
+    small gate costs less leakage.
+    """
+    report = analyze(circuit, target=target)
+    scored = []
+    for name in circuit.gates:
+        slack = report.slack(name)
+        if slack < 0:
+            scored.append((slack, circuit.gates[name].cell.area, name))
+    scored.sort()
+    return [name for _, _, name in scored]
+
+
+def _with_bias(circuit: Circuit, biased: set[str], recovery: float) -> Circuit:
+    """Apply the bias de-rating to the chosen gates.
+
+    A biased gate's delay scale moves from ``s`` toward ``1 + (s-1)*(1-r)``:
+    forward bias recovers a fraction ``r`` of the aging-induced slowdown
+    (it cannot make a gate faster than its unaged delay).
+    """
+    scales = {}
+    for name in biased:
+        gate = circuit.gates[name]
+        recovered = 1.0 + (gate.delay_scale - 1.0) * (1.0 - recovery)
+        scales[name] = max(1.0, recovered)
+    out = circuit.copy()
+    # with_delay_scales only raises scales; rebuild gates directly instead.
+    from dataclasses import replace
+
+    for name, scale in scales.items():
+        out.replace_gate(replace(out.gate(name), delay_scale=scale))
+    return out
+
+
+def plan_body_bias(
+    aged_circuit: Circuit,
+    target: int,
+    recovery: float = 0.6,
+    max_gates: int | None = None,
+) -> BodyBiasPlan:
+    """Greedily select aged gates to bias until the target delay is met.
+
+    Parameters
+    ----------
+    aged_circuit:
+        The slowed-down circuit (gates carry ``delay_scale > 1``).
+    target:
+        Required critical-path delay after biasing (e.g. the clock period).
+    recovery:
+        Fraction of the aging-induced slowdown that forward bias recovers.
+    max_gates:
+        Optional cap on the number of biased gates.
+    """
+    if not 0.0 < recovery <= 1.0:
+        raise SimulationError(f"recovery fraction {recovery} outside (0, 1]")
+    before = analyze(aged_circuit, target=0).critical_delay
+    biased: set[str] = set()
+    current = aged_circuit
+    limit = max_gates if max_gates is not None else len(aged_circuit.gates)
+    while len(biased) < limit:
+        report = analyze(current, target=target)
+        if report.critical_delay <= target:
+            break
+        candidates = [
+            name
+            for name in critical_gate_ranking(current, target)
+            if name not in biased and current.gates[name].delay_scale > 1.0
+        ]
+        if not candidates:
+            break
+        biased.add(candidates[0])
+        current = _with_bias(aged_circuit, biased, recovery)
+    after = analyze(current, target=0).critical_delay
+    area = sum(aged_circuit.gates[g].cell.area for g in biased)
+    return BodyBiasPlan(
+        biased_gates=tuple(sorted(biased)),
+        biased_area=area,
+        total_area=aged_circuit.area(),
+        delay_before=before,
+        delay_after=after,
+        target=target,
+    )

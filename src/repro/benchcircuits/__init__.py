@@ -1,0 +1,38 @@
+"""Benchmark circuits: the paper's worked example, hand-made real logic,
+and deterministic synthetic stand-ins for the paper's named benchmarks."""
+
+from repro.benchcircuits.comparator import (
+    comparator2,
+    comparator2_reference,
+    comparator_nbit,
+)
+from repro.benchcircuits.generators import (
+    PAPER_SPECS,
+    TABLE1_NAMES,
+    BenchSpec,
+    generate_control_circuit,
+    make_benchmark,
+    table1_circuits,
+    table2_circuits,
+)
+from repro.benchcircuits.suite import (
+    HANDMADE,
+    all_circuit_names,
+    circuit_by_name,
+)
+
+__all__ = [
+    "comparator2",
+    "comparator2_reference",
+    "comparator_nbit",
+    "BenchSpec",
+    "PAPER_SPECS",
+    "TABLE1_NAMES",
+    "generate_control_circuit",
+    "make_benchmark",
+    "table1_circuits",
+    "table2_circuits",
+    "HANDMADE",
+    "circuit_by_name",
+    "all_circuit_names",
+]

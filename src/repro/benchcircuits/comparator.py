@@ -1,0 +1,73 @@
+"""The paper's worked example: a 2-bit comparator (Sec. 4.2, Fig. 2).
+
+``y = 0`` iff the 2-bit number ``a1 a0`` is less than ``b1 b0``.  With the
+unit-delay library (INV = 1, 2-input gates = 2) the mapped structure below
+has critical path delay 7, and the exact SPCF at threshold
+``Delta_y = floor(0.9 * 7) = 6`` is the paper's
+
+.. math:: \\Sigma_y = \\overline{a_1} + \\overline{a_0} b_1
+
+(10 of the 16 input patterns).  The golden tests in
+``tests/core/test_comparator_paper.py`` reproduce every quantity of the
+paper's walkthrough from this module.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.library import Library, unit_library
+
+
+def comparator2(library: Library | None = None) -> Circuit:
+    """The 2-bit comparator of Fig. 2(a), mapped as
+
+    .. code-block:: text
+
+        y = (a1 & ~b1) | ((a0 | ~b0) & (a1 | ~b1))
+
+    with explicit inverters so the two delay-7 speed-paths run through
+    ``~b0`` and ``~b1`` into the product term.
+    """
+    lib = library or unit_library()
+    c = Circuit("comparator2", inputs=("a0", "a1", "b0", "b1"), outputs=("y",))
+    c.add_gate("nb0", lib.get("INV"), ("b0",))
+    c.add_gate("nb1", lib.get("INV"), ("b1",))
+    c.add_gate("t1", lib.get("AND2"), ("a1", "nb1"))
+    c.add_gate("t2", lib.get("OR2"), ("a0", "nb0"))
+    c.add_gate("t3", lib.get("OR2"), ("a1", "nb1"))
+    c.add_gate("t4", lib.get("AND2"), ("t2", "t3"))
+    c.add_gate("y", lib.get("OR2"), ("t1", "t4"))
+    c.validate()
+    return c
+
+
+def comparator2_reference(a0: bool, a1: bool, b0: bool, b1: bool) -> bool:
+    """Specification: ``a1a0 >= b1b0`` (y = 0 iff a < b)."""
+    return (a1 * 2 + a0) >= (b1 * 2 + b0)
+
+
+def comparator_nbit(n: int, library: Library | None = None) -> Circuit:
+    """A ripple-style n-bit unsigned comparator: ``y = (a >= b)``.
+
+    Built MSB-first: ``ge_k = gt_bit | (eq_bit & ge_{k-1})``.  Used by the
+    examples and as a scalable timing-rich circuit in tests.
+    """
+    lib = library or unit_library()
+    inputs = [f"a{i}" for i in range(n)] + [f"b{i}" for i in range(n)]
+    c = Circuit(f"comparator{n}", inputs=inputs, outputs=("y",))
+    # LSB stage: ge = a0 | ~b0  (a0 >= b0 for single bits)
+    c.add_gate("nb0_", lib.get("INV"), ("b0",))
+    c.add_gate("ge0", lib.get("OR2"), ("a0", "nb0_"))
+    prev = "ge0"
+    for i in range(1, n):
+        c.add_gate(f"nb{i}_", lib.get("INV"), (f"b{i}",))
+        c.add_gate(f"na{i}_", lib.get("INV"), (f"a{i}",))
+        c.add_gate(f"gt{i}", lib.get("AND2"), (f"a{i}", f"nb{i}_"))
+        c.add_gate(f"lt{i}", lib.get("AND2"), (f"na{i}_", f"b{i}"))
+        c.add_gate(f"nlt{i}", lib.get("INV"), (f"lt{i}",))
+        c.add_gate(f"keep{i}", lib.get("AND2"), (f"nlt{i}", prev))
+        c.add_gate(f"ge{i}", lib.get("OR2"), (f"gt{i}", f"keep{i}"))
+        prev = f"ge{i}"
+    c.add_gate("y", lib.get("BUF"), (prev,))
+    c.validate()
+    return c

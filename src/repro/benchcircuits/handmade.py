@@ -1,0 +1,183 @@
+"""Hand-written real circuits used by tests and examples.
+
+Unlike the synthetic named benchmarks (:mod:`repro.benchcircuits.generators`)
+these are genuine textbook structures — adders, a carry-lookahead unit, an
+ALU slice, decoders, a priority encoder, parity trees, mux trees — giving the
+test-suite functionally meaningful logic with known references.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.library import Library, unit_library
+
+
+def full_adder(library: Library | None = None) -> Circuit:
+    """1-bit full adder: sum and carry out."""
+    lib = library or unit_library()
+    c = Circuit("full_adder", inputs=("a", "b", "cin"), outputs=("sum", "cout"))
+    c.add_gate("axb", lib.get("XOR2"), ("a", "b"))
+    c.add_gate("sum", lib.get("XOR2"), ("axb", "cin"))
+    c.add_gate("ab", lib.get("AND2"), ("a", "b"))
+    c.add_gate("cx", lib.get("AND2"), ("axb", "cin"))
+    c.add_gate("cout", lib.get("OR2"), ("ab", "cx"))
+    c.validate()
+    return c
+
+
+def ripple_adder(n: int, library: Library | None = None) -> Circuit:
+    """n-bit ripple-carry adder: ``s = a + b + cin`` (long carry chain)."""
+    lib = library or unit_library()
+    inputs = [f"a{i}" for i in range(n)] + [f"b{i}" for i in range(n)] + ["cin"]
+    outputs = [f"s{i}" for i in range(n)] + ["cout"]
+    c = Circuit(f"ripple_adder{n}", inputs=inputs, outputs=outputs)
+    carry = "cin"
+    for i in range(n):
+        c.add_gate(f"axb{i}", lib.get("XOR2"), (f"a{i}", f"b{i}"))
+        c.add_gate(f"s{i}", lib.get("XOR2"), (f"axb{i}", carry))
+        c.add_gate(f"ab{i}", lib.get("AND2"), (f"a{i}", f"b{i}"))
+        c.add_gate(f"cx{i}", lib.get("AND2"), (f"axb{i}", carry))
+        c.add_gate(f"c{i}", lib.get("OR2"), (f"ab{i}", f"cx{i}"))
+        carry = f"c{i}"
+    c.add_gate("cout", lib.get("BUF"), (carry,))
+    c.validate()
+    return c
+
+
+def ripple_adder_reference(n: int, pattern: dict[str, bool]) -> dict[str, bool]:
+    """Specification of :func:`ripple_adder` for one input pattern."""
+    a = sum(int(pattern[f"a{i}"]) << i for i in range(n))
+    b = sum(int(pattern[f"b{i}"]) << i for i in range(n))
+    total = a + b + int(pattern["cin"])
+    out = {f"s{i}": bool((total >> i) & 1) for i in range(n)}
+    out["cout"] = bool((total >> n) & 1)
+    return out
+
+
+def carry_lookahead4(library: Library | None = None) -> Circuit:
+    """74182-style 4-bit carry-lookahead generator (p/g in, carries out)."""
+    lib = library or unit_library()
+    inputs = [f"p{i}" for i in range(4)] + [f"g{i}" for i in range(4)] + ["cin"]
+    outputs = ["c1", "c2", "c3", "c4"]
+    c = Circuit("cla4", inputs=inputs, outputs=outputs)
+    carry = "cin"
+    for i in range(4):
+        c.add_gate(f"pc{i}", lib.get("AND2"), (f"p{i}", carry))
+        c.add_gate(f"c{i + 1}", lib.get("OR2"), (f"g{i}", f"pc{i}"))
+        carry = f"c{i + 1}"
+    c.validate()
+    return c
+
+
+def alu_slice(library: Library | None = None) -> Circuit:
+    """A 1-bit ALU slice: op selects among AND/OR/XOR/ADD of a, b.
+
+    Inputs: ``a b cin op0 op1``; outputs: ``out cout``.
+    """
+    lib = library or unit_library()
+    c = Circuit(
+        "alu_slice",
+        inputs=("a", "b", "cin", "op0", "op1"),
+        outputs=("out", "cout"),
+    )
+    c.add_gate("f_and", lib.get("AND2"), ("a", "b"))
+    c.add_gate("f_or", lib.get("OR2"), ("a", "b"))
+    c.add_gate("f_xor", lib.get("XOR2"), ("a", "b"))
+    c.add_gate("f_sum", lib.get("XOR2"), ("f_xor", "cin"))
+    c.add_gate("cx", lib.get("AND2"), ("f_xor", "cin"))
+    c.add_gate("cout", lib.get("OR2"), ("f_and", "cx"))
+    # out = op1 ? (op0 ? sum : xor) : (op0 ? or : and)
+    c.add_gate("m0", lib.get("MUX2"), ("op0", "f_and", "f_or"))
+    c.add_gate("m1", lib.get("MUX2"), ("op0", "f_xor", "f_sum"))
+    c.add_gate("out", lib.get("MUX2"), ("op1", "m0", "m1"))
+    c.validate()
+    return c
+
+
+def decoder(n: int, library: Library | None = None) -> Circuit:
+    """n-to-2^n one-hot decoder with an enable input."""
+    lib = library or unit_library()
+    inputs = [f"s{i}" for i in range(n)] + ["en"]
+    outputs = [f"d{i}" for i in range(1 << n)]
+    c = Circuit(f"decoder{n}", inputs=inputs, outputs=outputs)
+    for i in range(n):
+        c.add_gate(f"ns{i}", lib.get("INV"), (f"s{i}",))
+    for idx in range(1 << n):
+        lits = [
+            (f"s{i}" if (idx >> i) & 1 else f"ns{i}") for i in range(n)
+        ] + ["en"]
+        prev = lits[0]
+        for j, net in enumerate(lits[1:]):
+            out = f"d{idx}" if j == len(lits) - 2 else f"d{idx}_t{j}"
+            c.add_gate(out, lib.get("AND2"), (prev, net))
+            prev = out
+    c.validate()
+    return c
+
+
+def priority_encoder(n: int, library: Library | None = None) -> Circuit:
+    """n-input priority encoder: ``valid`` plus one-hot ``h_i`` for the
+    highest asserted request (request ``r{n-1}`` has the highest priority)."""
+    lib = library or unit_library()
+    inputs = [f"r{i}" for i in range(n)]
+    outputs = [f"h{i}" for i in range(n)] + ["valid"]
+    c = Circuit(f"prienc{n}", inputs=inputs, outputs=outputs)
+    c.add_gate(f"h{n - 1}", lib.get("BUF"), (f"r{n - 1}",))
+    blocked = f"r{n - 1}"
+    for i in range(n - 2, -1, -1):
+        c.add_gate(f"nb{i}", lib.get("INV"), (blocked,))
+        c.add_gate(f"h{i}", lib.get("AND2"), (f"r{i}", f"nb{i}"))
+        if i > 0:
+            c.add_gate(f"blk{i}", lib.get("OR2"), (blocked, f"r{i}"))
+            blocked = f"blk{i}"
+    prev = f"r{n - 1}"
+    for i in range(n - 1):
+        c.add_gate(f"v{i}", lib.get("OR2"), (prev, f"r{i}"))
+        prev = f"v{i}"
+    c.add_gate("valid", lib.get("BUF"), (prev,))
+    c.validate()
+    return c
+
+
+def parity_tree(n: int, library: Library | None = None) -> Circuit:
+    """Balanced XOR parity tree over n inputs."""
+    lib = library or unit_library()
+    inputs = [f"x{i}" for i in range(n)]
+    c = Circuit(f"parity{n}", inputs=inputs, outputs=("p",))
+    level = list(inputs)
+    counter = 0
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            name = f"x_{counter}"
+            counter += 1
+            c.add_gate(name, lib.get("XOR2"), (level[i], level[i + 1]))
+            nxt.append(name)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    c.add_gate("p", lib.get("BUF"), (level[0],))
+    c.validate()
+    return c
+
+
+def mux_tree(select_bits: int, library: Library | None = None) -> Circuit:
+    """2^k-to-1 multiplexer built from MUX2 cells."""
+    lib = library or unit_library()
+    data = [f"d{i}" for i in range(1 << select_bits)]
+    sels = [f"s{i}" for i in range(select_bits)]
+    c = Circuit(f"muxtree{select_bits}", inputs=data + sels, outputs=("z",))
+    level = list(data)
+    counter = 0
+    for bit in range(select_bits):
+        nxt = []
+        for i in range(0, len(level), 2):
+            name = (
+                "z" if len(level) == 2 else f"m_{counter}"
+            )
+            counter += 1
+            c.add_gate(name, lib.get("MUX2"), (sels[bit], level[i], level[i + 1]))
+            nxt.append(name)
+        level = nxt
+    c.validate()
+    return c

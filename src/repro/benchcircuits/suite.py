@@ -1,0 +1,62 @@
+"""Convenience access to every circuit shipped with the reproduction."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.library import Library
+from repro.benchcircuits import comparator, handmade
+from repro.benchcircuits.generators import (
+    PAPER_SPECS,
+    TABLE1_NAMES,
+    make_benchmark,
+    table1_circuits,
+    table2_circuits,
+)
+
+#: Hand-written circuits by name (all take an optional library).
+HANDMADE: dict[str, Callable[..., Circuit]] = {
+    "comparator2": comparator.comparator2,
+    "comparator4": lambda lib=None: comparator.comparator_nbit(4, lib),
+    "comparator6": lambda lib=None: comparator.comparator_nbit(6, lib),
+    "full_adder": handmade.full_adder,
+    "ripple_adder4": lambda lib=None: handmade.ripple_adder(4, lib),
+    "ripple_adder8": lambda lib=None: handmade.ripple_adder(8, lib),
+    "cla4": handmade.carry_lookahead4,
+    "alu_slice": handmade.alu_slice,
+    "decoder3": lambda lib=None: handmade.decoder(3, lib),
+    "priority_encoder8": lambda lib=None: handmade.priority_encoder(8, lib),
+    "parity8": lambda lib=None: handmade.parity_tree(8, lib),
+    "mux_tree3": lambda lib=None: handmade.mux_tree(3, lib),
+}
+
+
+def circuit_by_name(name: str, library: Library | None = None) -> Circuit:
+    """Fetch any named circuit: hand-made or a paper benchmark."""
+    if name in HANDMADE:
+        return HANDMADE[name](library)
+    if name in PAPER_SPECS:
+        return make_benchmark(name, library)
+    raise NetlistError(
+        f"unknown circuit {name!r}; choose from "
+        f"{sorted(HANDMADE) + sorted(PAPER_SPECS)}"
+    )
+
+
+def all_circuit_names() -> tuple[str, ...]:
+    """Every circuit name known to the suite."""
+    return tuple(sorted(HANDMADE)) + tuple(PAPER_SPECS)
+
+
+__all__ = [
+    "HANDMADE",
+    "PAPER_SPECS",
+    "TABLE1_NAMES",
+    "circuit_by_name",
+    "all_circuit_names",
+    "make_benchmark",
+    "table1_circuits",
+    "table2_circuits",
+]

@@ -1,0 +1,234 @@
+"""Command-line interface.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro list
+    python -m repro report C432
+    python -m repro spcf C432 --algorithm all
+    python -m repro mask C432 --out masked.blif --mask-out mask.blif
+    python -m repro table1
+    python -m repro table2 --circuits cmb x2 cu
+    python -m repro mask path/to/design.blif --library lsi10k_like
+
+Circuits are named benchmarks from :mod:`repro.benchcircuits` or paths to
+BLIF files (``.gate`` netlists are read against the chosen library).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.benchcircuits import PAPER_SPECS, TABLE1_NAMES, all_circuit_names, circuit_by_name
+from repro.core import mask_circuit
+from repro.errors import ReproError
+from repro.netlist import (
+    Circuit,
+    Library,
+    builtin_library,
+    read_blif,
+    write_blif_file,
+    write_verilog_file,
+)
+from repro.spcf import compare_algorithms, spcf_nodebased, spcf_pathbased, spcf_shortpath
+from repro.sta import analyze
+
+
+def _load_circuit(spec: str, library: Library) -> Circuit:
+    path = Path(spec)
+    if spec.endswith(".blif") or path.exists():
+        return read_blif(path, library=library)
+    return circuit_by_name(spec, library)
+
+
+def _fmt_count(n: int) -> str:
+    if n == 0:
+        return "0"
+    exp = len(str(n)) - 1
+    return f"{n / 10**exp:.2f}e{exp}"
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("hand-made circuits and paper benchmarks:")
+    for name in all_circuit_names():
+        mark = "  [table 2]" if name in PAPER_SPECS else ""
+        print(f"  {name}{mark}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    library = builtin_library(args.library)
+    circuit = _load_circuit(args.circuit, library)
+    report = analyze(circuit, threshold=args.threshold)
+    crit = report.critical_outputs(circuit)
+    print(f"circuit          : {circuit.name}")
+    print(f"inputs/outputs   : {len(circuit.inputs)}/{len(circuit.outputs)}")
+    print(f"gates / area     : {circuit.num_gates} / {circuit.area():.0f}")
+    print(f"critical delay   : {report.critical_delay}")
+    print(f"target (Delta_y) : {report.target}")
+    print(f"critical outputs : {len(crit)}  {list(crit)[:8]}")
+    print(f"critical gates   : {len(report.critical_gates(circuit))}")
+    return 0
+
+
+def cmd_spcf(args: argparse.Namespace) -> int:
+    library = builtin_library(args.library)
+    circuit = _load_circuit(args.circuit, library)
+    if args.algorithm == "all":
+        row = compare_algorithms(circuit, threshold=args.threshold)
+        print(f"node-based : {_fmt_count(row.node_based_count):>12s}  "
+              f"({row.node_based_runtime:.3f}s)")
+        print(f"path-based : {_fmt_count(row.path_based_count):>12s}  "
+              f"({row.path_based_runtime:.3f}s)")
+        print(f"short-path : {_fmt_count(row.short_path_count):>12s}  "
+              f"({row.short_path_runtime:.3f}s)")
+        print(f"over-approximation factor: {row.over_approximation_factor:.2f}x")
+        return 0
+    algo = {
+        "short": spcf_shortpath,
+        "path": spcf_pathbased,
+        "node": spcf_nodebased,
+    }[args.algorithm]
+    result = algo(circuit, threshold=args.threshold)
+    print(f"algorithm : {result.algorithm}")
+    print(f"target    : {result.target}")
+    for y, count in sorted(result.counts_by_output().items()):
+        print(f"  {y:16s} {_fmt_count(count):>14s} critical patterns")
+    print(f"union     : {_fmt_count(result.count()):>14s} "
+          f"({result.runtime_seconds:.3f}s)")
+    return 0
+
+
+def cmd_mask(args: argparse.Namespace) -> int:
+    library = builtin_library(args.library)
+    circuit = _load_circuit(args.circuit, library)
+    result = mask_circuit(
+        circuit,
+        library,
+        threshold=args.threshold,
+        max_support=args.max_support,
+    )
+    r = result.report
+    print(f"circuit            : {r.circuit_name} "
+          f"({r.num_inputs}/{r.num_outputs}, {r.num_gates} gates)")
+    print(f"critical outputs   : {r.critical_outputs}")
+    print(f"critical minterms  : {_fmt_count(r.critical_minterms)}")
+    print(f"original delay     : {r.original_delay}")
+    print(f"masking delay      : {r.masking_delay} (slack {r.slack_percent:.1f}%)")
+    print(f"area overhead      : {r.area_overhead_percent:.1f}%")
+    print(f"power overhead     : {r.power_overhead_percent:.1f}%")
+    print(f"sound              : {r.sound}")
+    print(f"masking coverage   : {r.coverage_percent:.1f}%")
+    if not r.meets_slack_constraint:
+        print("warning: masking circuit has < 20% slack on this design")
+    if args.out:
+        write_blif_file(result.design.circuit, args.out)
+        print(f"masked design written to {args.out}")
+    if args.mask_out:
+        write_blif_file(result.masking.masking_circuit, args.mask_out)
+        print(f"masking circuit written to {args.mask_out}")
+    if args.verilog:
+        write_verilog_file(result.design.circuit, args.verilog)
+        print(f"masked design (verilog) written to {args.verilog}")
+    return 0 if (r.sound and r.coverage_percent == 100.0) else 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    library = builtin_library(args.library)
+    print(f"{'circuit':18s} {'node-based':>12s} {'path-based':>12s} "
+          f"{'short-path':>12s} {'over':>6s}")
+    for name in TABLE1_NAMES:
+        circuit = circuit_by_name(name, library)
+        row = compare_algorithms(circuit)
+        print(f"{name:18s} {_fmt_count(row.node_based_count):>12s} "
+              f"{_fmt_count(row.path_based_count):>12s} "
+              f"{_fmt_count(row.short_path_count):>12s} "
+              f"{row.over_approximation_factor:5.1f}x")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    library = builtin_library(args.library)
+    names = args.circuits or list(PAPER_SPECS)
+    print(f"{'circuit':18s} {'critPO':>7s} {'minterms':>10s} {'slack%':>7s} "
+          f"{'area%':>7s} {'power%':>7s} {'cov%':>5s}")
+    slacks, areas, powers = [], [], []
+    for name in names:
+        circuit = circuit_by_name(name, library)
+        r = mask_circuit(circuit, library).report
+        slacks.append(r.slack_percent)
+        areas.append(r.area_overhead_percent)
+        powers.append(r.power_overhead_percent)
+        print(f"{name:18s} {r.critical_outputs:7d} "
+              f"{_fmt_count(r.critical_minterms):>10s} {r.slack_percent:7.1f} "
+              f"{r.area_overhead_percent:7.1f} {r.power_overhead_percent:7.1f} "
+              f"{r.coverage_percent:5.0f}")
+    n = len(names)
+    print(f"{'average':18s} {'':7s} {'':10s} {sum(slacks) / n:7.1f} "
+          f"{sum(areas) / n:7.1f} {sum(powers) / n:7.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Masking timing errors on speed-paths (DATE 2009) — "
+        "reproduction toolkit",
+    )
+    parser.add_argument(
+        "--library",
+        default="lsi10k_like",
+        choices=("unit", "lsi10k_like"),
+        help="cell library for loading/mapping (default: lsi10k_like)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available circuits").set_defaults(
+        func=cmd_list
+    )
+
+    p = sub.add_parser("report", help="static timing summary")
+    p.add_argument("circuit", help="benchmark name or .blif path")
+    p.add_argument("--threshold", type=float, default=0.9)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("spcf", help="speed-path characteristic function")
+    p.add_argument("circuit")
+    p.add_argument(
+        "--algorithm", default="short", choices=("short", "path", "node", "all")
+    )
+    p.add_argument("--threshold", type=float, default=0.9)
+    p.set_defaults(func=cmd_spcf)
+
+    p = sub.add_parser("mask", help="synthesize the error-masking circuit")
+    p.add_argument("circuit")
+    p.add_argument("--threshold", type=float, default=0.9)
+    p.add_argument("--max-support", type=int, default=12)
+    p.add_argument("--out", help="write the masked design as BLIF")
+    p.add_argument("--mask-out", help="write the masking circuit as BLIF")
+    p.add_argument("--verilog", help="write the masked design as Verilog")
+    p.set_defaults(func=cmd_mask)
+
+    sub.add_parser("table1", help="regenerate Table 1").set_defaults(
+        func=cmd_table1
+    )
+
+    p = sub.add_parser("table2", help="regenerate Table 2 rows")
+    p.add_argument("--circuits", nargs="*", help="subset of circuit names")
+    p.set_defaults(func=cmd_table2)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

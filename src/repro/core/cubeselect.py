@@ -1,0 +1,74 @@
+"""Essential-weight cube selection (paper Sec. 4.1, steps (i)–(iii)).
+
+Given an SOP cover of a node's on-set or off-set and the SPCF ``Sigma``:
+
+1. cubes are arranged in ascending order of literal count,
+2. the *essential weight* of the j-th cube is the fraction of ``Sigma``
+   patterns covered by its primary-input-space image and not by the images
+   of the cubes kept before it,
+3. cubes with non-zero essential weight are kept, the rest discarded.
+
+The kept cubes form the reduced covers ``n^0`` / ``n^1``.  By construction
+the union of kept on-cubes still covers every ``Sigma``-reachable on-set
+minterm (and symmetrically for the off-set): for any pattern in ``Sigma``,
+the first full-cover cube containing its local minterm either was kept or
+the pattern was already covered — property-tested in ``tests/core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from repro.bdd.manager import BddManager, Function
+from repro.logic.cover import Cover
+from repro.core.careset import cube_image
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of one essential-weight pass over a cover."""
+
+    kept: Cover
+    weights: tuple[Fraction, ...]
+    dropped: int
+
+    @property
+    def total_weight(self) -> Fraction:
+        return sum(self.weights, Fraction(0))
+
+
+def select_cubes(
+    cover: Cover,
+    sigma: Function,
+    functions: Mapping[str, Function],
+    mgr: BddManager,
+    num_inputs: int,
+) -> SelectionResult:
+    """Keep the cubes of ``cover`` with non-zero essential weight vs ``sigma``.
+
+    ``num_inputs`` is the number of primary-input variables for the model
+    counts (weights are exact fractions of ``|Sigma|``).
+    """
+    ordered = cover.sorted_by_literal_count()
+    sigma_count = sigma.count(num_inputs)
+    covered = mgr.false
+    kept = []
+    weights = []
+    for cube in ordered.cubes:
+        image = cube_image(cube, ordered.names, functions, mgr)
+        gain = sigma & image & ~covered
+        if gain.is_false:
+            continue
+        kept.append(cube)
+        if sigma_count:
+            weights.append(Fraction(gain.count(num_inputs), sigma_count))
+        else:
+            weights.append(Fraction(0))
+        covered = covered | image
+    return SelectionResult(
+        kept=Cover(ordered.names, tuple(kept)),
+        weights=tuple(weights),
+        dropped=cover.num_cubes - len(kept),
+    )

@@ -1,0 +1,90 @@
+"""Integration of the masking circuit with the original design (Fig. 1).
+
+The masked design is the original circuit, the masking circuit, and one
+2-to-1 multiplexer per critical output: the indicator ``e_y`` drives the
+select input, the original output the 0-input, and the prediction ``y~`` the
+1-input.  Error masking is non-intrusive — the original gates are untouched —
+and the only impact on the original outputs is the mux delay, which the
+clock period absorbs (``clock_period`` below reports the compensated value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MaskingError
+from repro.netlist.circuit import Circuit
+from repro.core.masking import MaskingResult
+from repro.sta.timing import analyze
+
+#: Net-name prefix for the mux-masked outputs in the combined circuit.
+MASKED_PREFIX = "masked$"
+
+
+@dataclass
+class MaskedDesign:
+    """The combined original + masking + mux circuit."""
+
+    circuit: Circuit
+    output_map: dict[str, str]
+    """Original output name -> net carrying its (masked) value."""
+    prediction_nets: dict[str, str]
+    indicator_nets: dict[str, str]
+    mux_delay: int
+
+    @property
+    def clock_period(self) -> int:
+        """Original critical path delay plus the output-mux delay."""
+        report = analyze(self.circuit, target=0)
+        return max(
+            report.arrival[net] for net in self.output_map.values()
+        )
+
+
+def build_masked_design(result: MaskingResult) -> MaskedDesign:
+    """Fuse the original and masking circuits and insert the output muxes."""
+    original = result.circuit
+    masking = result.masking_circuit
+    library = result.library
+    combined = original.copy(f"{original.name}_masked")
+
+    for name in masking.topo_order():
+        gate = masking.gates[name]
+        if combined.has_net(name):
+            raise MaskingError(
+                f"net name collision {name!r} between design and masking circuit"
+            )
+        combined.add_gate(name, gate.cell, gate.fanins, gate.delay_scale)
+
+    mux_cell = library.get("MUX2")
+    output_map: dict[str, str] = {}
+    prediction_nets: dict[str, str] = {}
+    indicator_nets: dict[str, str] = {}
+    new_outputs: list[str] = []
+    for y in original.outputs:
+        nets = result.outputs.get(y)
+        if nets is None:
+            output_map[y] = y
+            new_outputs.append(y)
+            continue
+        pred, ind = nets
+        masked = MASKED_PREFIX + y
+        combined.add_gate(masked, mux_cell, (ind, y, pred))
+        output_map[y] = masked
+        prediction_nets[y] = pred
+        indicator_nets[y] = ind
+        new_outputs.append(masked)
+
+    merged = Circuit(combined.name, original.inputs, new_outputs)
+    for name in combined.topo_order():
+        gate = combined.gates[name]
+        merged.add_gate(name, gate.cell, gate.fanins, gate.delay_scale)
+    # Keep unmasked outputs visible as well (pass-through nets).
+    merged.validate()
+    return MaskedDesign(
+        circuit=merged,
+        output_map=output_map,
+        prediction_nets=prediction_nets,
+        indicator_nets=indicator_nets,
+        mux_delay=max(mux_cell.pin_delays),
+    )

@@ -1,0 +1,65 @@
+"""One-call end-to-end pipeline: circuit in, masked design + report out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.integrate import MaskedDesign, build_masked_design
+from repro.core.masking import MaskingResult, synthesize_masking
+from repro.core.report import (
+    OverheadReport,
+    VerificationReport,
+    overhead_report,
+    verify_masking,
+)
+from repro.netlist.circuit import Circuit
+from repro.netlist.library import Library
+
+
+@dataclass
+class PipelineResult:
+    """Bundle returned by :func:`mask_circuit`."""
+
+    masking: MaskingResult
+    design: MaskedDesign
+    verification: VerificationReport
+    report: OverheadReport
+
+
+def mask_circuit(
+    circuit: Circuit,
+    library: Library,
+    threshold: float = 0.9,
+    target: int | None = None,
+    max_support: int = 12,
+    max_cubes: int = 20,
+    cube_pool: str = "isop",
+    dontcare_isop: bool = True,
+    power_method: str = "bdd",
+) -> PipelineResult:
+    """Synthesize, integrate, verify, and report in one call.
+
+    This is the primary public entry point of the library::
+
+        from repro import mask_circuit, lsi10k_like_library
+        result = mask_circuit(my_circuit, lsi10k_like_library())
+        print(result.report.area_overhead_percent)
+    """
+    masking = synthesize_masking(
+        circuit,
+        library,
+        threshold=threshold,
+        target=target,
+        max_support=max_support,
+        max_cubes=max_cubes,
+        cube_pool=cube_pool,
+        dontcare_isop=dontcare_isop,
+    )
+    design = build_masked_design(masking)
+    verification = verify_masking(masking)
+    report = overhead_report(
+        masking, design=design, verification=verification, power_method=power_method
+    )
+    return PipelineResult(
+        masking=masking, design=design, verification=verification, report=report
+    )

@@ -1,0 +1,164 @@
+"""Verification and overhead reporting for the masking synthesis.
+
+:func:`verify_masking` proves (by BDD equivalence over the primary inputs)
+the two invariants the whole scheme rests on:
+
+* **soundness** — whenever the indicator ``e_y`` is 1, the prediction equals
+  the original output, *for every input pattern* (so a raised indicator can
+  never corrupt a correct output), and
+* **coverage** — every SPCF pattern raises the indicator, which is exactly
+  the paper's "100% masking of timing errors on all speed-paths".
+
+:func:`overhead_report` computes the Table-2 row for one circuit: critical
+outputs, critical minterms, slack of the masking circuit over the original,
+and area/power overheads (including the output multiplexers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.integrate import MaskedDesign, build_masked_design
+from repro.core.masking import MaskingResult
+from repro.spcf.timedfunc import expr_to_function
+from repro.sta.timing import analyze
+from repro.synth.power import switching_power
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of the BDD soundness/coverage check."""
+
+    sound: bool
+    unsound_outputs: tuple[str, ...]
+    coverage: dict[str, Fraction]
+
+    @property
+    def full_coverage(self) -> bool:
+        return all(c == 1 for c in self.coverage.values())
+
+    @property
+    def coverage_percent(self) -> float:
+        if not self.coverage:
+            return 100.0
+        return 100.0 * float(sum(self.coverage.values()) / len(self.coverage))
+
+
+def verify_masking(result: MaskingResult) -> VerificationReport:
+    """Check soundness and SPCF coverage of a synthesized masking circuit."""
+    ctx = result.context
+    mgr = ctx.manager
+    fns = {net: mgr.var(net) for net in result.circuit.inputs}
+    masking = result.masking_circuit
+    for name in masking.topo_order():
+        gate = masking.gates[name]
+        env = {pin: fns[f] for pin, f in zip(gate.cell.inputs, gate.fanins)}
+        fns[name] = expr_to_function(gate.cell.expr, env, mgr)
+
+    n = len(result.circuit.inputs)
+    unsound: list[str] = []
+    coverage: dict[str, Fraction] = {}
+    for y, (pred_net, ind_net) in result.outputs.items():
+        pred = fns[pred_net]
+        ind = fns[ind_net]
+        if not (ind & (pred ^ ctx.functions[y])).is_false:
+            unsound.append(y)
+        sigma = result.spcf.per_output[y]
+        total = sigma.count(n)
+        if total == 0:
+            coverage[y] = Fraction(1)
+        else:
+            coverage[y] = Fraction((sigma & ind).count(n), total)
+    return VerificationReport(
+        sound=not unsound,
+        unsound_outputs=tuple(unsound),
+        coverage=coverage,
+    )
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """One Table-2 row: overheads of masking for a single circuit."""
+
+    circuit_name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    critical_outputs: int
+    critical_minterms: int
+    original_delay: int
+    masking_delay: int
+    slack_percent: float
+    original_area: float
+    masking_area: float
+    area_overhead_percent: float
+    original_power: float
+    masking_power: float
+    power_overhead_percent: float
+    coverage_percent: float
+    sound: bool
+
+    @property
+    def meets_slack_constraint(self) -> bool:
+        """Paper requirement: the masking circuit has >= 20% timing slack."""
+        return self.slack_percent >= 20.0
+
+
+def masking_delay(result: MaskingResult) -> int:
+    """Critical path delay of the masking circuit (prediction + indicator)."""
+    if result.masking_circuit.num_gates == 0:
+        return 0
+    report = analyze(result.masking_circuit, target=0)
+    nets = [n for pair in result.outputs.values() for n in pair]
+    return max((report.arrival[n] for n in nets), default=0)
+
+
+def overhead_report(
+    result: MaskingResult,
+    design: MaskedDesign | None = None,
+    verification: VerificationReport | None = None,
+    power_method: str = "bdd",
+) -> OverheadReport:
+    """Compute the paper's Table-2 metrics for one synthesized circuit."""
+    if design is None:
+        design = build_masked_design(result)
+    if verification is None:
+        verification = verify_masking(result)
+    original = result.circuit
+    delta = result.context.report.critical_delay
+    mask_delay = masking_delay(result)
+    slack_pct = 100.0 * (delta - mask_delay) / delta if delta else 100.0
+
+    mux_area = sum(
+        result.library.get("MUX2").area for _ in result.outputs
+    )
+    mask_area = result.masking_circuit.area() + mux_area
+    orig_area = original.area()
+
+    orig_power = switching_power(original, method=power_method)
+    combined_power = switching_power(design.circuit, method=power_method)
+    mask_power = combined_power - orig_power
+
+    union_count = result.spcf.count() if result.outputs else 0
+    return OverheadReport(
+        circuit_name=original.name,
+        num_inputs=len(original.inputs),
+        num_outputs=len(original.outputs),
+        num_gates=original.num_gates,
+        critical_outputs=len(result.outputs),
+        critical_minterms=union_count,
+        original_delay=delta,
+        masking_delay=mask_delay,
+        slack_percent=slack_pct,
+        original_area=orig_area,
+        masking_area=mask_area,
+        area_overhead_percent=100.0 * mask_area / orig_area if orig_area else 0.0,
+        original_power=orig_power,
+        masking_power=mask_power,
+        power_overhead_percent=(
+            100.0 * mask_power / orig_power if orig_power else 0.0
+        ),
+        coverage_percent=verification.coverage_percent,
+        sound=verification.sound,
+    )

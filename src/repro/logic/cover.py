@@ -1,0 +1,100 @@
+"""Sum-of-products covers over named variables.
+
+A :class:`Cover` couples a list of :class:`~repro.logic.cube.Cube` with the
+ordered variable names they are defined over.  Covers are used for cell
+function models, for the reduced on/off-set covers ``n^0`` / ``n^1`` of the
+masking synthesis, and for decomposition into gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.bdd.manager import BddManager, Function, cube_function, disjunction
+from repro.errors import LogicError
+from repro.logic.cube import Cube
+
+
+@dataclass(frozen=True)
+class Cover:
+    """An SOP cover: the disjunction of ``cubes`` over ``names``."""
+
+    names: tuple[str, ...]
+    cubes: tuple[Cube, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for c in self.cubes:
+            if c.width != len(self.names):
+                raise LogicError(
+                    f"cube width {c.width} does not match {len(self.names)} names"
+                )
+
+    # ---------------------------------------------------------- constructors
+
+    @staticmethod
+    def from_strings(names: Sequence[str], rows: Iterable[str]) -> "Cover":
+        """Build from positional-cube strings, e.g. ``["1-0", "01-"]``."""
+        return Cover(tuple(names), tuple(Cube.from_string(r) for r in rows))
+
+    @staticmethod
+    def from_cube_dicts(
+        names: Sequence[str], cubes: Iterable[Mapping[str, bool]]
+    ) -> "Cover":
+        """Build from ``{name: polarity}`` dictionaries (ISOP output format)."""
+        index = {n: i for i, n in enumerate(names)}
+        built = []
+        for cube in cubes:
+            try:
+                lits = {index[n]: bool(v) for n, v in cube.items()}
+            except KeyError as exc:
+                raise LogicError(f"cube uses unknown variable {exc}") from exc
+            built.append(Cube.from_literals(lits, len(names)))
+        return Cover(tuple(names), tuple(built))
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def num_cubes(self) -> int:
+        return len(self.cubes)
+
+    def literal_count(self) -> int:
+        """Total number of literals across all cubes."""
+        return sum(c.literal_count() for c in self.cubes)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate the SOP under a total assignment."""
+        bits = [int(bool(assignment[n])) for n in self.names]
+        return any(c.contains_minterm(bits) for c in self.cubes)
+
+    def to_function(
+        self, mgr: BddManager, rename: Mapping[str, str] | None = None
+    ) -> Function:
+        """Build the BDD of the cover; ``rename`` maps names to manager vars."""
+        fns = []
+        for c in self.cubes:
+            lits = c.to_dict(self.names)
+            if rename is not None:
+                lits = {rename[n]: v for n, v in lits.items()}
+            fns.append(cube_function(mgr, lits))
+        return disjunction(mgr, fns)
+
+    def sorted_by_literal_count(self) -> "Cover":
+        """Cubes in ascending literal count (the paper's selection order)."""
+        return Cover(
+            self.names,
+            tuple(sorted(self.cubes, key=lambda c: (c.literal_count(), c.values))),
+        )
+
+    def without_cube(self, index: int) -> "Cover":
+        """Cover with the cube at ``index`` removed."""
+        return Cover(self.names, self.cubes[:index] + self.cubes[index + 1 :])
+
+    def to_expr_string(self) -> str:
+        """Render as a two-level expression string (``"0"`` if empty)."""
+        if not self.cubes:
+            return "0"
+        return " | ".join(f"({c.to_expr_string(self.names)})" for c in self.cubes)
+
+    def __str__(self) -> str:
+        return self.to_expr_string()

@@ -1,0 +1,231 @@
+"""A small Boolean expression language.
+
+Cell functions in the library and hand-written benchmark circuits are
+specified as expression strings, e.g. ``"(a & ~b) | (c ^ d)"``.  The grammar,
+in decreasing binding strength:
+
+.. code-block:: text
+
+    primary :=  NAME | "0" | "1" | "(" expr ")"
+    unary   :=  ("~" | "!") unary | primary ("'")*
+    and_    :=  unary (("&" | "*") unary)*
+    xor_    :=  and_ ("^" and_)*
+    expr    :=  xor_ (("|" | "+") xor_)*
+
+The postfix ``'`` complement matches the paper's notation (``a1'``).
+Parsed expressions evaluate over ``{name: bool}`` assignments and convert to
+BDDs via :meth:`BoolExpr.to_function`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.bdd.manager import BddManager, Function
+from repro.errors import ExprSyntaxError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z_0-9\.\[\]]*)"
+    r"|(?P<const>[01])"
+    r"|(?P<op>[~!&*^|+()'])"
+    r"|(?P<bad>.))"
+)
+
+
+@dataclass(frozen=True)
+class BoolExpr:
+    """An immutable Boolean expression AST node.
+
+    ``op`` is one of ``"var"``, ``"const"``, ``"not"``, ``"and"``, ``"or"``,
+    ``"xor"``.  Leaves carry ``name`` (variables) or ``value`` (constants);
+    internal nodes carry ``args``.
+    """
+
+    op: str
+    name: str = ""
+    value: bool = False
+    args: tuple["BoolExpr", ...] = ()
+
+    # --------------------------------------------------------------- queries
+
+    def variables(self) -> set[str]:
+        """Set of variable names appearing in the expression."""
+        if self.op == "var":
+            return {self.name}
+        out: set[str] = set()
+        for a in self.args:
+            out |= a.variables()
+        return out
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate under a total assignment of the variables used."""
+        if self.op == "var":
+            try:
+                return bool(assignment[self.name])
+            except KeyError:
+                raise ExprSyntaxError(
+                    f"assignment missing variable {self.name!r}"
+                ) from None
+        if self.op == "const":
+            return self.value
+        if self.op == "not":
+            return not self.args[0].evaluate(assignment)
+        vals = [a.evaluate(assignment) for a in self.args]
+        if self.op == "and":
+            return all(vals)
+        if self.op == "or":
+            return any(vals)
+        if self.op == "xor":
+            acc = False
+            for v in vals:
+                acc ^= v
+            return acc
+        raise ExprSyntaxError(f"unknown operator {self.op!r}")
+
+    def to_function(
+        self, mgr: BddManager, rename: Mapping[str, str] | None = None
+    ) -> Function:
+        """Build the BDD of this expression in ``mgr``.
+
+        ``rename`` optionally maps expression variable names to manager
+        variable names (used to instantiate a cell function on actual nets).
+        """
+        if self.op == "var":
+            name = rename[self.name] if rename else self.name
+            return mgr.var(name)
+        if self.op == "const":
+            return mgr.true if self.value else mgr.false
+        if self.op == "not":
+            return ~self.args[0].to_function(mgr, rename)
+        fns = [a.to_function(mgr, rename) for a in self.args]
+        acc = fns[0]
+        for f in fns[1:]:
+            if self.op == "and":
+                acc = acc & f
+            elif self.op == "or":
+                acc = acc | f
+            else:
+                acc = acc ^ f
+        return acc
+
+    # ----------------------------------------------------------- constructors
+
+    @staticmethod
+    def var(name: str) -> "BoolExpr":
+        return BoolExpr("var", name=name)
+
+    @staticmethod
+    def const(value: bool) -> "BoolExpr":
+        return BoolExpr("const", value=value)
+
+    def __invert__(self) -> "BoolExpr":
+        return BoolExpr("not", args=(self,))
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return BoolExpr("and", args=(self, other))
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return BoolExpr("or", args=(self, other))
+
+    def __xor__(self, other: "BoolExpr") -> "BoolExpr":
+        return BoolExpr("xor", args=(self, other))
+
+    def __str__(self) -> str:
+        if self.op == "var":
+            return self.name
+        if self.op == "const":
+            return "1" if self.value else "0"
+        if self.op == "not":
+            return f"~{_paren(self.args[0])}"
+        sep = {"and": " & ", "or": " | ", "xor": " ^ "}[self.op]
+        return sep.join(_paren(a) for a in self.args)
+
+
+def _paren(e: BoolExpr) -> str:
+    if e.op in ("var", "const", "not"):
+        return str(e)
+    return f"({e})"
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens: list[str] = []
+        for m in _TOKEN_RE.finditer(text):
+            if m.lastgroup == "bad":
+                raise ExprSyntaxError(
+                    f"unexpected character {m.group()!r} in {text!r}"
+                )
+            self.tokens.append(m.group().strip())
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ExprSyntaxError(f"unexpected end of expression in {self.text!r}")
+        self.pos += 1
+        return tok
+
+    def parse(self) -> BoolExpr:
+        e = self.expr()
+        if self.peek() is not None:
+            raise ExprSyntaxError(
+                f"trailing tokens {self.tokens[self.pos:]} in {self.text!r}"
+            )
+        return e
+
+    def expr(self) -> BoolExpr:
+        e = self.xor_()
+        while self.peek() in ("|", "+"):
+            self.take()
+            e = e | self.xor_()
+        return e
+
+    def xor_(self) -> BoolExpr:
+        e = self.and_()
+        while self.peek() == "^":
+            self.take()
+            e = e ^ self.and_()
+        return e
+
+    def and_(self) -> BoolExpr:
+        e = self.unary()
+        while self.peek() in ("&", "*"):
+            self.take()
+            e = e & self.unary()
+        return e
+
+    def unary(self) -> BoolExpr:
+        tok = self.peek()
+        if tok in ("~", "!"):
+            self.take()
+            return ~self.unary()
+        e = self.primary()
+        while self.peek() == "'":
+            self.take()
+            e = ~e
+        return e
+
+    def primary(self) -> BoolExpr:
+        tok = self.take()
+        if tok == "(":
+            e = self.expr()
+            closing = self.take()
+            if closing != ")":
+                raise ExprSyntaxError(f"expected ')' got {closing!r} in {self.text!r}")
+            return e
+        if tok in ("0", "1"):
+            return BoolExpr.const(tok == "1")
+        if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9\.\[\]]*", tok):
+            return BoolExpr.var(tok)
+        raise ExprSyntaxError(f"unexpected token {tok!r} in {self.text!r}")
+
+
+def parse_expr(text: str) -> BoolExpr:
+    """Parse a Boolean expression string into a :class:`BoolExpr`."""
+    return _Parser(text).parse()

@@ -1,0 +1,86 @@
+"""Light-weight two-level minimization (espresso-style passes).
+
+The full ESPRESSO loop is unnecessary at our scale; we provide the two passes
+the pipeline relies on:
+
+* :func:`single_cube_containment` — drop cubes covered by another single cube.
+* :func:`irredundant` — drop cubes whose minterms are covered by the rest of
+  the cover (checked exactly with BDDs), keeping the incompletely-specified
+  lower bound covered.
+* :func:`expand` — grow each cube against an upper bound (on-set ∪ DC set),
+  removing literals while containment holds.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BddManager, Function, cube_function
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+
+
+def single_cube_containment(cover: Cover) -> Cover:
+    """Remove cubes contained in another single cube of the cover."""
+    kept: list[Cube] = []
+    cubes = sorted(cover.cubes, key=lambda c: (c.literal_count(), c.values))
+    for c in cubes:
+        if not any(k.covers(c) for k in kept):
+            kept.append(c)
+    return Cover(cover.names, tuple(kept))
+
+
+def _cube_fn(mgr: BddManager, cover: Cover, cube: Cube) -> Function:
+    return cube_function(mgr, cube.to_dict(cover.names))
+
+
+def irredundant(cover: Cover, lower: Function | None = None) -> Cover:
+    """Remove redundant cubes.
+
+    A cube is redundant when removing it still leaves ``lower`` (by default,
+    the cover's own function) covered.  Greedy, biggest cubes kept first.
+    """
+    mgr = BddManager(cover.names)
+    full = cover.to_function(mgr)
+    target = full if lower is None else lower
+    # Try to drop cubes with many literals first (they cover the least).
+    order = sorted(
+        range(len(cover.cubes)),
+        key=lambda i: (-cover.cubes[i].literal_count(), cover.cubes[i].values),
+    )
+    current = list(cover.cubes)
+    for idx in order:
+        if len(current) <= 1:
+            break
+        candidate = [c for c in current if c is not cover.cubes[idx]]
+        if len(candidate) == len(current):
+            continue
+        rest = Cover(cover.names, tuple(candidate)).to_function(mgr)
+        if target.is_subset_of(rest):
+            current = candidate
+    return Cover(cover.names, tuple(current))
+
+
+def expand(cover: Cover, upper: Function, mgr: BddManager) -> Cover:
+    """Expand each cube (drop literals) while staying inside ``upper``.
+
+    ``mgr`` must have all of ``cover.names`` registered; ``upper`` is a
+    function in that manager bounding the expansion (on-set ∪ don't-cares).
+    """
+    new_cubes: list[Cube] = []
+    for cube in cover.cubes:
+        current = cube
+        for pos in sorted(
+            range(cube.width), key=lambda p: cube.values[p], reverse=True
+        ):
+            if current.values[pos] == 2:  # DASH
+                continue
+            trial = current.expand_position(pos)
+            fn = cube_function(mgr, trial.to_dict(cover.names))
+            if fn.is_subset_of(upper):
+                current = trial
+        new_cubes.append(current)
+    return single_cube_containment(Cover(cover.names, tuple(new_cubes)))
+
+
+def minimize(cover: Cover) -> Cover:
+    """Convenience pipeline: single-cube containment then irredundant."""
+    return irredundant(single_cube_containment(cover))

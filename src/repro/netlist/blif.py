@@ -1,0 +1,210 @@
+"""BLIF reading and writing.
+
+Supports the subset of Berkeley BLIF used by logic-synthesis benchmarks:
+
+* ``.model`` / ``.inputs`` / ``.outputs`` / ``.end`` with ``\\`` continuations,
+* ``.names`` logic tables (single-output covers, ``1`` or ``0`` output rows),
+* ``.gate`` instances bound to a :class:`~repro.netlist.library.Library`.
+
+``.names`` nodes become per-shape LUT cells with a configurable delay rule
+(default: ``4 + 2 * num_inputs`` per pin, a crude fanin-loaded model), so
+technology-independent BLIF can still be timed; mapped flows use ``.gate``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.errors import BlifError
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.netlist.cell import Cell
+from repro.netlist.circuit import Circuit
+from repro.netlist.library import Library
+
+DelayRule = Callable[[int], int]
+
+
+def _default_lut_delay(num_inputs: int) -> int:
+    return 4 + 2 * num_inputs
+
+
+_lut_cells: dict[tuple, Cell] = {}
+
+
+def _lut_cell(
+    rows: tuple[tuple[str, str], ...], num_inputs: int, delay_rule: DelayRule
+) -> Cell:
+    """Build (and cache) a LUT cell for a ``.names`` cover."""
+    key = (rows, num_inputs, delay_rule(num_inputs) if num_inputs else 0)
+    cell = _lut_cells.get(key)
+    if cell is not None:
+        return cell
+    pins = tuple(f"i{k}" for k in range(num_inputs))
+    if num_inputs == 0:
+        value = rows[0][1] if rows else "0"
+        cell = Cell(f"CONST{value}", (), value, 0.0, ())
+    else:
+        out_values = {out for _, out in rows}
+        if len(out_values) > 1:
+            raise BlifError(".names mixes 1 and 0 output rows")
+        polarity = rows[0][1] if rows else "1"
+        cover = Cover(pins, tuple(Cube.from_string(pat) for pat, _ in rows))
+        expr = cover.to_expr_string()
+        if polarity == "0":
+            expr = f"~({expr})"
+        delay = delay_rule(num_inputs)
+        cell = Cell(
+            f"LUT{num_inputs}_{abs(hash((rows,))) % (1 << 32):08x}",
+            pins,
+            expr,
+            float(num_inputs),
+            (delay,) * num_inputs,
+        )
+    _lut_cells[key] = cell
+    return cell
+
+
+def _logical_lines(text: str) -> Iterable[str]:
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line:
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        yield pending + line
+        pending = ""
+    if pending:
+        yield pending
+
+
+def read_blif(
+    source: str | Path,
+    library: Library | None = None,
+    delay_rule: DelayRule = _default_lut_delay,
+) -> Circuit:
+    """Parse BLIF text (or a file path) into a :class:`Circuit`.
+
+    ``library`` is required when the file contains ``.gate`` lines.
+    """
+    if isinstance(source, Path):
+        text = source.read_text()
+    elif "\n" not in source and source.endswith(".blif"):
+        text = Path(source).read_text()
+    else:
+        text = source
+
+    circuit: Circuit | None = None
+    names_node: tuple[list[str], list[tuple[str, str]]] | None = None
+    pending_names: list[tuple[list[str], list[tuple[str, str]]]] = []
+
+    def flush_names() -> None:
+        nonlocal names_node
+        if names_node is not None:
+            pending_names.append(names_node)
+            names_node = None
+
+    for line in _logical_lines(text):
+        tokens = line.split()
+        head = tokens[0]
+        if head == ".model":
+            flush_names()
+            if circuit is not None:
+                raise BlifError("multiple .model sections are not supported")
+            circuit = Circuit(tokens[1] if len(tokens) > 1 else "top")
+        elif head == ".inputs":
+            flush_names()
+            if circuit is None:
+                raise BlifError(".inputs before .model")
+            for net in tokens[1:]:
+                circuit.add_input(net)
+        elif head == ".outputs":
+            flush_names()
+            if circuit is None:
+                raise BlifError(".outputs before .model")
+            for net in tokens[1:]:
+                circuit.add_output(net)
+        elif head == ".names":
+            flush_names()
+            if circuit is None:
+                raise BlifError(".names before .model")
+            if len(tokens) < 2:
+                raise BlifError(".names needs at least an output net")
+            names_node = (tokens[1:], [])
+        elif head == ".gate":
+            flush_names()
+            if circuit is None:
+                raise BlifError(".gate before .model")
+            if library is None:
+                raise BlifError(".gate requires a cell library")
+            cell = library.get(tokens[1])
+            bindings: dict[str, str] = {}
+            for tok in tokens[2:]:
+                if "=" not in tok:
+                    raise BlifError(f"malformed .gate binding {tok!r}")
+                pin, net = tok.split("=", 1)
+                bindings[pin] = net
+            out_pins = [p for p in bindings if p not in cell.inputs]
+            if len(out_pins) != 1:
+                raise BlifError(
+                    f".gate {tokens[1]}: expected exactly one output binding, "
+                    f"got {out_pins}"
+                )
+            missing = [p for p in cell.inputs if p not in bindings]
+            if missing:
+                raise BlifError(f".gate {tokens[1]}: unbound pins {missing}")
+            fanins = tuple(bindings[p] for p in cell.inputs)
+            circuit.add_gate(bindings[out_pins[0]], cell, fanins)
+        elif head == ".end":
+            flush_names()
+        elif head.startswith("."):
+            raise BlifError(f"unsupported BLIF construct {head!r}")
+        else:
+            if names_node is None:
+                raise BlifError(f"cover row outside .names: {line!r}")
+            signals, rows = names_node
+            num_in = len(signals) - 1
+            if num_in == 0:
+                if len(tokens) != 1 or tokens[0] not in ("0", "1"):
+                    raise BlifError(f"bad constant row {line!r}")
+                rows.append(("", tokens[0]))
+            else:
+                if len(tokens) != 2 or len(tokens[0]) != num_in:
+                    raise BlifError(f"bad cover row {line!r}")
+                rows.append((tokens[0], tokens[1]))
+    flush_names()
+
+    if circuit is None:
+        raise BlifError("no .model section found")
+
+    for signals, rows in pending_names:
+        *in_nets, out_net = signals
+        cell = _lut_cell(tuple(rows), len(in_nets), delay_rule)
+        circuit.add_gate(out_net, cell, tuple(in_nets))
+
+    circuit.validate()
+    return circuit
+
+
+def write_blif(circuit: Circuit) -> str:
+    """Serialize a mapped circuit to BLIF ``.gate`` form."""
+    lines = [f".model {circuit.name}"]
+    lines.append(".inputs " + " ".join(circuit.inputs))
+    lines.append(".outputs " + " ".join(circuit.outputs))
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        binds = " ".join(
+            f"{pin}={net}" for pin, net in zip(gate.cell.inputs, gate.fanins)
+        )
+        sep = " " if binds else ""
+        lines.append(f".gate {gate.cell.name} {binds}{sep}y={name}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_blif_file(circuit: Circuit, path: str | Path) -> None:
+    """Write :func:`write_blif` output to ``path``."""
+    Path(path).write_text(write_blif(circuit))

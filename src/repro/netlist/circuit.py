@@ -1,0 +1,297 @@
+"""Gate-level combinational circuits.
+
+A :class:`Circuit` is a DAG of :class:`Gate` instances over named nets.  Every
+gate drives exactly one net, named after the gate, matching the single-output
+cells of :mod:`repro.netlist.cell`.  Primary inputs are nets with no driver;
+primary outputs name nets (gate outputs or, degenerately, inputs).
+
+The class owns structural validation (arity, dangling nets, cycles) and the
+derived views every downstream pass needs: topological order, fanout maps,
+fanin cones, and per-gate pin delays with aging scale factors applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import NetlistError
+from repro.netlist.cell import Cell
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One instantiated cell: ``name`` is also the driven net."""
+
+    name: str
+    cell: Cell
+    fanins: tuple[str, ...]
+    delay_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.fanins) != self.cell.num_inputs:
+            raise NetlistError(
+                f"gate {self.name!r}: {len(self.fanins)} fanins for cell "
+                f"{self.cell.name!r} with {self.cell.num_inputs} pins"
+            )
+        if self.delay_scale < 1.0:
+            raise NetlistError(
+                f"gate {self.name!r}: delay scale {self.delay_scale} < 1 "
+                "(aging can only slow gates down)"
+            )
+
+    def pin_delay(self, pin: int) -> int:
+        """Scaled integer delay from input ``pin`` to the output."""
+        return int(round(self.cell.pin_delays[pin] * self.delay_scale))
+
+    def pin_delays(self) -> tuple[int, ...]:
+        """All scaled pin delays."""
+        return tuple(self.pin_delay(i) for i in range(self.cell.num_inputs))
+
+
+class Circuit:
+    """A combinational logic circuit (a DAG of gates over named nets)."""
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Iterable[str] = (),
+        outputs: Iterable[str] = (),
+    ) -> None:
+        self.name = name
+        self._inputs: list[str] = []
+        self._input_set: set[str] = set()
+        self._outputs: list[str] = []
+        self._gates: dict[str, Gate] = {}
+        self._topo: list[str] | None = None
+        self._fanouts: dict[str, list[tuple[str, int]]] | None = None
+        for net in inputs:
+            self.add_input(net)
+        for net in outputs:
+            self.add_output(net)
+
+    # ------------------------------------------------------------- structure
+
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        """Primary input net names, in declaration order."""
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        """Primary output net names, in declaration order."""
+        return tuple(self._outputs)
+
+    @property
+    def gates(self) -> Mapping[str, Gate]:
+        """Read-only view of gates by output net name."""
+        return dict(self._gates)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    def add_input(self, net: str) -> None:
+        """Declare a primary input net."""
+        if net in self._input_set:
+            raise NetlistError(f"duplicate input {net!r}")
+        if net in self._gates:
+            raise NetlistError(f"input {net!r} clashes with a gate output")
+        self._inputs.append(net)
+        self._input_set.add(net)
+        self._invalidate()
+
+    def add_output(self, net: str) -> None:
+        """Declare a primary output (the net may be defined later)."""
+        if net in self._outputs:
+            raise NetlistError(f"duplicate output {net!r}")
+        self._outputs.append(net)
+
+    def add_gate(
+        self,
+        name: str,
+        cell: Cell,
+        fanins: Iterable[str],
+        delay_scale: float = 1.0,
+    ) -> Gate:
+        """Instantiate ``cell`` driving net ``name`` from the given fanins."""
+        if name in self._gates:
+            raise NetlistError(f"duplicate gate {name!r}")
+        if name in self._input_set:
+            raise NetlistError(f"gate {name!r} clashes with a primary input")
+        gate = Gate(name, cell, tuple(fanins), delay_scale)
+        self._gates[name] = gate
+        self._invalidate()
+        return gate
+
+    def remove_gate(self, name: str) -> None:
+        """Remove a gate (callers must keep the circuit consistent)."""
+        if name not in self._gates:
+            raise NetlistError(f"no gate {name!r} to remove")
+        del self._gates[name]
+        self._invalidate()
+
+    def replace_gate(self, gate: Gate) -> None:
+        """Swap in a new :class:`Gate` for an existing net."""
+        if gate.name not in self._gates:
+            raise NetlistError(f"no gate {gate.name!r} to replace")
+        self._gates[gate.name] = gate
+        self._invalidate()
+
+    def has_net(self, net: str) -> bool:
+        """True iff ``net`` is a primary input or a gate output."""
+        return net in self._input_set or net in self._gates
+
+    def is_input(self, net: str) -> bool:
+        return net in self._input_set
+
+    def gate(self, net: str) -> Gate:
+        """The gate driving ``net``; raises for inputs/undefined nets."""
+        try:
+            return self._gates[net]
+        except KeyError:
+            raise NetlistError(f"no gate drives net {net!r}") from None
+
+    def nets(self) -> Iterator[str]:
+        """All nets: inputs first, then gate outputs in insertion order."""
+        yield from self._inputs
+        yield from self._gates
+
+    def _invalidate(self) -> None:
+        self._topo = None
+        self._fanouts = None
+
+    # ------------------------------------------------------------ validation
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`NetlistError`.
+
+        Verifies that every fanin is driven, outputs exist, and the gate
+        graph is acyclic (by computing the topological order).
+        """
+        for gate in self._gates.values():
+            for net in gate.fanins:
+                if not self.has_net(net):
+                    raise NetlistError(
+                        f"gate {gate.name!r} reads undefined net {net!r}"
+                    )
+        for net in self._outputs:
+            if not self.has_net(net):
+                raise NetlistError(f"output {net!r} is not driven")
+        self.topo_order()  # raises on cycles
+
+    # ---------------------------------------------------------- derived maps
+
+    def topo_order(self) -> list[str]:
+        """Gate names in topological (fanin-before-fanout) order."""
+        if self._topo is not None:
+            return self._topo
+        indeg: dict[str, int] = {}
+        dependents: dict[str, list[str]] = {}
+        for gate in self._gates.values():
+            count = 0
+            for net in gate.fanins:
+                if net in self._gates:
+                    count += 1
+                    dependents.setdefault(net, []).append(gate.name)
+            indeg[gate.name] = count
+        ready = [n for n, d in indeg.items() if d == 0]
+        order: list[str] = []
+        while ready:
+            net = ready.pop()
+            order.append(net)
+            for dep in dependents.get(net, ()):
+                indeg[dep] -= 1
+                if indeg[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(self._gates):
+            cyclic = sorted(n for n, d in indeg.items() if d > 0)
+            raise NetlistError(f"circuit {self.name!r} has a cycle near {cyclic[:5]}")
+        self._topo = order
+        return order
+
+    def fanouts(self) -> dict[str, list[tuple[str, int]]]:
+        """Map net -> list of ``(gate_name, pin_index)`` readers."""
+        if self._fanouts is None:
+            out: dict[str, list[tuple[str, int]]] = {n: [] for n in self.nets()}
+            for gate in self._gates.values():
+                for pin, net in enumerate(gate.fanins):
+                    out.setdefault(net, []).append((gate.name, pin))
+            self._fanouts = out
+        return self._fanouts
+
+    def fanin_cone(self, net: str) -> set[str]:
+        """Gate names in the transitive fanin of ``net`` (including it)."""
+        if not self.has_net(net):
+            raise NetlistError(f"unknown net {net!r}")
+        cone: set[str] = set()
+        stack = [net]
+        while stack:
+            n = stack.pop()
+            if n in self._input_set or n in cone:
+                continue
+            cone.add(n)
+            stack.extend(self._gates[n].fanins)
+        return cone
+
+    def cone_inputs(self, net: str) -> set[str]:
+        """Primary inputs in the transitive fanin of ``net``."""
+        if net in self._input_set:
+            return {net}
+        pis: set[str] = set()
+        seen: set[str] = set()
+        stack = [net]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if n in self._input_set:
+                pis.add(n)
+            else:
+                stack.extend(self._gates[n].fanins)
+        return pis
+
+    def level_map(self) -> dict[str, int]:
+        """Logic depth of every net (inputs are level 0)."""
+        levels = {net: 0 for net in self._inputs}
+        for name in self.topo_order():
+            gate = self._gates[name]
+            levels[name] = 1 + max((levels[f] for f in gate.fanins), default=0)
+        return levels
+
+    def depth(self) -> int:
+        """Maximum logic depth over all nets."""
+        levels = self.level_map()
+        return max(levels.values(), default=0)
+
+    # ------------------------------------------------------------- estimates
+
+    def area(self) -> float:
+        """Total cell area."""
+        return sum(g.cell.area for g in self._gates.values())
+
+    # ----------------------------------------------------------------- copies
+
+    def copy(self, name: str | None = None) -> "Circuit":
+        """Structural copy (gates are shared frozen values)."""
+        c = Circuit(name or self.name, self._inputs, self._outputs)
+        for gate in self._gates.values():
+            c._gates[gate.name] = gate
+        c._invalidate()
+        return c
+
+    def with_delay_scales(self, scales: Mapping[str, float]) -> "Circuit":
+        """Copy with aging multipliers applied to the named gates."""
+        c = self.copy()
+        for name, scale in scales.items():
+            gate = c.gate(name)
+            c._gates[name] = replace(gate, delay_scale=scale)
+        c._invalidate()
+        return c
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Circuit({self.name!r}, {len(self._inputs)} in, "
+            f"{len(self._outputs)} out, {len(self._gates)} gates)"
+        )

@@ -1,0 +1,158 @@
+"""Structural Verilog reading.
+
+Parses the gate-level subset emitted by :mod:`repro.netlist.verilogout` and
+by typical synthesis flows: one module, ``input``/``output``/``wire``
+declarations, and cell instances with named port connections::
+
+    module top (a, b, y);
+      input a;
+      input b;
+      output y;
+      wire n1;
+      NAND2 g0 (.a(a), .b(b), .y(n1));
+      INV g1 (.a(n1), .y(y));
+    endmodule
+
+Behavioral constructs (``assign``, ``always``, expressions) are rejected
+with a clear error — this is a netlist reader, not a Verilog front end.
+Escaped identifiers (``\\name ``) are supported since the writer emits them
+for the masking circuit's ``p$``/``e$`` nets.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.library import Library
+
+_TOKEN_RE = re.compile(
+    r"\\(?P<escaped>\S+)\s"  # escaped identifier (terminated by whitespace)
+    r"|(?P<id>[A-Za-z_][A-Za-z_0-9$]*)"
+    r"|(?P<sym>[(),.;])"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    # strip comments
+    text = re.sub(r"//[^\n]*", " ", text)
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        ch = text[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise NetlistError(f"unexpected character {ch!r} in Verilog input")
+        if m.lastgroup == "escaped":
+            tokens.append(m.group("escaped"))
+        else:
+            tokens.append(m.group())
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], library: Library) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.library = library
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: str | None = None) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise NetlistError("unexpected end of Verilog input")
+        if expected is not None and tok != expected:
+            raise NetlistError(f"expected {expected!r}, got {tok!r}")
+        self.pos += 1
+        return tok
+
+    def name_list_until_semicolon(self) -> list[str]:
+        names = []
+        while True:
+            names.append(self.take())
+            tok = self.take()
+            if tok == ";":
+                return names
+            if tok != ",":
+                raise NetlistError(f"expected ',' or ';', got {tok!r}")
+
+    def parse(self) -> Circuit:
+        self.take("module")
+        name = self.take()
+        self.take("(")
+        while self.take() != ")":
+            pass
+        self.take(";")
+        circuit = Circuit(name)
+        pending_outputs: list[str] = []
+        while True:
+            tok = self.take()
+            if tok == "endmodule":
+                break
+            if tok == "input":
+                for net in self.name_list_until_semicolon():
+                    circuit.add_input(net)
+            elif tok == "output":
+                pending_outputs.extend(self.name_list_until_semicolon())
+            elif tok == "wire":
+                self.name_list_until_semicolon()
+            elif tok in ("assign", "always", "reg"):
+                raise NetlistError(
+                    f"behavioral construct {tok!r}: only structural gate-level "
+                    "Verilog is supported"
+                )
+            else:
+                self._instance(circuit, cell_name=tok)
+        for net in pending_outputs:
+            circuit.add_output(net)
+        circuit.validate()
+        return circuit
+
+    def _instance(self, circuit: Circuit, cell_name: str) -> None:
+        cell = self.library.get(cell_name)
+        self.take()  # instance name (ignored; output port names the net)
+        self.take("(")
+        bindings: dict[str, str] = {}
+        while True:
+            self.take(".")
+            port = self.take()
+            self.take("(")
+            bindings[port] = self.take()
+            self.take(")")
+            tok = self.take()
+            if tok == ")":
+                break
+            if tok != ",":
+                raise NetlistError(f"expected ',' or ')', got {tok!r}")
+        self.take(";")
+        out_ports = [p for p in bindings if p not in cell.inputs]
+        if len(out_ports) != 1:
+            raise NetlistError(
+                f"instance of {cell_name!r}: expected exactly one output "
+                f"port, got {out_ports}"
+            )
+        missing = [p for p in cell.inputs if p not in bindings]
+        if missing:
+            raise NetlistError(f"instance of {cell_name!r}: unbound {missing}")
+        fanins = tuple(bindings[p] for p in cell.inputs)
+        circuit.add_gate(bindings[out_ports[0]], cell, fanins)
+
+
+def read_verilog(source: str | Path, library: Library) -> Circuit:
+    """Parse structural Verilog (text or a file path) into a circuit."""
+    if isinstance(source, Path):
+        text = source.read_text()
+    elif "\n" not in source and source.endswith(".v"):
+        text = Path(source).read_text()
+    else:
+        text = source
+    return _Parser(_tokenize(text), library).parse()

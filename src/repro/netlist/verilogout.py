@@ -1,0 +1,51 @@
+"""Structural Verilog emission.
+
+The masking flow is BLIF-centric, but emitting gate-level Verilog makes the
+synthesized designs easy to inspect with standard tooling.  Only writing is
+supported; reading mapped designs goes through BLIF.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.netlist.circuit import Circuit
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*\Z")
+
+
+def _escape(net: str) -> str:
+    """Escape net names that are not plain Verilog identifiers."""
+    if _ID_RE.match(net):
+        return net
+    return f"\\{net} "
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Serialize a mapped circuit as structural Verilog."""
+    ports = [_escape(n) for n in (*circuit.inputs, *circuit.outputs)]
+    lines = [f"module {_escape(circuit.name)} ({', '.join(ports)});"]
+    for net in circuit.inputs:
+        lines.append(f"  input {_escape(net)};")
+    for net in circuit.outputs:
+        lines.append(f"  output {_escape(net)};")
+    internal = [
+        name
+        for name in circuit.topo_order()
+        if name not in set(circuit.outputs)
+    ]
+    for net in internal:
+        lines.append(f"  wire {_escape(net)};")
+    for index, name in enumerate(circuit.topo_order()):
+        gate = circuit.gates[name]
+        conns = [f".{pin}({_escape(net)})" for pin, net in zip(gate.cell.inputs, gate.fanins)]
+        conns.append(f".y({_escape(name)})")
+        lines.append(f"  {gate.cell.name} g{index} ({', '.join(conns)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog_file(circuit: Circuit, path: str | Path) -> None:
+    """Write :func:`write_verilog` output to ``path``."""
+    Path(path).write_text(write_verilog(circuit))

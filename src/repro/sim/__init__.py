@@ -1,0 +1,38 @@
+"""Simulation: zero-delay, floating-mode oracle, event-driven, faults, aging."""
+
+from repro.sim.aging import LinearAging, SaturatingAging, aged_copy, speed_path_gates
+from repro.sim.eventsim import Waveform, settle_times, two_vector_waveforms
+from repro.sim.faults import SampleResult, sample_at_clock, timing_errors
+from repro.sim.logicsim import (
+    exhaustive_patterns,
+    pack_patterns,
+    random_patterns,
+    simulate,
+    simulate_words,
+)
+from repro.sim.timingsim import (
+    is_speed_path_pattern,
+    output_stabilization,
+    stabilization_times,
+)
+
+__all__ = [
+    "simulate",
+    "simulate_words",
+    "exhaustive_patterns",
+    "random_patterns",
+    "pack_patterns",
+    "stabilization_times",
+    "output_stabilization",
+    "is_speed_path_pattern",
+    "Waveform",
+    "two_vector_waveforms",
+    "settle_times",
+    "SampleResult",
+    "sample_at_clock",
+    "timing_errors",
+    "LinearAging",
+    "SaturatingAging",
+    "aged_copy",
+    "speed_path_gates",
+]

@@ -1,0 +1,123 @@
+"""Two-vector event-driven timing simulation (pure delay model).
+
+Given an initial vector ``v1`` and a final vector ``v2`` applied at t = 0,
+compute the full switching waveform of every net.  Under the pure
+(non-inertial) delay model the output waveform of a gate is its function
+applied to the input waveforms, each shifted by the corresponding pin-to-pin
+delay — so waveforms can be built functionally in one topological pass
+instead of with an event queue.
+
+The masked-sampling model in :mod:`repro.sim.faults` samples these waveforms
+at the clock edge; a *timing error* is a sampled value that differs from the
+settled value.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """A piecewise-constant 0/1 signal.
+
+    ``initial`` is the value for ``t < transitions[0][0]``; ``transitions``
+    is a strictly-increasing sequence of ``(time, new_value)`` with adjacent
+    values always differing.
+    """
+
+    initial: bool
+    transitions: tuple[tuple[int, bool], ...] = ()
+
+    @staticmethod
+    def constant(value: bool) -> "Waveform":
+        return Waveform(bool(value))
+
+    @staticmethod
+    def step(initial: bool, final: bool, at: int = 0) -> "Waveform":
+        """Input waveform: ``initial`` before ``at``, ``final`` after."""
+        if initial == final:
+            return Waveform(bool(initial))
+        return Waveform(bool(initial), ((at, bool(final)),))
+
+    def value_at(self, t: int) -> bool:
+        """Signal value at time ``t`` (transitions take effect at their time)."""
+        idx = bisect_right([tt for tt, _ in self.transitions], t)
+        if idx == 0:
+            return self.initial
+        return self.transitions[idx - 1][1]
+
+    @property
+    def final(self) -> bool:
+        """Settled value."""
+        return self.transitions[-1][1] if self.transitions else self.initial
+
+    @property
+    def settle_time(self) -> int:
+        """Time of the last transition (0 for constant waveforms)."""
+        return self.transitions[-1][0] if self.transitions else 0
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self.transitions)
+
+    def shifted(self, delay: int) -> "Waveform":
+        """The waveform delayed by ``delay`` time units."""
+        if delay == 0 or not self.transitions:
+            return self if delay == 0 else Waveform(self.initial, self.transitions)
+        return Waveform(
+            self.initial, tuple((t + delay, v) for t, v in self.transitions)
+        )
+
+
+def _combine(cell_eval, waveforms: Sequence[Waveform]) -> Waveform:
+    """Apply an n-ary function pointwise to already-shifted input waveforms."""
+    times = sorted({t for w in waveforms for t, _ in w.transitions})
+    initial = cell_eval([w.initial for w in waveforms])
+    transitions: list[tuple[int, bool]] = []
+    current = initial
+    for t in times:
+        value = cell_eval([w.value_at(t) for w in waveforms])
+        if value != current:
+            transitions.append((t, value))
+            current = value
+    return Waveform(initial, tuple(transitions))
+
+
+def two_vector_waveforms(
+    circuit: Circuit,
+    v1: Mapping[str, bool],
+    v2: Mapping[str, bool],
+) -> dict[str, Waveform]:
+    """Waveform of every net when inputs switch from ``v1`` to ``v2`` at t=0."""
+    waves: dict[str, Waveform] = {}
+    for net in circuit.inputs:
+        try:
+            waves[net] = Waveform.step(bool(v1[net]), bool(v2[net]))
+        except KeyError as exc:
+            raise SimulationError(f"vector missing input {exc}") from exc
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        cell = gate.cell
+        if not gate.fanins:
+            waves[name] = Waveform.constant(cell.evaluate({}))
+            continue
+        shifted = [
+            waves[f].shifted(d)
+            for f, d in zip(gate.fanins, gate.pin_delays())
+        ]
+        waves[name] = _combine(cell.evaluate_seq, shifted)
+    return waves
+
+
+def settle_times(
+    circuit: Circuit, v1: Mapping[str, bool], v2: Mapping[str, bool]
+) -> dict[str, int]:
+    """Last-transition time of every primary output for the vector pair."""
+    waves = two_vector_waveforms(circuit, v1, v2)
+    return {net: waves[net].settle_time for net in circuit.outputs}

@@ -1,0 +1,70 @@
+"""Timing-error injection and clocked sampling.
+
+A combinational stage is sampled at the clock edge ``clock``.  A *timing
+error* at an output is a sampled value that differs from the settled value —
+exactly what happens when a speed-path slows past the clock period due to
+aging, voltage droop, or a marginal path.
+
+:func:`sampled_outputs` and :func:`timing_errors` operate on the raw circuit;
+the masked variants live in :mod:`repro.core.integrate`, which knows about
+the prediction/indicator outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.sim.eventsim import two_vector_waveforms
+
+
+@dataclass(frozen=True)
+class SampleResult:
+    """Outcome of sampling one vector pair at the clock edge."""
+
+    sampled: dict[str, bool]
+    settled: dict[str, bool]
+    settle_time: dict[str, int]
+
+    def errors(self) -> dict[str, bool]:
+        """Per-output timing-error flags (sampled != settled)."""
+        return {
+            net: self.sampled[net] != self.settled[net] for net in self.sampled
+        }
+
+    @property
+    def has_error(self) -> bool:
+        return any(self.errors().values())
+
+
+def sample_at_clock(
+    circuit: Circuit,
+    v1: Mapping[str, bool],
+    v2: Mapping[str, bool],
+    clock: int,
+) -> SampleResult:
+    """Simulate the vector pair and sample all outputs at ``clock``."""
+    if clock < 0:
+        raise SimulationError(f"clock period {clock} must be non-negative")
+    waves = two_vector_waveforms(circuit, v1, v2)
+    sampled = {net: waves[net].value_at(clock) for net in circuit.outputs}
+    settled = {net: waves[net].final for net in circuit.outputs}
+    times = {net: waves[net].settle_time for net in circuit.outputs}
+    return SampleResult(sampled=sampled, settled=settled, settle_time=times)
+
+
+def timing_errors(
+    circuit: Circuit,
+    vector_pairs: Iterable[tuple[Mapping[str, bool], Mapping[str, bool]]],
+    clock: int,
+) -> list[tuple[int, dict[str, bool]]]:
+    """Indices and per-output error flags for every erroneous vector pair."""
+    failures = []
+    for idx, (v1, v2) in enumerate(vector_pairs):
+        result = sample_at_clock(circuit, v1, v2, clock)
+        errs = result.errors()
+        if any(errs.values()):
+            failures.append((idx, errs))
+    return failures

@@ -1,0 +1,114 @@
+"""Zero-delay logic simulation.
+
+Two evaluation modes:
+
+* :func:`simulate` — one pattern, ``{net: bool}`` in and out.
+* :func:`simulate_words` — bit-parallel simulation: every net carries a
+  machine word (arbitrary-precision int) holding one pattern per bit, so a
+  whole random-vector batch costs one topological pass.
+
+Pattern sources (:func:`exhaustive_patterns`, :func:`random_patterns`,
+:func:`pack_patterns`) are shared by tests, the masking validator, and the
+benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.logic.expr import BoolExpr
+from repro.netlist.circuit import Circuit
+
+
+def simulate(circuit: Circuit, pattern: Mapping[str, bool]) -> dict[str, bool]:
+    """Evaluate every net of ``circuit`` under one input pattern."""
+    values: dict[str, bool] = {}
+    for net in circuit.inputs:
+        try:
+            values[net] = bool(pattern[net])
+        except KeyError:
+            raise SimulationError(f"pattern missing input {net!r}") from None
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        values[name] = gate.cell.evaluate(
+            {pin: values[f] for pin, f in zip(gate.cell.inputs, gate.fanins)}
+        )
+    return values
+
+
+def _eval_words(expr: BoolExpr, words: Mapping[str, int], mask: int) -> int:
+    if expr.op == "var":
+        return words[expr.name]
+    if expr.op == "const":
+        return mask if expr.value else 0
+    if expr.op == "not":
+        return mask & ~_eval_words(expr.args[0], words, mask)
+    vals = [_eval_words(a, words, mask) for a in expr.args]
+    acc = vals[0]
+    for v in vals[1:]:
+        if expr.op == "and":
+            acc &= v
+        elif expr.op == "or":
+            acc |= v
+        else:
+            acc ^= v
+    return acc
+
+
+def simulate_words(
+    circuit: Circuit, words: Mapping[str, int], width: int
+) -> dict[str, int]:
+    """Bit-parallel simulation of ``width`` patterns packed into ints."""
+    mask = (1 << width) - 1
+    values: dict[str, int] = {}
+    for net in circuit.inputs:
+        try:
+            values[net] = words[net] & mask
+        except KeyError:
+            raise SimulationError(f"word vector missing input {net!r}") from None
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        local = {
+            pin: values[f] for pin, f in zip(gate.cell.inputs, gate.fanins)
+        }
+        values[name] = _eval_words(gate.cell.expr, local, mask)
+    return values
+
+
+def exhaustive_patterns(inputs: Sequence[str]) -> Iterator[dict[str, bool]]:
+    """All ``2^n`` input patterns; only sensible for small ``n``."""
+    if len(inputs) > 24:
+        raise SimulationError(
+            f"refusing to enumerate 2^{len(inputs)} patterns exhaustively"
+        )
+    for bits in itertools.product((False, True), repeat=len(inputs)):
+        yield dict(zip(inputs, bits))
+
+
+def random_patterns(
+    inputs: Sequence[str], count: int, seed: int = 0
+) -> Iterator[dict[str, bool]]:
+    """``count`` uniformly random input patterns (deterministic per seed)."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield {net: bool(rng.getrandbits(1)) for net in inputs}
+
+
+def pack_patterns(
+    inputs: Sequence[str], patterns: Iterable[Mapping[str, bool]]
+) -> tuple[dict[str, int], int]:
+    """Pack patterns into per-net words for :func:`simulate_words`.
+
+    Returns ``(words, width)``; bit ``i`` of each word is pattern ``i``.
+    """
+    words = {net: 0 for net in inputs}
+    width = 0
+    for pattern in patterns:
+        for net in inputs:
+            if pattern[net]:
+                words[net] |= 1 << width
+        width += 1
+    return words, width

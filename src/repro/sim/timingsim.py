@@ -1,0 +1,79 @@
+"""Floating-mode stabilization oracle.
+
+This is the *per-pattern* ground truth for the SPCF algorithms: under the
+floating-mode model, all primary inputs become valid at t = 0 and the output
+of a gate stabilizes as soon as some prime implicant of its final value is
+satisfied with every literal already stable (paper Sec. 3, Eqn. 1, applied
+pointwise to one pattern instead of symbolically).
+
+``stabilization_times(circuit, pattern)`` returns the exact stabilization
+time of every net; a pattern belongs to the exact SPCF of output ``y`` at
+threshold ``Delta_y`` iff ``times[y] > Delta_y``.  The SPCF algorithms are
+validated against this oracle exhaustively on small circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.sim.logicsim import simulate
+
+
+def stabilization_times(
+    circuit: Circuit, pattern: Mapping[str, bool]
+) -> dict[str, int]:
+    """Exact floating-mode stabilization time of every net for ``pattern``."""
+    values = simulate(circuit, pattern)
+    times: dict[str, int] = {net: 0 for net in circuit.inputs}
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        cell = gate.cell
+        if not gate.fanins:
+            times[name] = 0
+            continue
+        on_primes, off_primes = cell.primes()
+        primes = on_primes if values[name] else off_primes
+        delays = gate.pin_delays()
+        pin_index = {pin: i for i, pin in enumerate(cell.inputs)}
+        local = {
+            pin: values[f] for pin, f in zip(cell.inputs, gate.fanins)
+        }
+        best: int | None = None
+        for prime in primes:
+            lits = prime.to_dict(cell.inputs)
+            if any(local[pin] != pol for pin, pol in lits.items()):
+                continue  # prime not satisfied by this pattern
+            worst = 0
+            for pin in lits:
+                i = pin_index[pin]
+                worst = max(worst, times[gate.fanins[i]] + delays[i])
+            if best is None or worst < best:
+                best = worst
+        if best is None:
+            raise SimulationError(
+                f"no satisfied prime at gate {name!r} (inconsistent cell model)"
+            )
+        times[name] = best
+    return times
+
+
+def output_stabilization(
+    circuit: Circuit, pattern: Mapping[str, bool]
+) -> dict[str, int]:
+    """Stabilization times restricted to the primary outputs."""
+    times = stabilization_times(circuit, pattern)
+    return {net: times[net] for net in circuit.outputs}
+
+
+def is_speed_path_pattern(
+    circuit: Circuit,
+    pattern: Mapping[str, bool],
+    output: str,
+    target: int,
+) -> bool:
+    """True iff ``pattern`` activates a speed-path terminating at ``output``."""
+    if output not in circuit.outputs:
+        raise SimulationError(f"{output!r} is not a primary output")
+    return stabilization_times(circuit, pattern)[output] > target

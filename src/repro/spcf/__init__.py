@@ -1,0 +1,81 @@
+"""Speed-path characteristic function (SPCF) algorithms.
+
+Three algorithms, matching Table 1 of the paper:
+
+* :func:`spcf_nodebased` — node-based over-approximation of [22],
+* :func:`spcf_pathbased` — exact path-based extension of [22],
+* :func:`spcf_shortpath` — the paper's exact short-path-based method (Eqn. 1).
+
+:func:`compare_algorithms` runs all three on a shared context and reports
+counts and runtimes, reproducing one row of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.circuit import Circuit
+from repro.spcf import nodebased, pathbased, shortpath
+from repro.spcf.result import SpcfResult
+from repro.spcf.timedfunc import SpcfContext, expr_to_function
+
+spcf_shortpath = shortpath.compute_spcf
+spcf_pathbased = pathbased.compute_spcf
+spcf_nodebased = nodebased.compute_spcf
+
+
+@dataclass(frozen=True)
+class AlgorithmComparison:
+    """One row of Table 1: counts and runtimes of the three algorithms."""
+
+    circuit_name: str
+    num_inputs: int
+    num_outputs: int
+    area: float
+    node_based_count: int
+    node_based_runtime: float
+    path_based_count: int
+    path_based_runtime: float
+    short_path_count: int
+    short_path_runtime: float
+
+    @property
+    def over_approximation_factor(self) -> float:
+        """How loose the node-based count is versus the exact count."""
+        if self.short_path_count == 0:
+            return 1.0
+        return self.node_based_count / self.short_path_count
+
+
+def compare_algorithms(
+    circuit: Circuit, threshold: float = 0.9, target: int | None = None
+) -> AlgorithmComparison:
+    """Run all three SPCF algorithms on ``circuit`` (fresh context each, so
+    runtimes are comparable) and return the Table-1 style row."""
+    node = spcf_nodebased(circuit, threshold=threshold, target=target)
+    path = spcf_pathbased(circuit, threshold=threshold, target=target)
+    short = spcf_shortpath(circuit, threshold=threshold, target=target)
+    return AlgorithmComparison(
+        circuit_name=circuit.name,
+        num_inputs=len(circuit.inputs),
+        num_outputs=len(circuit.outputs),
+        area=circuit.area(),
+        node_based_count=node.count(),
+        node_based_runtime=node.runtime_seconds,
+        path_based_count=path.count(),
+        path_based_runtime=path.runtime_seconds,
+        short_path_count=short.count(),
+        short_path_runtime=short.runtime_seconds,
+    )
+
+
+__all__ = [
+    "SpcfContext",
+    "SpcfResult",
+    "expr_to_function",
+    "spcf_shortpath",
+    "spcf_pathbased",
+    "spcf_nodebased",
+    "AlgorithmComparison",
+    "compare_algorithms",
+]

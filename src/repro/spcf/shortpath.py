@@ -1,0 +1,45 @@
+"""The paper's proposed short-path-based SPCF algorithm (Sec. 3, Eqn. 1).
+
+The insight of the paper is that the complement of the SPCF — the set of
+patterns for which the output stabilizes *on time* — decomposes through the
+prime implicants of each gate:
+
+.. math::
+
+    \\overline{\\Sigma}_z(\\Delta_z) = \\bigvee_{p \\in P}
+        \\Big( \\bigwedge_{l \\in L(p)} \\overline{\\Sigma}_l(\\Delta_z - \\delta_l) \\Big)
+
+so only *short-path* (stabilized-by-``t``) functions need to be propagated,
+one recursion per ``(node, t)`` pair, with aggressive pruning by the
+latest-arrival and earliest-stabilization bounds.  This is exact and, per
+Table 1 of the paper, as fast as the over-approximating node-based method.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.netlist.circuit import Circuit
+from repro.spcf.result import SpcfResult
+from repro.spcf.timedfunc import SpcfContext
+
+
+def compute_spcf(
+    circuit: Circuit,
+    threshold: float = 0.9,
+    target: int | None = None,
+    context: SpcfContext | None = None,
+) -> SpcfResult:
+    """Exact SPCF of every critical output via the short-path recursion."""
+    start = time.perf_counter()
+    ctx = context or SpcfContext(circuit, threshold=threshold, target=target)
+    per_output = {
+        y: ctx.late(y, ctx.target) for y in ctx.critical_outputs
+    }
+    runtime = time.perf_counter() - start
+    return SpcfResult(
+        algorithm="short-path-based (proposed)",
+        context=ctx,
+        per_output=per_output,
+        runtime_seconds=runtime,
+    )

@@ -1,0 +1,152 @@
+"""Shared infrastructure for SPCF computation: timed characteristic functions.
+
+:class:`SpcfContext` bundles, for one circuit and one speed-path threshold:
+
+* a BDD manager with one variable per primary input (in topological PI order),
+* the *global function* ``F[net]`` of every net over the primary inputs,
+* the STA report (latest arrivals, prime-based earliest-stabilization bounds,
+  required times for the target ``Delta_y``).
+
+On top of it, :meth:`SpcfContext.stable` implements the paper's Eqn. 1 — the
+pair of timed characteristic functions
+
+* ``S0[net](t)`` — patterns whose final value at ``net`` is 0 *and* has
+  stabilized by time ``t``,
+* ``S1[net](t)`` — dito for final value 1,
+
+computed recursively through the prime implicants of each cell's on-set and
+off-set, with memoization on ``(net, t)`` and two pruning rules:
+
+* ``t >= arrival[net]`` — every pattern has stabilized: ``(¬F, F)``,
+* ``t < min_stable[net]`` — no pattern can have stabilized: ``(0, 0)``.
+
+The *short-path-based* algorithm (the paper's contribution) is exactly this
+recursion; the *path-based* and *node-based* algorithms reuse the context but
+walk the circuit differently.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.bdd.manager import BddManager, Function, conjunction, disjunction
+from repro.errors import SpcfError
+from repro.logic.expr import BoolExpr
+from repro.netlist.circuit import Circuit
+from repro.sta.timing import TimingReport, analyze
+
+
+def expr_to_function(
+    expr: BoolExpr, env: Mapping[str, Function], mgr: BddManager
+) -> Function:
+    """Evaluate a Boolean expression with BDD functions bound to its names."""
+    if expr.op == "var":
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise SpcfError(f"expression name {expr.name!r} unbound") from None
+    if expr.op == "const":
+        return mgr.true if expr.value else mgr.false
+    if expr.op == "not":
+        return ~expr_to_function(expr.args[0], env, mgr)
+    fns = [expr_to_function(a, env, mgr) for a in expr.args]
+    acc = fns[0]
+    for f in fns[1:]:
+        if expr.op == "and":
+            acc = acc & f
+        elif expr.op == "or":
+            acc = acc | f
+        else:
+            acc = acc ^ f
+    return acc
+
+
+class SpcfContext:
+    """Circuit + threshold context shared by the three SPCF algorithms."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        threshold: float = 0.9,
+        target: int | None = None,
+        manager: BddManager | None = None,
+    ) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.report: TimingReport = analyze(circuit, target=target, threshold=threshold)
+        self.target = self.report.target
+        self.manager = manager or BddManager(circuit.inputs)
+        for net in circuit.inputs:
+            if net not in self.manager.var_names:
+                self.manager.add_var(net)
+        self.functions: dict[str, Function] = {}
+        self._build_global_functions()
+        # Memo tables for the timed characteristic functions.
+        self._stable_memo: dict[tuple[str, int], tuple[Function, Function]] = {}
+        self._late_memo: dict[tuple[str, int], Function] = {}
+
+    # --------------------------------------------------------- global functions
+
+    def _build_global_functions(self) -> None:
+        mgr = self.manager
+        for net in self.circuit.inputs:
+            self.functions[net] = mgr.var(net)
+        for name in self.circuit.topo_order():
+            gate = self.circuit.gates[name]
+            env = {
+                pin: self.functions[f]
+                for pin, f in zip(gate.cell.inputs, gate.fanins)
+            }
+            self.functions[name] = expr_to_function(gate.cell.expr, env, mgr)
+
+    # ------------------------------------------------------------- Eqn. 1 core
+
+    def stable(self, net: str, t: int) -> tuple[Function, Function]:
+        """``(S0, S1)`` — stabilized-by-``t`` characteristic functions."""
+        mgr = self.manager
+        arrival = self.report.arrival
+        min_stable = self.report.min_stable
+        if t >= arrival[net]:
+            f = self.functions[net]
+            return (~f, f)
+        if t < min_stable[net]:
+            return (mgr.false, mgr.false)
+        key = (net, t)
+        cached = self._stable_memo.get(key)
+        if cached is not None:
+            return cached
+        gate = self.circuit.gates[net]  # PIs never reach here (arrival == 0)
+        cell = gate.cell
+        delays = gate.pin_delays()
+        pin_to_fanin = dict(zip(cell.inputs, gate.fanins))
+        pin_to_delay = dict(zip(cell.inputs, delays))
+        on_primes, off_primes = cell.primes()
+
+        def prime_term(prime) -> Function:
+            terms = []
+            for pin, polarity in prime.to_dict(cell.inputs).items():
+                s0, s1 = self.stable(pin_to_fanin[pin], t - pin_to_delay[pin])
+                terms.append(s1 if polarity else s0)
+            return conjunction(mgr, terms)
+
+        s1 = disjunction(mgr, [prime_term(p) for p in on_primes])
+        s0 = disjunction(mgr, [prime_term(p) for p in off_primes])
+        result = (s0, s1)
+        self._stable_memo[key] = result
+        return result
+
+    def late(self, net: str, t: int) -> Function:
+        """Patterns whose value at ``net`` has *not* stabilized by ``t``."""
+        s0, s1 = self.stable(net, t)
+        return ~(s0 | s1)
+
+    # ------------------------------------------------------------- conveniences
+
+    @property
+    def critical_outputs(self) -> tuple[str, ...]:
+        """Outputs where at least one speed-path terminates."""
+        return self.report.critical_outputs(self.circuit)
+
+    def count(self, fn: Function) -> int:
+        """Model count of an SPCF over the circuit's primary inputs."""
+        return fn.count(len(self.circuit.inputs))

@@ -1,0 +1,14 @@
+"""Static timing analysis and speed-path enumeration."""
+
+from repro.sta.paths import SpeedPath, count_speed_paths, enumerate_speed_paths
+from repro.sta.timing import INFINITE_TIME, TimingReport, analyze, threshold_target
+
+__all__ = [
+    "TimingReport",
+    "analyze",
+    "threshold_target",
+    "INFINITE_TIME",
+    "SpeedPath",
+    "enumerate_speed_paths",
+    "count_speed_paths",
+]

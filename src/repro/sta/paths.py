@@ -1,0 +1,124 @@
+"""Speed-path enumeration.
+
+A *speed-path* for threshold ``Delta_y`` is a primary-input-to-output path
+whose structural delay exceeds ``Delta_y``.  Enumeration is a backward DFS
+from each critical output, pruned with the latest-arrival upper bound (a
+prefix cannot help if even the longest completion misses the threshold), and
+capped to keep pathological circuits tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import TimingError
+from repro.netlist.circuit import Circuit
+from repro.sta.timing import TimingReport, analyze
+
+
+@dataclass(frozen=True)
+class SpeedPath:
+    """One structural path with delay above the threshold.
+
+    ``nets`` runs input-first: ``nets[0]`` is a primary input and ``nets[-1]``
+    a primary output net.
+    """
+
+    nets: tuple[str, ...]
+    delay: int
+
+    @property
+    def start(self) -> str:
+        return self.nets[0]
+
+    @property
+    def end(self) -> str:
+        return self.nets[-1]
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+
+def enumerate_speed_paths(
+    circuit: Circuit,
+    report: TimingReport | None = None,
+    threshold: float = 0.9,
+    limit: int = 100_000,
+) -> list[SpeedPath]:
+    """All structural paths with delay strictly above the target.
+
+    Raises :class:`TimingError` when more than ``limit`` paths exist, in
+    which case callers should fall back to the characteristic-function view
+    (the SPCF never enumerates paths).
+    """
+    if report is None:
+        report = analyze(circuit, threshold=threshold)
+    target = report.target
+    paths: list[SpeedPath] = []
+    for out in report.critical_outputs(circuit):
+        for path in _walk_back(circuit, report, out, (), 0, target):
+            paths.append(path)
+            if len(paths) > limit:
+                raise TimingError(
+                    f"more than {limit} speed-paths; use the SPCF instead"
+                )
+    paths.sort(key=lambda p: (-p.delay, p.nets))
+    return paths
+
+
+def _walk_back(
+    circuit: Circuit,
+    report: TimingReport,
+    net: str,
+    suffix: tuple[str, ...],
+    suffix_delay: int,
+    target: int,
+) -> Iterator[SpeedPath]:
+    suffix = (net, *suffix)
+    if circuit.is_input(net):
+        if suffix_delay > target:
+            yield SpeedPath(suffix, suffix_delay)
+        return
+    gate = circuit.gates[net]
+    for fanin, delay in zip(gate.fanins, gate.pin_delays()):
+        total = suffix_delay + delay
+        # Longest possible completion through this fanin.
+        if report.arrival[fanin] + total <= target:
+            continue
+        yield from _walk_back(circuit, report, fanin, suffix, total, target)
+
+
+def count_speed_paths(
+    circuit: Circuit,
+    report: TimingReport | None = None,
+    threshold: float = 0.9,
+) -> int:
+    """Number of speed-paths, without materializing them (DP over the DAG).
+
+    Counts paths whose delay exceeds the target by dynamic programming over
+    (net, residual-delay) states.
+    """
+    if report is None:
+        report = analyze(circuit, threshold=threshold)
+    target = report.target
+    memo: dict[tuple[str, int], int] = {}
+
+    def count_from(net: str, residual: int) -> int:
+        """Paths from any PI to ``net`` with prefix delay > residual."""
+        if report.arrival[net] <= residual:
+            return 0
+        if circuit.is_input(net):
+            return 1 if residual < 0 else 0
+        key = (net, residual)
+        if key in memo:
+            return memo[key]
+        gate = circuit.gates[net]
+        total = sum(
+            count_from(f, residual - d)
+            for f, d in zip(gate.fanins, gate.pin_delays())
+        )
+        memo[key] = total
+        return total
+
+    return sum(count_from(out, target) for out in report.critical_outputs(circuit))

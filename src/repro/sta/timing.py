@@ -1,0 +1,140 @@
+"""Static timing analysis.
+
+Computes, for every net of a :class:`~repro.netlist.circuit.Circuit`:
+
+* ``arrival`` — the classic latest arrival time (topological max-plus),
+* ``min_stable`` — a lower bound on the floating-mode stabilization time,
+  computed through the prime implicants of each cell (a gate output cannot
+  stabilize before *some* prime has all its literals stable),
+* ``required`` / ``slack`` with respect to a target arrival time
+  ``Delta_y`` (the paper's speed-path threshold, default ``0.9 * Delta``).
+
+Gates with negative slack are the *statically critical* gates used by the
+node-based SPCF algorithm; outputs with ``arrival > Delta_y`` are the paper's
+*critical primary outputs*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import TimingError
+from repro.netlist.circuit import Circuit
+
+#: Effectively-infinite required time for nets feeding no primary output.
+INFINITE_TIME = 1 << 50
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of :func:`analyze`."""
+
+    circuit_name: str
+    arrival: Mapping[str, int]
+    min_stable: Mapping[str, int]
+    required: Mapping[str, int]
+    critical_delay: int
+    target: int
+
+    def slack(self, net: str) -> int:
+        """Required minus (latest) arrival for ``net``."""
+        try:
+            return self.required[net] - self.arrival[net]
+        except KeyError:
+            raise TimingError(f"unknown net {net!r}") from None
+
+    def critical_gates(self, circuit: Circuit) -> set[str]:
+        """Gates (not PIs) with negative slack w.r.t. the target."""
+        return {
+            name for name in circuit.gates if self.slack(name) < 0
+        }
+
+    def critical_nets(self) -> set[str]:
+        """All nets (including PIs) with negative slack."""
+        return {
+            net
+            for net in self.arrival
+            if self.required[net] - self.arrival[net] < 0
+        }
+
+    def critical_outputs(self, circuit: Circuit) -> tuple[str, ...]:
+        """Primary outputs where at least one speed-path terminates."""
+        return tuple(
+            net for net in circuit.outputs if self.arrival[net] > self.target
+        )
+
+
+def threshold_target(critical_delay: int, fraction: float) -> int:
+    """The integer target arrival time ``Delta_y = floor(fraction * Delta)``.
+
+    A pattern is a speed-path activation pattern iff its stabilization time
+    strictly exceeds the target, so flooring keeps all paths within the
+    ``(1 - fraction)`` band classified as speed-paths.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise TimingError(f"threshold fraction {fraction} outside (0, 1]")
+    return int(math.floor(fraction * critical_delay))
+
+
+def analyze(
+    circuit: Circuit,
+    target: int | None = None,
+    threshold: float = 0.9,
+) -> TimingReport:
+    """Run STA on ``circuit``.
+
+    ``target`` overrides the required time at the primary outputs; when
+    ``None`` it is derived as ``threshold_target(Delta, threshold)``.
+    """
+    order = circuit.topo_order()
+    arrival: dict[str, int] = {net: 0 for net in circuit.inputs}
+    min_stable: dict[str, int] = {net: 0 for net in circuit.inputs}
+
+    for name in order:
+        gate = circuit.gates[name]
+        delays = gate.pin_delays()
+        if not gate.fanins:
+            arrival[name] = 0
+            min_stable[name] = 0
+            continue
+        arrival[name] = max(
+            arrival[f] + d for f, d in zip(gate.fanins, delays)
+        )
+        on_primes, off_primes = gate.cell.primes()
+        pin_index = {pin: i for i, pin in enumerate(gate.cell.inputs)}
+        best = None
+        for prime in (*on_primes, *off_primes):
+            worst = 0
+            for pin_name, _pol in prime.to_dict(gate.cell.inputs).items():
+                i = pin_index[pin_name]
+                worst = max(worst, min_stable[gate.fanins[i]] + delays[i])
+            if best is None or worst < best:
+                best = worst
+        min_stable[name] = best if best is not None else 0
+
+    outputs = [net for net in circuit.outputs]
+    critical_delay = max((arrival[net] for net in outputs), default=0)
+    if target is None:
+        target = threshold_target(critical_delay, threshold)
+
+    required: dict[str, int] = {net: INFINITE_TIME for net in arrival}
+    for net in outputs:
+        required[net] = min(required[net], target)
+    for name in reversed(order):
+        gate = circuit.gates[name]
+        req = required[name]
+        for fanin, delay in zip(gate.fanins, gate.pin_delays()):
+            candidate = req - delay
+            if candidate < required[fanin]:
+                required[fanin] = candidate
+
+    return TimingReport(
+        circuit_name=circuit.name,
+        arrival=arrival,
+        min_stable=min_stable,
+        required=required,
+        critical_delay=critical_delay,
+        target=target,
+    )

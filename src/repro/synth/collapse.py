@@ -1,0 +1,150 @@
+"""Extraction of a technology-independent network from a mapped circuit.
+
+``circuit_to_technet`` lifts every gate to a :class:`TechNode` (one node per
+gate, covers via ISOP of the cell function).  ``collapse`` then eliminates
+nodes into their fanouts — the reverse of technology decomposition — until
+every surviving node has up to ``max_support`` fanins (the paper works with
+complex nodes of 10–15 inputs).  Elimination is the classic SIS-style pass:
+a node is absorbed when the merged support and the re-extracted SOPs stay
+within bounds, preferring low-fanout nodes (absorbing a single-fanout node
+never duplicates logic).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.bdd.manager import BddManager
+from repro.errors import SynthesisError
+from repro.netlist.circuit import Circuit
+from repro.spcf.timedfunc import expr_to_function
+from repro.synth.technet import TechNetwork, TechNode, node_from_function
+
+
+def circuit_to_technet(circuit: Circuit) -> TechNetwork:
+    """One-to-one lift of a mapped circuit into a technology-independent net."""
+    circuit.validate()
+    net = TechNetwork(circuit.name, circuit.inputs, circuit.outputs)
+    for name in circuit.topo_order():
+        gate = circuit.gates[name]
+        cell = gate.cell
+        distinct = tuple(dict.fromkeys(gate.fanins))
+        mgr = BddManager(distinct)
+        env = {
+            pin: mgr.var(fanin)
+            for pin, fanin in zip(cell.inputs, gate.fanins)
+        }
+        fn = expr_to_function(cell.expr, env, mgr)
+        net.add_node(node_from_function(name, distinct, fn))
+    net.validate()
+    return net
+
+
+def collapse(
+    network: TechNetwork,
+    max_support: int = 12,
+    max_cubes: int = 20,
+    max_fanout: int = 2,
+    library=None,
+) -> TechNetwork:
+    """Eliminate nodes into their fanouts to form complex nodes.
+
+    Parameters
+    ----------
+    max_support:
+        Upper bound on the fanin count of any merged node (paper: 10–15).
+    max_cubes:
+        Upper bound on the cube count of either re-extracted cover; keeps
+        the ISOPs (and later the cube-selection pass) tractable.
+    max_fanout:
+        A node is only eliminated when at most this many nodes read it,
+        bounding logic duplication.
+    library:
+        When given, a merge is additionally rejected if its best mapped
+        implementation is slower or substantially larger than mapping the
+        two nodes separately — this keeps XOR-rich structures (whose SOPs
+        flatten badly) intact.
+    """
+    if max_support < 2:
+        raise SynthesisError(f"max_support {max_support} too small")
+
+    def best_cost(tech_node: TechNode) -> tuple[int, float]:
+        from repro.synth.mapping import trial_cost
+
+        return min(
+            trial_cost(tech_node.on_cover, library, inverted=False),
+            trial_cost(tech_node.off_cover, library, inverted=True),
+        )
+    net = network.copy()
+    readers: dict[str, set[str]] = {}
+    for node in net.nodes.values():
+        for f in node.fanins:
+            readers.setdefault(f, set()).add(node.name)
+
+    worklist = deque(net.topo_order())
+    queued = set(worklist)
+    while worklist:
+        name = worklist.popleft()
+        queued.discard(name)
+        if name not in net.nodes or name in net.outputs:
+            continue
+        node = net.node(name)
+        reading = sorted(readers.get(name, ()))
+        if not reading or len(reading) > max_fanout:
+            continue
+        merged: list[tuple[TechNode, TechNode]] = []
+        ok = True
+        for reader_name in reading:
+            reader = net.node(reader_name)
+            support = tuple(
+                dict.fromkeys(
+                    [f for f in reader.fanins if f != name] + list(node.fanins)
+                )
+            )
+            if len(support) > max_support:
+                ok = False
+                break
+            mgr = BddManager(dict.fromkeys((*support, name)))
+            node_fn = node.on_cover.to_function(mgr)
+            reader_fn = reader.on_cover.to_function(mgr)
+            combined = reader_fn.compose({name: node_fn})
+            candidate = node_from_function(reader_name, support, combined)
+            # XOR-rich functions have no compact SOP (a k-input parity has
+            # 2^(k-1) cubes); refusing candidates whose cover exceeds its
+            # support size keeps such structures as separate nodes.
+            cube_cap = min(max_cubes, max(4, len(support)))
+            if (
+                candidate.on_cover.num_cubes > cube_cap
+                or candidate.off_cover.num_cubes > cube_cap
+            ):
+                ok = False
+                break
+            if library is not None:
+                cand_delay, cand_area = best_cost(candidate)
+                node_delay, node_area = best_cost(node)
+                reader_delay, reader_area = best_cost(reader)
+                if cand_delay > node_delay + reader_delay or (
+                    cand_area > 1.25 * (node_area + reader_area) + 4.0
+                ):
+                    ok = False
+                    break
+            merged.append((reader, candidate))
+        if not ok:
+            continue
+        # Commit: rewrite every reader, then drop the eliminated node.
+        for reader, candidate in merged:
+            for f in reader.fanins:
+                readers.get(f, set()).discard(reader.name)
+            net.replace_node(candidate)
+            for f in candidate.fanins:
+                readers.setdefault(f, set()).add(candidate.name)
+        for f in node.fanins:
+            readers.get(f, set()).discard(name)
+        net.remove_node(name)
+        # Fanins may have become low-fanout; readers got new shapes.
+        for follow_up in (*node.fanins, *(c.name for _, c in merged)):
+            if follow_up not in queued and follow_up in net.nodes:
+                worklist.append(follow_up)
+                queued.add(follow_up)
+    net.validate()
+    return net

@@ -1,0 +1,80 @@
+"""Tests for DVS-with-masking (the paper's future-work extension)."""
+
+import pytest
+
+from repro.apps import DvsResult, dvs_sweep
+from repro.apps.dvs import DvsPoint
+from repro.benchcircuits import make_benchmark
+from repro.core import mask_circuit
+from repro.errors import SimulationError
+from repro.netlist import lsi10k_like_library
+
+
+@pytest.fixture(scope="module")
+def masked():
+    lib = lsi10k_like_library()
+    circuit = make_benchmark("cmb", lib)
+    return mask_circuit(circuit, lib)
+
+
+@pytest.fixture(scope="module")
+def sweep(masked):
+    return dvs_sweep(masked.masking, masked.design, cycles=80, seed=5)
+
+
+def test_nominal_period_is_safe(sweep):
+    nominal = [p for p in sweep.points if p.period == sweep.nominal_period]
+    assert nominal and nominal[0].is_safe
+    assert nominal[0].raw_error_rate == 0.0
+
+
+def test_masking_unlocks_overclocking(sweep):
+    """Some period below nominal must be safe (that is the whole point)."""
+    assert sweep.min_safe_period() < sweep.nominal_period
+    assert sweep.speedup_percent > 0.0
+
+
+def test_residual_errors_stay_zero_in_protected_band(sweep):
+    """Down to 90% of nominal the masked design never escapes an error."""
+    floor = int(0.9 * sweep.nominal_period)
+    for p in sweep.points:
+        if p.period >= floor:
+            assert p.residual_error_rate == 0.0, p
+
+
+def test_raw_errors_grow_as_period_shrinks(sweep):
+    by_period = sorted(sweep.points, key=lambda p: -p.period)
+    rates = [p.raw_error_rate for p in by_period]
+    assert rates[-1] >= rates[0]
+    assert any(r > 0 for r in rates)  # overclocking does cause raw errors
+
+
+def test_masked_events_track_raw_errors(sweep):
+    for p in sweep.points:
+        if p.residual_error_rate == 0.0:
+            # every raw error in a safe point was caught by an indicator
+            assert p.masked_error_rate >= p.raw_error_rate - 1e-9
+
+
+def test_explicit_period_list(masked):
+    res = dvs_sweep(
+        masked.masking, masked.design, periods=[masked.design.clock_period],
+        cycles=20,
+    )
+    assert len(res.points) == 1
+    assert res.points[0].is_safe
+
+
+def test_empty_sweep_rejected(masked):
+    with pytest.raises(SimulationError):
+        dvs_sweep(masked.masking, masked.design, periods=[], cycles=10)
+
+
+def test_no_safe_period_raises():
+    res = DvsResult(
+        nominal_period=100,
+        points=(DvsPoint(period=80, raw_error_rate=1.0,
+                         masked_error_rate=1.0, residual_error_rate=0.5),),
+    )
+    with pytest.raises(SimulationError):
+        res.min_safe_period()

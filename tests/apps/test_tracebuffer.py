@@ -1,0 +1,61 @@
+"""Tests for trace-buffer selective capture."""
+
+import pytest
+
+from repro.apps import TraceBuffer, capture_experiment
+from repro.benchcircuits import comparator_nbit
+from repro.core import build_masked_design, synthesize_masking
+from repro.errors import SimulationError
+from repro.netlist import unit_library
+
+
+def test_trace_buffer_fills_and_stops():
+    buf = TraceBuffer(depth=2)
+    assert buf.capture(0, [True])
+    assert buf.capture(5, [False])
+    assert buf.full
+    assert not buf.capture(9, [True])
+    assert buf.window == 6
+    assert len(buf.entries) == 2
+
+
+def test_trace_buffer_guard():
+    with pytest.raises(SimulationError):
+        TraceBuffer(depth=0).capture(0, [True])
+
+
+def test_empty_buffer_window():
+    assert TraceBuffer(depth=4).window == 0
+
+
+@pytest.fixture(scope="module")
+def masked_design():
+    c = comparator_nbit(4)
+    masking = synthesize_masking(c, unit_library(), max_support=8)
+    return build_masked_design(masking)
+
+
+def test_capture_experiment_expands_window(masked_design):
+    report = capture_experiment(
+        masked_design, buffer_depth=16, cycles=2048, seed=9
+    )
+    assert report.always_window == 16  # capture-every-cycle fills instantly
+    assert 0 < report.indicator_rate < 1
+    # Selective capture skips non-suspect cycles, so the observed window
+    # must expand by roughly 1/indicator_rate.
+    assert report.selective_window > report.always_window
+    assert report.expansion_factor > 1.0
+    assert report.selective_captures <= 16
+
+
+def test_capture_experiment_traced_nets_validated(masked_design):
+    with pytest.raises(SimulationError):
+        capture_experiment(masked_design, traced_nets=("ghost",))
+
+
+def test_capture_requires_indicators():
+    c = comparator_nbit(3)
+    masking = synthesize_masking(c, unit_library(), target=10**6)
+    design = build_masked_design(masking)
+    with pytest.raises(SimulationError):
+        capture_experiment(design)

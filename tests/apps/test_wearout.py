@@ -1,0 +1,82 @@
+"""Tests for wearout prediction from masked-error statistics."""
+
+import pytest
+
+from repro.apps import (
+    ErrorLogger,
+    WearoutMonitor,
+    predict_onset,
+    wearout_experiment,
+)
+from repro.apps.wearout import WearoutEpoch
+from repro.benchcircuits import comparator_nbit
+from repro.core import build_masked_design, synthesize_masking
+from repro.errors import SimulationError
+from repro.netlist import unit_library
+from repro.sim import LinearAging
+
+
+def test_error_logger_windows():
+    log = ErrorLogger(window_size=4)
+    for flag in [True, False, False, True, False, False, False, False]:
+        log.record(flag)
+    assert log.windows == [0.5, 0.0]
+    assert log.latest_rate == 0.0
+
+
+def test_error_logger_guard():
+    with pytest.raises(SimulationError):
+        ErrorLogger(window_size=0).record(True)
+
+
+def test_monitor_threshold_trigger():
+    mon = WearoutMonitor(rate_threshold=0.1, trend_windows=99)
+    assert mon.onset_window([0.0, 0.05, 0.2, 0.3]) == 2
+    assert mon.onset_window([0.0, 0.05]) is None
+
+
+def test_monitor_trend_trigger():
+    mon = WearoutMonitor(rate_threshold=9.9, trend_windows=3)
+    assert mon.onset_window([0.01, 0.02, 0.03, 0.04]) == 3
+    assert mon.onset_window([0.01, 0.02, 0.01, 0.02]) is None
+
+
+def test_wearout_experiment_masks_errors():
+    c = comparator_nbit(4)
+    lib = unit_library()
+    masking = synthesize_masking(c, lib, max_support=8)
+    design = build_masked_design(masking)
+    epochs = wearout_experiment(
+        masking,
+        design,
+        aging=LinearAging(rate=0.12),
+        epochs=6,
+        cycles_per_epoch=120,
+        seed=4,
+    )
+    assert len(epochs) == 6
+    # no degradation at epoch 0
+    assert epochs[0].unmasked_error_rate == 0.0
+    assert epochs[0].residual_error_rate == 0.0
+    # aging eventually produces raw timing errors...
+    assert any(e.unmasked_error_rate > 0 for e in epochs)
+    # ...which the masking hides: masked events track raw errors and the
+    # residual (escaped) error rate stays zero while slack remains.
+    for e in epochs:
+        if e.unmasked_error_rate > 0:
+            assert e.masked_error_rate > 0
+    first_err = next(e for e in epochs if e.unmasked_error_rate > 0)
+    assert first_err.residual_error_rate == 0.0
+    # scales are monotone in stress time
+    scales = [e.delay_scale for e in epochs]
+    assert scales == sorted(scales)
+
+
+def test_predict_onset_pipeline():
+    epochs = [
+        WearoutEpoch(0, 1.0, 0.0, 0.0, 0.0),
+        WearoutEpoch(1, 1.1, 0.0, 0.0, 0.0),
+        WearoutEpoch(2, 1.2, 0.08, 0.08, 0.0),
+    ]
+    assert predict_onset(epochs, WearoutMonitor(rate_threshold=0.05)) == 2
+    assert predict_onset(epochs[:2], WearoutMonitor(rate_threshold=0.05)) is None

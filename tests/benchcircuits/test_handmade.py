@@ -1,0 +1,107 @@
+"""Functional tests for the hand-made real circuits."""
+
+import itertools
+
+import pytest
+
+from repro.benchcircuits.comparator import comparator_nbit
+from repro.benchcircuits.handmade import (
+    alu_slice,
+    carry_lookahead4,
+    decoder,
+    full_adder,
+    mux_tree,
+    parity_tree,
+    priority_encoder,
+    ripple_adder,
+    ripple_adder_reference,
+)
+from repro.sim import exhaustive_patterns, simulate
+
+
+def test_full_adder():
+    c = full_adder()
+    for pat in exhaustive_patterns(c.inputs):
+        total = pat["a"] + pat["b"] + pat["cin"]
+        vals = simulate(c, pat)
+        assert vals["sum"] == bool(total & 1)
+        assert vals["cout"] == (total >= 2)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_ripple_adder(n):
+    c = ripple_adder(n)
+    for pat in exhaustive_patterns(c.inputs):
+        expected = ripple_adder_reference(n, pat)
+        vals = simulate(c, pat)
+        for net, want in expected.items():
+            assert vals[net] == want, (pat, net)
+
+
+def test_carry_lookahead():
+    c = carry_lookahead4()
+    for pat in exhaustive_patterns(c.inputs):
+        vals = simulate(c, pat)
+        carry = pat["cin"]
+        for i in range(4):
+            carry = pat[f"g{i}"] or (pat[f"p{i}"] and carry)
+            assert vals[f"c{i + 1}"] == carry
+
+
+def test_alu_slice():
+    c = alu_slice()
+    for pat in exhaustive_patterns(c.inputs):
+        vals = simulate(c, pat)
+        a, b, cin = pat["a"], pat["b"], pat["cin"]
+        op = (pat["op1"] << 1) | pat["op0"]
+        expected = [a and b, a or b, a != b, (a != b) != cin][op]
+        assert vals["out"] == expected, pat
+        if op == 3:
+            assert vals["cout"] == ((a and b) or ((a != b) and cin))
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_decoder(n):
+    c = decoder(n)
+    for pat in exhaustive_patterns(c.inputs):
+        vals = simulate(c, pat)
+        sel = sum(int(pat[f"s{i}"]) << i for i in range(n))
+        for idx in range(1 << n):
+            assert vals[f"d{idx}"] == (pat["en"] and idx == sel)
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_priority_encoder(n):
+    c = priority_encoder(n)
+    for pat in itertools.islice(exhaustive_patterns(c.inputs), 0, 1 << n):
+        vals = simulate(c, pat)
+        requests = [i for i in range(n) if pat[f"r{i}"]]
+        assert vals["valid"] == bool(requests)
+        winner = max(requests) if requests else None
+        for i in range(n):
+            assert vals[f"h{i}"] == (i == winner)
+
+
+@pytest.mark.parametrize("n", [3, 8])
+def test_parity_tree(n):
+    c = parity_tree(n)
+    for pat in exhaustive_patterns(c.inputs):
+        expected = sum(pat.values()) % 2 == 1
+        assert simulate(c, pat)["p"] == expected
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_mux_tree(k):
+    c = mux_tree(k)
+    for pat in itertools.islice(exhaustive_patterns(c.inputs), 0, 2048):
+        sel = sum(int(pat[f"s{i}"]) << i for i in range(k))
+        assert simulate(c, pat)["z"] == pat[f"d{sel}"]
+
+
+@pytest.mark.parametrize("n", [2, 3, 5])
+def test_nbit_comparator(n):
+    c = comparator_nbit(n)
+    for pat in itertools.islice(exhaustive_patterns(c.inputs), 0, 1024):
+        a = sum(int(pat[f"a{i}"]) << i for i in range(n))
+        b = sum(int(pat[f"b{i}"]) << i for i in range(n))
+        assert simulate(c, pat)["y"] == (a >= b), pat

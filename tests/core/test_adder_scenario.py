@@ -1,0 +1,89 @@
+"""Scenario test: protecting a ripple adder's carry chain (end to end).
+
+The ripple adder is the canonical rarely-sensitized-speed-path circuit: its
+longest paths run through the carry chain and are exercised only by
+carry-propagating operands.  This pins the full story: the SPCF captures
+exactly those operands, the masking circuit covers them, and after aging the
+chain up to the protected band every injected timing error is masked.
+"""
+
+import itertools
+
+import pytest
+
+from repro.benchcircuits.handmade import ripple_adder, ripple_adder_reference
+from repro.core import mask_circuit
+from repro.netlist import lsi10k_like_library
+from repro.sim import sample_at_clock, speed_path_gates
+from repro.sta import analyze
+
+N = 4
+
+
+@pytest.fixture(scope="module")
+def setup():
+    lib = lsi10k_like_library()
+    adder = ripple_adder(N, lib)
+    result = mask_circuit(adder, lib, max_support=10)
+    return adder, result
+
+
+def test_cout_is_the_critical_output(setup):
+    adder, result = setup
+    assert tuple(result.masking.outputs) == ("cout",)
+
+
+def test_spcf_contains_all_full_propagate_patterns(setup):
+    adder, result = setup
+    sigma = result.masking.spcf.union
+    for bits in itertools.product([False, True], repeat=N):
+        v = {f"a{i}": bits[i] for i in range(N)}
+        v.update({f"b{i}": not bits[i] for i in range(N)})
+        v["cin"] = True
+        assert sigma.evaluate(v), v
+
+
+def test_spcf_excludes_killed_carries(setup):
+    adder, result = setup
+    sigma = result.masking.spcf.union
+    # a = b = 0: every carry is killed at bit 0..N-1's generate/propagate
+    v = {f"a{i}": False for i in range(N)}
+    v.update({f"b{i}": False for i in range(N)})
+    v["cin"] = False
+    assert not sigma.evaluate(v)
+
+
+def test_aged_chain_fully_masked(setup):
+    adder, result = setup
+    design = result.design
+    clock = design.clock_period
+    chain = speed_path_gates(adder) & set(adder.gates)
+    scale = 1.106  # just inside the 1/0.9 protection budget
+    aged = design.circuit.with_delay_scales({g: scale for g in chain})
+    raw_aged = adder.with_delay_scales({g: scale for g in chain})
+
+    raw_errors = residual = 0
+    for bits in itertools.product([False, True], repeat=N):
+        v2 = {f"a{i}": bits[i] for i in range(N)}
+        v2.update({f"b{i}": not bits[i] for i in range(N)})
+        v2["cin"] = True
+        for launch in ("cin", "a0"):
+            v1 = dict(v2)
+            v1[launch] = not v1[launch]
+            raw = sample_at_clock(raw_aged, v1, v2, adder_clock(adder))
+            unstable = any(t > adder_clock(adder) for t in raw.settle_time.values())
+            raw_errors += int(raw.has_error or unstable)
+            masked = sample_at_clock(aged, v1, v2, clock)
+            want = ripple_adder_reference(N, v2)
+            for y, net in design.output_map.items():
+                ok = (
+                    masked.sampled[net] == want[y]
+                    and masked.settle_time[net] <= clock
+                )
+                residual += int(not ok)
+    assert raw_errors > 0, "aging must actually break the unprotected adder"
+    assert residual == 0, "every injected timing error must be masked"
+
+
+def adder_clock(adder):
+    return analyze(adder, target=0).critical_delay

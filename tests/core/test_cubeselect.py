@@ -1,0 +1,80 @@
+"""Tests for essential-weight cube selection (paper Sec. 4.1 (i)–(iii))."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.core import select_cubes
+from repro.core.careset import cover_image, cube_image
+from repro.logic import Cover
+
+
+def setup_space():
+    """Two PIs drive two 'nets' that are just the PIs themselves."""
+    mgr = BddManager(["x0", "x1", "x2"])
+    fns = {n: mgr.var(n) for n in ("x0", "x1", "x2")}
+    return mgr, fns
+
+
+def test_zero_weight_cubes_dropped():
+    mgr, fns = setup_space()
+    # cover = x0 | x1 ; sigma only touches x0: the x1 cube is inessential.
+    cover = Cover.from_strings(("x0", "x1"), ["1-", "-1"])
+    sigma = mgr.var("x0") & ~mgr.var("x1")
+    sel = select_cubes(cover, sigma, fns, mgr, 3)
+    assert sel.dropped == 1
+    assert [str(c) for c in sel.kept.cubes] == ["1-"]
+    assert sel.total_weight == 1
+
+
+def test_weights_are_exact_fractions():
+    mgr, fns = setup_space()
+    cover = Cover.from_strings(("x0", "x1"), ["1-", "-1"])
+    sigma = mgr.var("x0") | mgr.var("x1")  # 6 of 8 minterms
+    sel = select_cubes(cover, sigma, fns, mgr, 3)
+    assert sel.dropped == 0
+    assert sum(sel.weights) == 1
+    assert sel.weights[0] == Fraction(4, 6)
+    assert sel.weights[1] == Fraction(2, 6)
+
+
+def test_ascending_literal_order_prefers_big_cubes():
+    mgr, fns = setup_space()
+    # Both cubes cover sigma; the 1-literal cube is processed first and
+    # absorbs all the weight, so the 2-literal cube drops.
+    cover = Cover.from_strings(("x0", "x1"), ["11", "1-"])
+    sigma = mgr.var("x0") & mgr.var("x1")
+    sel = select_cubes(cover, sigma, fns, mgr, 3)
+    assert [str(c) for c in sel.kept.cubes] == ["1-"]
+
+
+def test_empty_sigma_drops_everything():
+    mgr, fns = setup_space()
+    cover = Cover.from_strings(("x0", "x1"), ["1-", "-1"])
+    sel = select_cubes(cover, mgr.false, fns, mgr, 3)
+    assert sel.kept.num_cubes == 0
+    assert sel.total_weight == 0
+
+
+def test_coverage_property_on_internal_nets():
+    """Kept cubes cover every sigma-reachable minterm of the full cover."""
+    mgr = BddManager(["x0", "x1", "x2", "x3"])
+    pis = {n: mgr.var(n) for n in mgr.var_names}
+    # internal nets: n1 = x0&x1, n2 = x2|x3
+    fns = {**pis, "n1": pis["x0"] & pis["x1"], "n2": pis["x2"] | pis["x3"]}
+    cover = Cover.from_strings(("n1", "n2"), ["1-", "-1"])
+    sigma = pis["x0"] & pis["x1"] & ~pis["x2"]
+    sel = select_cubes(cover, sigma, fns, mgr, 4)
+    kept_img = cover_image(sel.kept, fns, mgr)
+    full_img = cover_image(cover, fns, mgr)
+    assert (sigma & full_img).is_subset_of(kept_img)
+
+
+def test_cube_image_unknown_net():
+    from repro.errors import MaskingError
+    from repro.logic.cube import Cube
+
+    mgr, fns = setup_space()
+    with pytest.raises(MaskingError):
+        cube_image(Cube.from_string("1"), ("ghost",), fns, mgr)

@@ -1,0 +1,72 @@
+"""Tests for mux integration of the masking circuit."""
+
+import pytest
+
+from repro.benchcircuits import comparator_nbit, make_benchmark
+from repro.core import MASKED_PREFIX, build_masked_design, synthesize_masking
+from repro.netlist import lsi10k_like_library, unit_library
+from repro.sim import exhaustive_patterns, simulate
+from repro.sta import analyze
+
+UNIT = unit_library()
+
+
+@pytest.fixture(scope="module")
+def integrated():
+    circuit = comparator_nbit(4)
+    masking = synthesize_masking(circuit, UNIT, max_support=8)
+    return circuit, masking, build_masked_design(masking)
+
+
+def test_original_gates_untouched(integrated):
+    circuit, masking, design = integrated
+    for name, gate in circuit.gates.items():
+        assert design.circuit.gates[name] == gate
+
+
+def test_inputs_preserved(integrated):
+    circuit, masking, design = integrated
+    assert design.circuit.inputs == circuit.inputs
+
+
+def test_output_map_covers_all_outputs(integrated):
+    circuit, masking, design = integrated
+    assert set(design.output_map) == set(circuit.outputs)
+    for y, net in design.output_map.items():
+        if y in masking.outputs:
+            assert net == MASKED_PREFIX + y
+        else:
+            assert net == y
+
+
+def test_mux_delay_and_clock_period(integrated):
+    circuit, masking, design = integrated
+    delta = analyze(circuit, target=0).critical_delay
+    assert design.mux_delay == max(UNIT.get("MUX2").pin_delays)
+    assert delta < design.clock_period <= delta + design.mux_delay
+
+
+def test_functional_transparency_exhaustive(integrated):
+    circuit, masking, design = integrated
+    for pat in exhaustive_patterns(circuit.inputs):
+        ref = simulate(circuit, pat)
+        got = simulate(design.circuit, pat)
+        for y in circuit.outputs:
+            assert got[design.output_map[y]] == ref[y]
+
+
+def test_uncritical_outputs_pass_through():
+    lib = lsi10k_like_library()
+    circuit = make_benchmark("x2", lib)  # 7 outputs, 1 critical
+    masking = synthesize_masking(circuit, lib)
+    design = build_masked_design(masking)
+    untouched = [y for y in circuit.outputs if y not in masking.outputs]
+    assert untouched
+    for y in untouched:
+        assert design.output_map[y] == y
+        assert y not in design.prediction_nets
+
+
+def test_masked_design_validates(integrated):
+    _, _, design = integrated
+    design.circuit.validate()

@@ -1,0 +1,82 @@
+"""Hypothesis property tests: the masking invariants on arbitrary circuits.
+
+Where ``test_masking_properties`` uses fixed seeds, these tests let
+hypothesis drive the circuit structure (cell mix, fanin choices, output
+selection) and shrink failures to minimal netlists.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import synthesize_masking, verify_masking
+from repro.netlist import Circuit, unit_library
+from repro.sim import exhaustive_patterns, simulate, stabilization_times
+from repro.spcf import SpcfContext, spcf_nodebased, spcf_shortpath
+
+LIB = unit_library()
+CELLS = ("INV", "AND2", "OR2", "NAND2", "NOR2", "XOR2")
+
+
+@st.composite
+def circuits(draw, num_inputs=5, max_gates=12):
+    n_gates = draw(st.integers(min_value=3, max_value=max_gates))
+    inputs = [f"x{i}" for i in range(num_inputs)]
+    c = Circuit("hyp", inputs=inputs)
+    nets = list(inputs)
+    for g in range(n_gates):
+        cell = LIB.get(draw(st.sampled_from(CELLS)))
+        fanins = [
+            nets[draw(st.integers(min_value=0, max_value=len(nets) - 1))]
+            for _ in range(cell.num_inputs)
+        ]
+        c.add_gate(f"g{g}", cell, fanins)
+        nets.append(f"g{g}")
+    n_outputs = draw(st.integers(min_value=1, max_value=2))
+    for k in range(n_outputs):
+        c.add_output(f"g{n_gates - 1 - k}")
+    c.validate()
+    return c
+
+
+@given(circuits())
+@settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_exact_spcf_matches_oracle(circuit):
+    ctx = SpcfContext(circuit)
+    res = spcf_shortpath(circuit, context=ctx)
+    node = spcf_nodebased(circuit, context=ctx)
+    for pat in exhaustive_patterns(circuit.inputs):
+        st_times = stabilization_times(circuit, pat)
+        for y, fn in res.per_output.items():
+            late = st_times[y] > res.target
+            assert fn.evaluate(pat) == late
+            if late:
+                assert node.per_output[y].evaluate(pat)
+
+
+@given(circuits())
+@settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_masking_invariants(circuit):
+    result = synthesize_masking(circuit, LIB, max_support=8)
+    v = verify_masking(result)
+    assert v.sound
+    assert v.full_coverage
+
+
+@given(circuits())
+@settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_masked_design_transparent(circuit):
+    from repro.core import build_masked_design
+
+    result = synthesize_masking(circuit, LIB, max_support=8)
+    design = build_masked_design(result)
+    for pat in exhaustive_patterns(circuit.inputs):
+        ref = simulate(circuit, pat)
+        got = simulate(design.circuit, pat)
+        for y in circuit.outputs:
+            assert got[design.output_map[y]] == ref[y]

@@ -1,0 +1,79 @@
+"""Tests for SOP covers."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.errors import LogicError
+from repro.logic import Cover, Cube
+
+
+def test_from_strings_and_evaluate():
+    cov = Cover.from_strings(("a", "b", "c"), ["1-0", "01-"])
+    assert cov.evaluate({"a": True, "b": False, "c": False})
+    assert cov.evaluate({"a": False, "b": True, "c": True})
+    assert not cov.evaluate({"a": False, "b": False, "c": True})
+
+
+def test_width_mismatch_rejected():
+    with pytest.raises(LogicError):
+        Cover(("a", "b"), (Cube.from_string("1-0"),))
+
+
+def test_from_cube_dicts():
+    cov = Cover.from_cube_dicts(("a", "b"), [{"a": True}, {"b": False}])
+    assert cov.num_cubes == 2
+    assert cov.evaluate({"a": True, "b": True})
+    assert cov.evaluate({"a": False, "b": False})
+    assert not cov.evaluate({"a": False, "b": True})
+    with pytest.raises(LogicError):
+        Cover.from_cube_dicts(("a",), [{"zz": True}])
+
+
+def test_to_function_matches_evaluate():
+    names = ("a", "b", "c")
+    cov = Cover.from_strings(names, ["11-", "--0"])
+    mgr = BddManager(names)
+    fn = cov.to_function(mgr)
+    for bits in itertools.product([False, True], repeat=3):
+        asgn = dict(zip(names, bits))
+        assert fn.evaluate(asgn) == cov.evaluate(asgn)
+
+
+def test_to_function_rename():
+    cov = Cover.from_strings(("a",), ["1"])
+    mgr = BddManager(["net7"])
+    fn = cov.to_function(mgr, rename={"a": "net7"})
+    assert fn == mgr.var("net7")
+
+
+def test_literal_count_and_sorting():
+    cov = Cover.from_strings(("a", "b", "c"), ["111", "1--", "-10"])
+    assert cov.literal_count() == 6
+    ordered = cov.sorted_by_literal_count()
+    assert [c.literal_count() for c in ordered.cubes] == [1, 2, 3]
+
+
+def test_without_cube():
+    cov = Cover.from_strings(("a", "b"), ["1-", "-0"])
+    assert cov.without_cube(0).cubes == cov.cubes[1:]
+
+
+def test_empty_cover_is_false():
+    cov = Cover(("a", "b"))
+    assert not cov.evaluate({"a": True, "b": True})
+    assert cov.to_expr_string() == "0"
+    mgr = BddManager(["a", "b"])
+    assert cov.to_function(mgr).is_false
+
+
+def test_expr_string_parses_back():
+    from repro.logic import parse_expr
+
+    names = ("a", "b", "c")
+    cov = Cover.from_strings(names, ["1-0", "-11"])
+    expr = parse_expr(cov.to_expr_string())
+    for bits in itertools.product([False, True], repeat=3):
+        asgn = dict(zip(names, bits))
+        assert expr.evaluate(asgn) == cov.evaluate(asgn)

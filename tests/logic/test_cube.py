@@ -1,0 +1,132 @@
+"""Tests for positional cubes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LogicError
+from repro.logic import DASH, ONE, ZERO, Cube, merge_adjacent
+
+cubes_st = st.lists(
+    st.sampled_from([ZERO, ONE, DASH]), min_size=1, max_size=6
+).map(lambda vs: Cube(tuple(vs)))
+
+
+def test_from_string_roundtrip():
+    c = Cube.from_string("1-0")
+    assert c.values == (ONE, DASH, ZERO)
+    assert str(c) == "1-0"
+
+
+def test_from_string_rejects_garbage():
+    with pytest.raises(LogicError):
+        Cube.from_string("1x0")
+
+
+def test_invalid_value_rejected():
+    with pytest.raises(LogicError):
+        Cube((0, 1, 7))
+
+
+def test_full_and_minterm_constructors():
+    assert Cube.full(3).values == (DASH, DASH, DASH)
+    # variable 0 is the MSB
+    assert Cube.from_minterm(4, 3).values == (ONE, ZERO, ZERO)
+    assert Cube.from_minterm(1, 3).values == (ZERO, ZERO, ONE)
+    with pytest.raises(LogicError):
+        Cube.from_minterm(8, 3)
+
+
+def test_from_literals():
+    c = Cube.from_literals({0: True, 2: False}, 3)
+    assert str(c) == "1-0"
+    with pytest.raises(LogicError):
+        Cube.from_literals({5: True}, 3)
+
+
+def test_literal_count_and_literals():
+    c = Cube.from_string("1-0-")
+    assert c.literal_count() == 2
+    assert c.literals() == {0: True, 2: False}
+
+
+def test_contains_minterm():
+    c = Cube.from_string("1-0")
+    assert c.contains_minterm([1, 0, 0])
+    assert c.contains_minterm([1, 1, 0])
+    assert not c.contains_minterm([0, 1, 0])
+    with pytest.raises(LogicError):
+        c.contains_minterm([1, 0])
+
+
+def test_covers():
+    big = Cube.from_string("1--")
+    small = Cube.from_string("1-0")
+    assert big.covers(small)
+    assert not small.covers(big)
+    assert big.covers(big)
+
+
+def test_intersect():
+    a = Cube.from_string("1--")
+    b = Cube.from_string("-01")
+    assert str(a.intersect(b)) == "101"
+    assert a.intersect(Cube.from_string("0--")) is None
+
+
+def test_distance():
+    assert Cube.from_string("10-").distance(Cube.from_string("01-")) == 2
+    assert Cube.from_string("1--").distance(Cube.from_string("-0-")) == 0
+
+
+def test_cofactor():
+    c = Cube.from_string("1-0")
+    assert str(c.cofactor(0, True)) == "--0"
+    assert c.cofactor(0, False) is None
+    assert str(c.cofactor(1, True)) == "1-0"
+
+
+def test_minterms_enumeration():
+    c = Cube.from_string("1-0")
+    assert sorted(c.minterms()) == [4, 6]
+    assert c.num_minterms() == 2
+    assert Cube.full(2).num_minterms() == 4
+
+
+def test_to_dict_and_expr_string():
+    c = Cube.from_string("1-0")
+    assert c.to_dict(("a", "b", "c")) == {"a": True, "c": False}
+    assert c.to_expr_string(("a", "b", "c")) == "a & ~c"
+    assert Cube.full(2).to_expr_string(("a", "b")) == "1"
+
+
+def test_merge_adjacent():
+    a, b = Cube.from_string("101"), Cube.from_string("111")
+    assert str(merge_adjacent(a, b)) == "1-1"
+    # non-adjacent pairs
+    assert merge_adjacent(Cube.from_string("10-"), Cube.from_string("011")) is None
+    assert merge_adjacent(Cube.from_string("1--"), Cube.from_string("10-")) is None
+    assert merge_adjacent(a, a) is None
+
+
+@given(cubes_st, cubes_st)
+@settings(max_examples=100, deadline=None)
+def test_intersect_is_exact(a, b):
+    if a.width != b.width:
+        return
+    inter = a.intersect(b)
+    a_min = set(a.minterms())
+    b_min = set(b.minterms())
+    if inter is None:
+        assert not (a_min & b_min)
+    else:
+        assert set(inter.minterms()) == (a_min & b_min)
+
+
+@given(cubes_st)
+@settings(max_examples=60, deadline=None)
+def test_minterm_count_consistent(c):
+    assert len(list(c.minterms())) == c.num_minterms()
+    for m in c.minterms():
+        bits = [(m >> (c.width - 1 - i)) & 1 for i in range(c.width)]
+        assert c.contains_minterm(bits)

@@ -1,0 +1,97 @@
+"""Tests for the Boolean expression parser and AST."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.errors import ExprSyntaxError
+from repro.logic import BoolExpr, parse_expr
+
+
+def all_assignments(names):
+    for bits in itertools.product([False, True], repeat=len(names)):
+        yield dict(zip(names, bits))
+
+
+@pytest.mark.parametrize(
+    "text,reference",
+    [
+        ("a & b", lambda a, b: a and b),
+        ("a | b", lambda a, b: a or b),
+        ("a ^ b", lambda a, b: a != b),
+        ("~a", lambda a, b: not a),
+        ("a'", lambda a, b: not a),
+        ("!a | !b", lambda a, b: not a or not b),
+        ("a * b + a' * b'", lambda a, b: a == b),
+        ("~(a & b)", lambda a, b: not (a and b)),
+        ("(a | b) & (a' | b')", lambda a, b: a != b),
+        ("1", lambda a, b: True),
+        ("0 | a", lambda a, b: a),
+    ],
+)
+def test_parse_and_evaluate(text, reference):
+    expr = parse_expr(text)
+    for asgn in all_assignments(["a", "b"]):
+        assert expr.evaluate(asgn) == reference(asgn["a"], asgn["b"]), text
+
+
+def test_operator_precedence():
+    # NOT > AND > XOR > OR
+    expr = parse_expr("a | b & c")
+    for asgn in all_assignments(["a", "b", "c"]):
+        assert expr.evaluate(asgn) == (asgn["a"] or (asgn["b"] and asgn["c"]))
+    expr = parse_expr("a ^ b | c")
+    for asgn in all_assignments(["a", "b", "c"]):
+        assert expr.evaluate(asgn) == ((asgn["a"] != asgn["b"]) or asgn["c"])
+    expr = parse_expr("~a & b")
+    for asgn in all_assignments(["a", "b"]):
+        assert expr.evaluate(asgn) == ((not asgn["a"]) and asgn["b"])
+
+
+def test_postfix_complement_stacks():
+    expr = parse_expr("a''")
+    assert expr.evaluate({"a": True}) is True
+    assert expr.evaluate({"a": False}) is False
+
+
+def test_variables():
+    assert parse_expr("(a & b) | ~c").variables() == {"a", "b", "c"}
+    assert parse_expr("1").variables() == set()
+
+
+@pytest.mark.parametrize(
+    "bad", ["", "a &", "& a", "(a", "a)", "a b", "a @ b", "~", "()"]
+)
+def test_syntax_errors(bad):
+    with pytest.raises(ExprSyntaxError):
+        parse_expr(bad)
+
+
+def test_evaluate_missing_variable():
+    with pytest.raises(ExprSyntaxError):
+        parse_expr("a & b").evaluate({"a": True})
+
+
+def test_to_function_matches_evaluate():
+    names = ["a", "b", "c"]
+    mgr = BddManager(names)
+    expr = parse_expr("(a ^ b) | (b & ~c)")
+    fn = expr.to_function(mgr)
+    for asgn in all_assignments(names):
+        assert fn.evaluate(asgn) == expr.evaluate(asgn)
+
+
+def test_to_function_with_rename():
+    mgr = BddManager(["x", "y"])
+    expr = parse_expr("a & ~b")
+    fn = expr.to_function(mgr, rename={"a": "x", "b": "y"})
+    assert fn == (mgr.var("x") & mgr.nvar("y"))
+
+
+def test_ast_constructors_and_str_roundtrip():
+    a, b = BoolExpr.var("a"), BoolExpr.var("b")
+    expr = (a & ~b) | (a ^ b)
+    reparsed = parse_expr(str(expr))
+    for asgn in all_assignments(["a", "b"]):
+        assert reparsed.evaluate(asgn) == expr.evaluate(asgn)

@@ -1,0 +1,69 @@
+"""Tests for two-level minimization passes."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BddManager
+from repro.logic import Cover, expand, irredundant, minimize, single_cube_containment
+
+NAMES = ("a", "b", "c", "d")
+
+
+def equivalent(x: Cover, y: Cover) -> bool:
+    for bits in itertools.product([False, True], repeat=len(NAMES)):
+        asgn = dict(zip(NAMES, bits))
+        if x.evaluate(asgn) != y.evaluate(asgn):
+            return False
+    return True
+
+
+def test_single_cube_containment_drops_contained():
+    cov = Cover.from_strings(NAMES, ["1---", "11--", "110-"])
+    out = single_cube_containment(cov)
+    assert [str(c) for c in out.cubes] == ["1---"]
+
+
+def test_single_cube_containment_keeps_overlapping():
+    cov = Cover.from_strings(NAMES, ["1---", "-1--"])
+    out = single_cube_containment(cov)
+    assert out.num_cubes == 2
+
+
+def test_irredundant_drops_consensus_cube():
+    # ab + a'c + bc : bc is redundant (consensus of the other two).
+    cov = Cover.from_strings(("a", "b", "c"), ["11-", "0-1", "-11"])
+    out = irredundant(cov)
+    assert out.num_cubes == 2
+    mgr = BddManager(("a", "b", "c"))
+    assert out.to_function(mgr) == cov.to_function(mgr)
+
+
+def test_expand_grows_within_upper_bound():
+    mgr = BddManager(NAMES)
+    cov = Cover.from_strings(NAMES, ["1100"])
+    upper = mgr.var("a")
+    out = expand(cov, upper, mgr)
+    assert out.num_cubes == 1
+    assert out.cubes[0].literal_count() < 4
+    assert out.to_function(mgr).is_subset_of(upper)
+
+
+cover_st = st.lists(
+    st.text(alphabet="01-", min_size=4, max_size=4), min_size=1, max_size=6
+).map(lambda rows: Cover.from_strings(NAMES, rows))
+
+
+@given(cover_st)
+@settings(max_examples=60, deadline=None)
+def test_minimize_preserves_function(cov):
+    out = minimize(cov)
+    assert equivalent(cov, out)
+    assert out.num_cubes <= cov.num_cubes
+
+
+@given(cover_st)
+@settings(max_examples=60, deadline=None)
+def test_scc_preserves_function(cov):
+    assert equivalent(cov, single_cube_containment(cov))

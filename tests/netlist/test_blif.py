@@ -1,0 +1,103 @@
+"""Tests for BLIF reading/writing."""
+
+import pytest
+
+from repro.benchcircuits import comparator2
+from repro.errors import BlifError
+from repro.netlist import read_blif, unit_library, write_blif
+from repro.sim import exhaustive_patterns, simulate
+
+LIB = unit_library()
+
+
+def test_gate_roundtrip_preserves_function():
+    c = comparator2()
+    c2 = read_blif(write_blif(c), library=LIB)
+    assert c2.inputs == c.inputs and c2.outputs == c.outputs
+    for pat in exhaustive_patterns(c.inputs):
+        assert simulate(c2, pat)["y"] == simulate(c, pat)["y"]
+
+
+def test_names_tables():
+    text = """
+.model test
+.inputs a b c
+.outputs f g
+.names a b f
+11 1
+.names a b c g
+1-0 1
+01- 1
+.end
+"""
+    c = read_blif(text)
+    for pat in exhaustive_patterns(("a", "b", "c")):
+        vals = simulate(c, pat)
+        assert vals["f"] == (pat["a"] and pat["b"])
+        assert vals["g"] == (
+            (pat["a"] and not pat["c"]) or (not pat["a"] and pat["b"])
+        )
+
+
+def test_names_zero_polarity():
+    text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n"
+    c = read_blif(text)
+    for pat in exhaustive_patterns(("a", "b")):
+        assert simulate(c, pat)["f"] == (not (pat["a"] and pat["b"]))
+
+
+def test_constant_names_node():
+    text = ".model t\n.inputs a\n.outputs k\n.names k\n1\n.end\n"
+    c = read_blif(text)
+    assert simulate(c, {"a": False})["k"] is True
+
+
+def test_continuation_lines_and_comments():
+    text = (
+        ".model t  # a comment\n"
+        ".inputs a \\\n b\n"
+        ".outputs f\n"
+        ".names a b f\n"
+        "11 1\n"
+        ".end\n"
+    )
+    c = read_blif(text)
+    assert c.inputs == ("a", "b")
+
+
+@pytest.mark.parametrize(
+    "text,message",
+    [
+        (".inputs a\n", ".inputs before .model"),
+        (".model t\n.inputs a\n.latch a b\n", "unsupported"),
+        (".model t\n.inputs a\n11 1\n", "outside"),
+        (".model t\n.model u\n", "multiple"),
+        ("", "no .model"),
+        (".model t\n.inputs a\n.outputs f\n.names a f\n1- 1\n.end\n", "bad cover row"),
+    ],
+)
+def test_malformed_blif_rejected(text, message):
+    with pytest.raises(BlifError):
+        read_blif(text, library=LIB)
+
+
+def test_gate_requires_library():
+    with pytest.raises(BlifError):
+        read_blif(".model t\n.inputs x y\n.gate NAND2 a=x b=y y=z\n.end\n")
+
+
+def test_gate_binding_errors():
+    with pytest.raises(BlifError):
+        read_blif(".model t\n.inputs a\n.gate INV a=a\n.end\n", library=LIB)
+    with pytest.raises(BlifError):
+        read_blif(".model t\n.inputs a b\n.gate AND2 a=a y=f\n.end\n", library=LIB)
+
+
+def test_write_blif_file(tmp_path):
+    from repro.netlist import write_blif_file
+
+    c = comparator2()
+    path = tmp_path / "c.blif"
+    write_blif_file(c, path)
+    c2 = read_blif(path, library=LIB)
+    assert c2.num_gates == c.num_gates

@@ -1,0 +1,73 @@
+"""Tests for the built-in cell libraries."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.netlist import Library, builtin_library, lsi10k_like_library, unit_library
+from repro.netlist.cell import Cell
+
+
+def test_unit_library_delay_model():
+    """The paper's example model: INV = 1, 2-input gates = 2."""
+    lib = unit_library()
+    assert lib.get("INV").pin_delays == (1,)
+    for name in ("AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2"):
+        assert lib.get(name).pin_delays == (2, 2), name
+
+
+def test_duplicate_cell_rejected():
+    lib = Library("t")
+    lib.add(Cell("INV", ("a",), "~a", 1.0, (1,)))
+    with pytest.raises(LibraryError):
+        lib.add(Cell("INV", ("a",), "~a", 1.0, (1,)))
+
+
+def test_unknown_cell_rejected():
+    with pytest.raises(LibraryError):
+        unit_library().get("FLUXCAP")
+
+
+def test_contains_iter_len():
+    lib = unit_library()
+    assert "INV" in lib and "FLUXCAP" not in lib
+    assert len(lib) == len(list(lib))
+    assert set(lib.cell_names) == {c.name for c in lib}
+
+
+def test_cells_with_inputs():
+    lib = unit_library()
+    assert all(c.num_inputs == 2 for c in lib.cells_with_inputs(2))
+    assert {c.name for c in lib.cells_with_inputs(0)} == {"ZERO", "ONE"}
+
+
+def test_builtin_library_lookup():
+    assert builtin_library("unit").name == "unit"
+    assert builtin_library("lsi10k_like").name == "lsi10k_like"
+    with pytest.raises(LibraryError):
+        builtin_library("tsmc7")
+
+
+@pytest.mark.parametrize("lib_factory", [unit_library, lsi10k_like_library])
+def test_all_cell_functions_are_consistent(lib_factory):
+    """Every cell's expression, truth table, and primes must agree."""
+    for cell in lib_factory():
+        table = cell.truth_table()
+        on, off = cell.primes()
+        n = cell.num_inputs
+        for idx in range(1 << n):
+            bits = [(idx >> (n - 1 - i)) & 1 for i in range(n)]
+            expected = table[idx]
+            in_on = any(p.contains_minterm(bits) for p in on)
+            in_off = any(p.contains_minterm(bits) for p in off)
+            assert in_on == expected, (cell.name, idx)
+            assert in_off == (not expected), (cell.name, idx)
+
+
+def test_mux_semantics():
+    for lib in (unit_library(), lsi10k_like_library()):
+        mux = lib.get("MUX2")
+        for s, d0, d1 in itertools.product([False, True], repeat=3):
+            expected = d1 if s else d0
+            assert mux.evaluate({"s": s, "d0": d0, "d1": d1}) == expected

@@ -1,0 +1,42 @@
+"""Tests for the structural Verilog writer."""
+
+import re
+
+from repro.benchcircuits import comparator2
+from repro.netlist import write_verilog, write_verilog_file
+
+
+def test_module_structure():
+    text = write_verilog(comparator2())
+    assert text.startswith("module comparator2 (")
+    assert text.rstrip().endswith("endmodule")
+    assert "  input a0;" in text
+    assert "  output y;" in text
+    # every gate appears exactly once
+    assert text.count("INV ") == 2
+    assert text.count("AND2 ") == 2
+    assert text.count("OR2 ") == 3
+
+
+def test_all_internal_nets_declared():
+    c = comparator2()
+    text = write_verilog(c)
+    for net in c.topo_order():
+        if net not in c.outputs:
+            assert f"wire {net};" in text
+
+
+def test_escaped_identifiers():
+    from repro.netlist import Circuit, unit_library
+
+    lib = unit_library()
+    c = Circuit("t", inputs=("a",), outputs=("p$y",))
+    c.add_gate("p$y", lib.get("INV"), ("a",))
+    text = write_verilog(c)
+    assert "\\p$y " in text
+
+
+def test_write_file(tmp_path):
+    path = tmp_path / "c.v"
+    write_verilog_file(comparator2(), path)
+    assert path.read_text().startswith("module")

@@ -1,0 +1,55 @@
+"""Tests for aging/degradation models."""
+
+import pytest
+
+from repro.benchcircuits import comparator2
+from repro.errors import SimulationError
+from repro.sim import LinearAging, SaturatingAging, aged_copy, speed_path_gates
+from repro.sta import analyze
+
+
+def test_linear_aging_monotone():
+    model = LinearAging(rate=0.1)
+    assert model.scale_at(0) == 1.0
+    assert model.scale_at(10) == pytest.approx(2.0)
+    with pytest.raises(SimulationError):
+        model.scale_at(-1)
+
+
+def test_saturating_aging_bounded():
+    model = SaturatingAging(amplitude=0.5, tau=5.0)
+    assert model.scale_at(0) == 1.0
+    assert model.scale_at(5) == pytest.approx(1.25)
+    assert model.scale_at(1e9) == pytest.approx(1.5, rel=1e-3)
+    prev = 0.0
+    for t in range(0, 50, 5):
+        s = model.scale_at(t)
+        assert s >= prev
+        prev = s
+
+
+def test_speed_path_gates_are_critical():
+    c = comparator2()
+    gates = speed_path_gates(c)
+    rep = analyze(c)
+    assert gates == rep.critical_gates(c)
+    assert "t4" in gates
+
+
+def test_aged_copy_slows_only_speed_paths():
+    c = comparator2()
+    aged = aged_copy(c, 1.5)
+    for name, gate in aged.gates.items():
+        if name in speed_path_gates(c):
+            assert gate.delay_scale == 1.5
+        else:
+            assert gate.delay_scale == 1.0
+    assert analyze(aged).critical_delay > analyze(c).critical_delay
+
+
+def test_aged_copy_explicit_gates_and_guard():
+    c = comparator2()
+    aged = aged_copy(c, 2.0, gates=["t1"])
+    assert aged.gate("t1").delay_scale == 2.0
+    with pytest.raises(SimulationError):
+        aged_copy(c, 0.9)

@@ -1,0 +1,92 @@
+"""Tests for the two-vector event-driven timing simulator."""
+
+import pytest
+
+from repro.benchcircuits import comparator2
+from repro.netlist import Circuit, unit_library
+from repro.sim import (
+    Waveform,
+    exhaustive_patterns,
+    settle_times,
+    simulate,
+    stabilization_times,
+    two_vector_waveforms,
+)
+from tests.conftest import random_dag_circuit
+
+LIB = unit_library()
+
+
+def test_waveform_basics():
+    w = Waveform.step(False, True, at=5)
+    assert w.initial is False and w.final is True
+    assert w.value_at(4) is False and w.value_at(5) is True
+    assert w.settle_time == 5
+    const = Waveform.constant(True)
+    assert const.final is True and const.settle_time == 0
+    assert Waveform.step(True, True).num_transitions == 0
+
+
+def test_waveform_shift():
+    w = Waveform.step(False, True, at=3).shifted(4)
+    assert w.value_at(6) is False and w.value_at(7) is True
+
+
+def test_inverter_chain_propagation():
+    c = Circuit("t", inputs=("a",), outputs=("g3",))
+    for i in range(3):
+        c.add_gate(f"g{i + 1}", LIB.get("INV"), (f"g{i}" if i else "a",))
+    waves = two_vector_waveforms(c, {"a": False}, {"a": True})
+    assert waves["g3"].transitions == ((3, False),)
+    assert waves["g3"].initial is True
+
+
+def test_static_pair_produces_no_transitions():
+    c = comparator2()
+    v = dict.fromkeys(c.inputs, True)
+    waves = two_vector_waveforms(c, v, v)
+    for net in c.nets():
+        assert waves[net].num_transitions == 0
+
+
+def test_final_values_match_zero_delay_sim():
+    for seed in range(6):
+        c = random_dag_circuit(seed, num_inputs=5, num_gates=12)
+        pats = list(exhaustive_patterns(c.inputs))
+        for v1, v2 in zip(pats[::3], pats[1::3]):
+            waves = two_vector_waveforms(c, v1, v2)
+            ref = simulate(c, v2)
+            for net in c.nets():
+                assert waves[net].final == ref[net], (seed, net)
+
+
+def test_settle_bounded_by_floating_mode():
+    """Two-vector settle time never exceeds the floating-mode bound of v2."""
+    for seed in range(6):
+        c = random_dag_circuit(seed, num_inputs=5, num_gates=12)
+        pats = list(exhaustive_patterns(c.inputs))
+        for v1, v2 in zip(pats[::2], pats[1::2]):
+            settles = settle_times(c, v1, v2)
+            oracle = stabilization_times(c, v2)
+            for y in c.outputs:
+                assert settles[y] <= oracle[y], (seed, y)
+
+
+def test_glitch_visible_in_waveform():
+    # XOR of a fast and a slow copy of the same input glitches.
+    c = Circuit("t", inputs=("a",), outputs=("g",))
+    c.add_gate("s1", LIB.get("INV"), ("a",))
+    c.add_gate("s2", LIB.get("INV"), ("s1",))
+    c.add_gate("g", LIB.get("XOR2"), ("a", "s2"))
+    waves = two_vector_waveforms(c, {"a": False}, {"a": True})
+    # a arrives at the XOR at t=2; s2 at t=4: a 1-glitch in between.
+    assert waves["g"].num_transitions == 2
+    assert waves["g"].value_at(3) is True
+    assert waves["g"].final is False
+
+
+def test_missing_input_rejected():
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        two_vector_waveforms(comparator2(), {}, {})

@@ -1,0 +1,67 @@
+"""Tests for clocked sampling and timing-error injection."""
+
+import pytest
+
+from repro.benchcircuits import comparator2
+from repro.errors import SimulationError
+from repro.sim import (
+    exhaustive_patterns,
+    random_patterns,
+    sample_at_clock,
+    timing_errors,
+)
+from repro.sta import analyze
+
+
+def test_sampling_at_full_period_is_error_free():
+    c = comparator2()
+    delta = analyze(c).critical_delay
+    pats = list(exhaustive_patterns(c.inputs))
+    assert timing_errors(c, zip(pats, pats[1:]), clock=delta) == []
+
+
+def test_aged_circuit_shows_errors_only_when_late():
+    c = comparator2()
+    delta = analyze(c).critical_delay
+    slow = c.with_delay_scales({"t4": 3.0})
+    pats = list(exhaustive_patterns(c.inputs))
+    failures = timing_errors(slow, zip(pats, pats[1:]), clock=delta)
+    assert failures  # slowing the speed-path past the clock must fail
+    # and each reported failure is a genuine sample/settle mismatch
+    for idx, errs in failures:
+        result = sample_at_clock(slow, pats[idx], pats[idx + 1], delta)
+        assert result.has_error
+        assert errs == result.errors()
+
+
+def test_sample_result_fields():
+    c = comparator2()
+    v1 = dict.fromkeys(c.inputs, False)
+    v2 = dict.fromkeys(c.inputs, True)
+    res = sample_at_clock(c, v1, v2, clock=7)
+    assert set(res.sampled) == {"y"}
+    assert res.settle_time["y"] <= 7
+    assert not res.has_error
+
+
+def test_negative_clock_rejected():
+    c = comparator2()
+    v = dict.fromkeys(c.inputs, False)
+    with pytest.raises(SimulationError):
+        sample_at_clock(c, v, v, clock=-1)
+
+
+def test_error_rate_grows_with_aging():
+    c = comparator2()
+    delta = analyze(c).critical_delay
+    pats = list(random_patterns(c.inputs, 120, seed=3))
+    pairs = list(zip(pats, pats[1:]))
+    rates = []
+    for scale in (1.0, 1.5, 2.5):
+        slow = c.with_delay_scales(
+            {g: scale for g in ("t4", "y", "nb0", "nb1")}
+        )
+        rates.append(len(timing_errors(slow, pairs, clock=delta)))
+    assert rates[0] == 0
+    assert rates[0] <= rates[1] <= rates[2]
+    assert rates[2] > 0

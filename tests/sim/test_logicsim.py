@@ -1,0 +1,67 @@
+"""Tests for zero-delay logic simulation."""
+
+import pytest
+
+from repro.benchcircuits import comparator2, comparator2_reference
+from repro.errors import SimulationError
+from repro.sim import (
+    exhaustive_patterns,
+    pack_patterns,
+    random_patterns,
+    simulate,
+    simulate_words,
+)
+from tests.conftest import random_dag_circuit
+
+
+def test_comparator_against_reference():
+    c = comparator2()
+    for pat in exhaustive_patterns(c.inputs):
+        got = simulate(c, pat)["y"]
+        assert got == comparator2_reference(
+            pat["a0"], pat["a1"], pat["b0"], pat["b1"]
+        )
+
+
+def test_missing_input_rejected():
+    with pytest.raises(SimulationError):
+        simulate(comparator2(), {"a0": True})
+
+
+def test_exhaustive_guard():
+    with pytest.raises(SimulationError):
+        list(exhaustive_patterns([f"x{i}" for i in range(30)]))
+
+
+def test_random_patterns_deterministic():
+    ins = ("a", "b", "c")
+    a = list(random_patterns(ins, 20, seed=5))
+    b = list(random_patterns(ins, 20, seed=5))
+    assert a == b
+    assert a != list(random_patterns(ins, 20, seed=6))
+
+
+def test_word_simulation_matches_scalar():
+    for seed in range(5):
+        c = random_dag_circuit(seed, num_inputs=6, num_gates=15)
+        pats = list(random_patterns(c.inputs, 64, seed=seed))
+        words, width = pack_patterns(c.inputs, pats)
+        word_vals = simulate_words(c, words, width)
+        for i, pat in enumerate(pats):
+            ref = simulate(c, pat)
+            for net in c.nets():
+                assert bool((word_vals[net] >> i) & 1) == ref[net], (seed, net)
+
+
+def test_word_simulation_missing_input():
+    with pytest.raises(SimulationError):
+        simulate_words(comparator2(), {"a0": 1}, 1)
+
+
+def test_pack_patterns_layout():
+    words, width = pack_patterns(
+        ("a", "b"), [{"a": True, "b": False}, {"a": False, "b": True}]
+    )
+    assert width == 2
+    assert words["a"] == 0b01
+    assert words["b"] == 0b10

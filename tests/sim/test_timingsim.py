@@ -1,0 +1,87 @@
+"""Tests for the floating-mode stabilization oracle."""
+
+import pytest
+
+from repro.benchcircuits import comparator2
+from repro.errors import SimulationError
+from repro.netlist import Circuit, unit_library
+from repro.sim import (
+    exhaustive_patterns,
+    is_speed_path_pattern,
+    output_stabilization,
+    simulate,
+    stabilization_times,
+)
+from repro.sta import analyze
+from tests.conftest import random_dag_circuit
+
+LIB = unit_library()
+
+
+def test_inputs_stabilize_at_zero():
+    c = comparator2()
+    st = stabilization_times(c, dict.fromkeys(c.inputs, False))
+    for net in c.inputs:
+        assert st[net] == 0
+
+
+def test_controlling_input_stabilizes_early():
+    # AND2(a, slow): a=0 determines the output at time 2 regardless of the
+    # slow side; a=1 forces waiting for the inverter chain.
+    c = Circuit("t", inputs=("a", "b"), outputs=("g",))
+    c.add_gate("i1", LIB.get("INV"), ("b",))
+    c.add_gate("i2", LIB.get("INV"), ("i1",))
+    c.add_gate("i3", LIB.get("INV"), ("i2",))
+    c.add_gate("g", LIB.get("AND2"), ("a", "i3"))
+    st0 = stabilization_times(c, {"a": False, "b": False})
+    assert st0["g"] == 2  # prime {a=0} satisfied immediately
+    st1 = stabilization_times(c, {"a": True, "b": False})
+    assert st1["g"] == 5  # must wait for the 3-inverter chain
+
+
+def test_xor_always_waits_for_both():
+    c = Circuit("t", inputs=("a", "b"), outputs=("g",))
+    c.add_gate("i1", LIB.get("INV"), ("b",))
+    c.add_gate("g", LIB.get("XOR2"), ("a", "i1"))
+    for pat in exhaustive_patterns(("a", "b")):
+        st = stabilization_times(c, pat)
+        assert st["g"] == 3  # max(0, 1) + 2 for every pattern
+
+
+def test_bounded_by_sta_and_consistent_with_values():
+    for seed in range(8):
+        c = random_dag_circuit(seed, num_inputs=5, num_gates=12)
+        rep = analyze(c)
+        for pat in exhaustive_patterns(c.inputs):
+            st = stabilization_times(c, pat)
+            vals = simulate(c, pat)
+            for net in c.nets():
+                assert rep.min_stable[net] <= st[net] <= rep.arrival[net]
+            assert set(vals) == set(st)
+
+
+def test_comparator_spcf_from_oracle():
+    """Patterns late past 0.9*Delta form the paper's Sigma = a1' + a0' b1."""
+    c = comparator2()
+    rep = analyze(c)
+    late = {
+        tuple(sorted(p.items()))
+        for p in exhaustive_patterns(c.inputs)
+        if stabilization_times(c, p)["y"] > rep.target
+    }
+    expected = {
+        tuple(sorted(p.items()))
+        for p in exhaustive_patterns(c.inputs)
+        if (not p["a1"]) or (not p["a0"] and p["b1"])
+    }
+    assert late == expected
+
+
+def test_output_helpers():
+    c = comparator2()
+    pat = dict.fromkeys(c.inputs, False)
+    outs = output_stabilization(c, pat)
+    assert set(outs) == {"y"}
+    assert is_speed_path_pattern(c, pat, "y", target=6) == (outs["y"] > 6)
+    with pytest.raises(SimulationError):
+        is_speed_path_pattern(c, pat, "t4", target=6)

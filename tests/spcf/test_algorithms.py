@@ -1,0 +1,109 @@
+"""Cross-validation of the three SPCF algorithms (paper Sec. 3, Table 1).
+
+The invariants (DESIGN.md §7):
+
+1. short-path and path-based agree exactly,
+2. node-based is a superset of the exact SPCF,
+3. the exact SPCF matches the per-pattern floating-mode oracle.
+"""
+
+import pytest
+
+from repro.benchcircuits import comparator2, comparator_nbit
+from repro.sim import exhaustive_patterns, stabilization_times
+from repro.spcf import (
+    SpcfContext,
+    compare_algorithms,
+    spcf_nodebased,
+    spcf_pathbased,
+    spcf_shortpath,
+)
+from tests.conftest import random_dag_circuit
+
+
+def check_all(circuit, threshold=0.9, exhaustive=True):
+    ctx = SpcfContext(circuit, threshold=threshold)
+    short = spcf_shortpath(circuit, context=ctx)
+    path = spcf_pathbased(circuit, context=ctx)
+    node = spcf_nodebased(circuit, context=ctx)
+    assert short.per_output.keys() == path.per_output.keys()
+    assert short.per_output.keys() == node.per_output.keys()
+    for y in short.per_output:
+        assert short.per_output[y] == path.per_output[y], y
+        assert short.per_output[y].is_subset_of(node.per_output[y]), y
+    if exhaustive:
+        for pat in exhaustive_patterns(circuit.inputs):
+            st = stabilization_times(circuit, pat)
+            for y, fn in short.per_output.items():
+                assert fn.evaluate(pat) == (st[y] > short.target), (pat, y)
+    return short, path, node
+
+
+def test_comparator_reproduces_paper_sigma():
+    c = comparator2()
+    ctx = SpcfContext(c)
+    short = spcf_shortpath(c, context=ctx)
+    mgr = ctx.manager
+    paper_sigma = (~mgr.var("a1")) | (~mgr.var("a0") & mgr.var("b1"))
+    assert short.per_output["y"] == paper_sigma
+    assert short.count() == 10
+
+
+def test_comparator_all_algorithms():
+    check_all(comparator2())
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_nbit_comparators(n):
+    check_all(comparator_nbit(n))
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_circuits_agree_with_oracle(seed):
+    c = random_dag_circuit(seed, num_inputs=5, num_gates=14, num_outputs=3)
+    check_all(c)
+
+
+@pytest.mark.parametrize("threshold", [0.7, 0.8, 0.95])
+def test_alternate_thresholds(threshold):
+    c = random_dag_circuit(99, num_inputs=5, num_gates=14, num_outputs=2)
+    check_all(c, threshold=threshold)
+
+
+def test_monotone_in_threshold():
+    """Raising the target arrival time can only shrink the SPCF."""
+    c = comparator_nbit(4)
+    ctx_lo = SpcfContext(c, threshold=0.8)
+    ctx_hi = SpcfContext(c, threshold=0.95, manager=ctx_lo.manager)
+    lo = spcf_shortpath(c, context=ctx_lo)
+    hi = spcf_shortpath(c, context=ctx_hi)
+    assert ctx_hi.target > ctx_lo.target
+    for y, fn in hi.per_output.items():
+        assert y in lo.per_output
+        assert fn.is_subset_of(lo.per_output[y])
+
+
+def test_compare_algorithms_row():
+    row = compare_algorithms(comparator2())
+    assert row.circuit_name == "comparator2"
+    assert row.short_path_count == row.path_based_count == 10
+    assert row.node_based_count >= 10
+    assert row.over_approximation_factor >= 1.0
+    assert row.num_inputs == 4 and row.num_outputs == 1
+
+
+def test_no_critical_outputs_when_target_is_delta():
+    c = comparator2()
+    res = spcf_shortpath(c, target=7)
+    assert res.per_output == {}
+    assert res.count() == 0
+    assert res.is_empty()
+
+
+def test_result_counts_by_output():
+    c = comparator_nbit(3)
+    res = spcf_shortpath(c)
+    counts = res.counts_by_output()
+    assert set(counts) == set(res.per_output)
+    assert all(v >= 0 for v in counts.values())
+    assert res.count() <= sum(counts.values()) or len(counts) == 1

@@ -1,0 +1,73 @@
+"""Focused tests for the node-based over-approximating algorithm."""
+
+import pytest
+
+from repro.benchcircuits import make_benchmark
+from repro.netlist import Circuit, unit_library
+from repro.sim import exhaustive_patterns, stabilization_times
+from repro.spcf import SpcfContext, spcf_nodebased, spcf_shortpath
+from repro.sta import analyze
+
+LIB = unit_library()
+
+
+def test_superset_on_reconvergent_structure():
+    """A gate critical along only one fanout makes node-based strictly loose.
+
+    Structure: a long chain Z feeds output y1 directly (critical path) and
+    also feeds y2 through a short guarded path.  Statically Z is critical,
+    so node-based cannot use the guard to rule out lateness at y2.
+    """
+    c = Circuit("recon", inputs=("a", "b", "g1", "g2"), outputs=("y1", "y2"))
+    prev = "a"
+    for i in range(6):
+        c.add_gate(f"z{i}", LIB.get("INV"), (prev,))
+        prev = f"z{i}"
+    c.add_gate("y1", LIB.get("AND2"), (prev, "b"))
+    # y2: guarded short path from the critical tail
+    c.add_gate("gg", LIB.get("AND2"), ("g1", "g2"))
+    c.add_gate("y2", LIB.get("AND2"), (prev, "gg"))
+    c.validate()
+
+    ctx = SpcfContext(c, threshold=0.8)
+    exact = spcf_shortpath(c, context=ctx)
+    node = spcf_nodebased(c, context=ctx)
+    for y in exact.per_output:
+        assert exact.per_output[y].is_subset_of(node.per_output[y])
+    # exhaustive oracle agreement for the exact algorithm
+    for pat in exhaustive_patterns(c.inputs):
+        st = stabilization_times(c, pat)
+        for y, fn in exact.per_output.items():
+            assert fn.evaluate(pat) == (st[y] > exact.target)
+
+
+def test_benchmark_over_approximation_is_material():
+    """On the generated Table-1 circuits the looseness must be visible."""
+    c = make_benchmark("C2670")
+    ctx = SpcfContext(c)
+    exact = spcf_shortpath(c, context=ctx)
+    node = spcf_nodebased(c, context=ctx)
+    assert node.count() > exact.count()
+
+
+def test_node_based_empty_when_no_critical_gates():
+    c = Circuit("t", inputs=("a", "b"), outputs=("g",))
+    c.add_gate("g", LIB.get("AND2"), ("a", "b"))
+    res = spcf_nodebased(c, target=100)
+    assert res.per_output == {}
+
+
+def test_node_based_includes_exact_across_thresholds():
+    c = make_benchmark("cmb")
+    for threshold in (0.8, 0.9, 0.95):
+        ctx = SpcfContext(c, threshold=threshold)
+        exact = spcf_shortpath(c, context=ctx)
+        node = spcf_nodebased(c, context=ctx)
+        for y in exact.per_output:
+            assert exact.per_output[y].is_subset_of(node.per_output[y]), threshold
+
+
+def test_algorithm_labels():
+    c = make_benchmark("cmb")
+    assert "node-based" in spcf_nodebased(c).algorithm
+    assert "short-path" in spcf_shortpath(c).algorithm

@@ -1,0 +1,77 @@
+"""Tests for the shared SPCF context and timed characteristic functions."""
+
+import pytest
+
+from repro.benchcircuits import comparator2
+from repro.errors import SpcfError
+from repro.sim import exhaustive_patterns, simulate, stabilization_times
+from repro.spcf import SpcfContext, expr_to_function
+from repro.bdd import BddManager
+from repro.logic import parse_expr
+from tests.conftest import random_dag_circuit
+
+
+def test_global_functions_match_simulation():
+    for seed in range(5):
+        c = random_dag_circuit(seed, num_inputs=5, num_gates=12)
+        ctx = SpcfContext(c)
+        for pat in exhaustive_patterns(c.inputs):
+            vals = simulate(c, pat)
+            for net in c.nets():
+                assert ctx.functions[net].evaluate(pat) == vals[net], (seed, net)
+
+
+def test_stable_pair_partitions_on_time_patterns():
+    """S0/S1 at time t == patterns with that final value stabilized by t."""
+    c = comparator2()
+    ctx = SpcfContext(c)
+    for t in (0, 3, 5, 6, 7):
+        s0, s1 = ctx.stable("y", t)
+        assert (s0 & s1).is_false
+        for pat in exhaustive_patterns(c.inputs):
+            st = stabilization_times(c, pat)
+            val = simulate(c, pat)["y"]
+            on_time = st["y"] <= t
+            assert s1.evaluate(pat) == (on_time and val), (t, pat)
+            assert s0.evaluate(pat) == (on_time and not val), (t, pat)
+
+
+def test_late_is_complement_of_stable():
+    c = comparator2()
+    ctx = SpcfContext(c)
+    s0, s1 = ctx.stable("y", 5)
+    assert ctx.late("y", 5) == ~(s0 | s1)
+
+
+def test_stable_beyond_arrival_is_everything():
+    c = comparator2()
+    ctx = SpcfContext(c)
+    s0, s1 = ctx.stable("y", 100)
+    assert (s0 | s1).is_true
+    assert s1 == ctx.functions["y"]
+
+
+def test_stable_before_min_is_empty():
+    c = comparator2()
+    ctx = SpcfContext(c)
+    s0, s1 = ctx.stable("y", 0)
+    assert s0.is_false and s1.is_false
+
+
+def test_expr_to_function_unbound_name():
+    mgr = BddManager(["a"])
+    with pytest.raises(SpcfError):
+        expr_to_function(parse_expr("a & b"), {"a": mgr.var("a")}, mgr)
+
+
+def test_context_count_uses_pi_space():
+    c = comparator2()
+    ctx = SpcfContext(c)
+    assert ctx.count(ctx.manager.true) == 16
+    assert ctx.count(ctx.manager.false) == 0
+
+
+def test_critical_outputs_property():
+    c = comparator2()
+    ctx = SpcfContext(c)
+    assert ctx.critical_outputs == ("y",)

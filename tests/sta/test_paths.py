@@ -1,0 +1,79 @@
+"""Tests for speed-path enumeration and counting."""
+
+import pytest
+
+from repro.benchcircuits import comparator2
+from repro.errors import TimingError
+from repro.netlist import Circuit, unit_library
+from repro.sta import analyze, count_speed_paths, enumerate_speed_paths
+
+LIB = unit_library()
+
+
+def path_delay(circuit, nets):
+    total = 0
+    for src, dst in zip(nets, nets[1:]):
+        gate = circuit.gates[dst]
+        pin = gate.fanins.index(src)
+        total += gate.pin_delay(pin)
+    return total
+
+
+def test_comparator_speed_paths():
+    c = comparator2()
+    paths = enumerate_speed_paths(c)
+    # The two delay-7 paths run from b0 and b1 through the inverters and t4.
+    assert {p.start for p in paths} == {"b0", "b1"}
+    for p in paths:
+        assert p.end == "y"
+        assert p.delay == 7
+        assert path_delay(c, p.nets) == p.delay
+    assert count_speed_paths(c) == len(paths)
+
+
+def test_paths_sorted_longest_first():
+    c = comparator2()
+    paths = enumerate_speed_paths(c, threshold=0.5)
+    delays = [p.delay for p in paths]
+    assert delays == sorted(delays, reverse=True)
+    assert count_speed_paths(c, threshold=0.5) == len(paths)
+
+
+def test_no_speed_paths_when_threshold_is_full_delay():
+    c = comparator2()
+    rep = analyze(c, target=7)
+    assert enumerate_speed_paths(c, report=rep) == []
+    assert count_speed_paths(c, report=rep) == 0
+
+
+def test_every_enumerated_path_exceeds_target():
+    from tests.conftest import random_dag_circuit
+
+    for seed in range(5):
+        c = random_dag_circuit(seed, num_inputs=5, num_gates=14)
+        rep = analyze(c)
+        for p in enumerate_speed_paths(c, report=rep):
+            assert p.delay > rep.target
+            assert path_delay(c, p.nets) == p.delay
+            assert c.is_input(p.start)
+            assert p.end in c.outputs
+            assert len(p) >= 1
+
+
+def test_limit_guard():
+    # A wide multiplier-ish structure has exponentially many paths; ensure
+    # the limit guard fires rather than hanging.
+    c = Circuit("wide", inputs=("a", "b"))
+    prev = ["a", "b"]
+    for level in range(16):
+        n1 = f"l{level}_0"
+        n2 = f"l{level}_1"
+        c.add_gate(n1, LIB.get("AND2"), (prev[0], prev[1]))
+        c.add_gate(n2, LIB.get("OR2"), (prev[0], prev[1]))
+        prev = [n1, n2]
+    c.add_gate("out", LIB.get("AND2"), tuple(prev))
+    c.add_output("out")
+    with pytest.raises(TimingError):
+        enumerate_speed_paths(c, threshold=0.1, limit=100)
+    # counting still works (DP, no materialization)
+    assert count_speed_paths(c, threshold=0.1) > 100

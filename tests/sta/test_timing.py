@@ -1,0 +1,89 @@
+"""Tests for static timing analysis."""
+
+import pytest
+
+from repro.benchcircuits import comparator2
+from repro.errors import TimingError
+from repro.netlist import Circuit, unit_library
+from repro.sim import exhaustive_patterns, stabilization_times
+from repro.sta import INFINITE_TIME, analyze, threshold_target
+from tests.conftest import random_dag_circuit
+
+LIB = unit_library()
+
+
+def test_comparator_paper_delay():
+    """Unit-delay 2-bit comparator has critical path delay exactly 7."""
+    rep = analyze(comparator2())
+    assert rep.critical_delay == 7
+    assert rep.target == 6  # floor(0.9 * 7)
+
+
+def test_arrival_times_chain():
+    c = Circuit("chain", inputs=("a",), outputs=("g2",))
+    c.add_gate("g1", LIB.get("INV"), ("a",))
+    c.add_gate("g2", LIB.get("INV"), ("g1",))
+    rep = analyze(c, target=0)
+    assert rep.arrival == {"a": 0, "g1": 1, "g2": 2}
+
+
+def test_required_and_slack():
+    c = comparator2()
+    rep = analyze(c)
+    # outputs: required == target
+    assert rep.required["y"] == 6
+    assert rep.slack("y") == 6 - 7 == -1
+    # a net not feeding any output would have infinite required time
+    with pytest.raises(TimingError):
+        rep.slack("ghost")
+
+
+def test_critical_sets():
+    c = comparator2()
+    rep = analyze(c)
+    crit = rep.critical_gates(c)
+    assert "y" in crit and "t4" in crit
+    assert rep.critical_outputs(c) == ("y",)
+    nets = rep.critical_nets()
+    assert "b0" in nets or "b1" in nets  # late inverter inputs are critical
+
+
+def test_min_stable_bounds_stabilization():
+    """min_stable must lower-bound the floating-mode oracle everywhere."""
+    for seed in range(6):
+        c = random_dag_circuit(seed, num_inputs=5, num_gates=10)
+        rep = analyze(c)
+        for pat in exhaustive_patterns(c.inputs):
+            st = stabilization_times(c, pat)
+            for net, t in st.items():
+                assert rep.min_stable[net] <= t <= rep.arrival[net], (seed, net)
+
+
+def test_threshold_target():
+    assert threshold_target(100, 0.9) == 90
+    assert threshold_target(7, 0.9) == 6
+    assert threshold_target(10, 1.0) == 10
+    with pytest.raises(TimingError):
+        threshold_target(10, 0.0)
+    with pytest.raises(TimingError):
+        threshold_target(10, 1.5)
+
+
+def test_explicit_target_overrides_threshold():
+    rep = analyze(comparator2(), target=3)
+    assert rep.target == 3
+    assert len(rep.critical_outputs(comparator2())) == 1
+
+
+def test_net_not_driving_output_gets_infinite_required():
+    c = Circuit("t", inputs=("a",), outputs=("g1",))
+    c.add_gate("g1", LIB.get("INV"), ("a",))
+    c.add_gate("dangling", LIB.get("INV"), ("a",))
+    rep = analyze(c)
+    assert rep.required["dangling"] == INFINITE_TIME
+
+
+def test_aging_shifts_arrival():
+    c = comparator2()
+    slow = c.with_delay_scales({"t4": 2.0})
+    assert analyze(slow).critical_delay > analyze(c).critical_delay

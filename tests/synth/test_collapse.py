@@ -1,0 +1,83 @@
+"""Tests for technet extraction and the collapse/eliminate pass."""
+
+import pytest
+
+from repro.benchcircuits import comparator2
+from repro.bdd import BddManager
+from repro.errors import SynthesisError
+from repro.netlist import lsi10k_like_library, unit_library
+from repro.sim import exhaustive_patterns, simulate
+from repro.synth import circuit_to_technet, collapse
+from tests.conftest import random_dag_circuit
+
+
+def functions_match(circuit, technet):
+    mgr = BddManager(circuit.inputs)
+    fns = technet.global_functions(mgr)
+    for pat in exhaustive_patterns(circuit.inputs):
+        vals = simulate(circuit, pat)
+        for y in circuit.outputs:
+            if fns[y].evaluate(pat) != vals[y]:
+                return False
+    return True
+
+
+def test_one_to_one_lift_preserves_functions():
+    c = comparator2()
+    tn = circuit_to_technet(c)
+    assert tn.num_nodes == c.num_gates
+    assert functions_match(c, tn)
+
+
+def test_collapse_preserves_functions_and_bounds():
+    for seed in range(6):
+        c = random_dag_circuit(seed, num_inputs=6, num_gates=16, num_outputs=3)
+        tn = collapse(circuit_to_technet(c), max_support=6)
+        tn.validate()
+        assert functions_match(c, tn)
+        for node in tn.nodes.values():
+            assert node.num_fanins <= 6
+
+
+def test_collapse_reduces_node_count():
+    c = comparator2()
+    tn = circuit_to_technet(c)
+    col = collapse(tn, max_support=10)
+    assert col.num_nodes < tn.num_nodes
+    assert functions_match(c, col)
+
+
+def test_outputs_survive_collapse():
+    for seed in range(4):
+        c = random_dag_circuit(seed, num_inputs=5, num_gates=12, num_outputs=2)
+        col = collapse(circuit_to_technet(c), max_support=8)
+        for y in c.outputs:
+            assert y in col.nodes
+
+
+def test_collapse_with_library_cost_guard():
+    lib = lsi10k_like_library()
+    for seed in range(4):
+        c = random_dag_circuit(
+            seed, num_inputs=6, num_gates=16, library=lib, num_outputs=2
+        )
+        col = collapse(circuit_to_technet(c), max_support=8, library=lib)
+        assert functions_match(c, col)
+
+
+def test_max_support_guard():
+    c = comparator2()
+    with pytest.raises(SynthesisError):
+        collapse(circuit_to_technet(c), max_support=1)
+
+
+def test_duplicate_fanin_gate_lifts_cleanly():
+    """A gate reading the same net twice collapses to distinct fanins."""
+    from repro.netlist import Circuit
+
+    lib = unit_library()
+    c = Circuit("t", inputs=("a",), outputs=("g",))
+    c.add_gate("g", lib.get("AND2"), ("a", "a"))
+    tn = circuit_to_technet(c)
+    assert tn.node("g").fanins == ("a",)
+    assert functions_match(c, tn)

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.netlist import read_blif, lsi10k_like_library
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_list(capsys):
+    code, out, _ = run(capsys, "list")
+    assert code == 0
+    assert "comparator2" in out and "C432" in out
+    assert "[table 2]" in out
+
+
+def test_report_named_benchmark(capsys):
+    code, out, _ = run(capsys, "report", "cmb")
+    assert code == 0
+    assert "critical delay" in out
+    assert "16/4" in out
+
+
+def test_report_unit_library_comparator(capsys):
+    code, out, _ = run(capsys, "--library", "unit", "report", "comparator2")
+    assert code == 0
+    assert "critical delay   : 7" in out
+
+
+@pytest.mark.parametrize("algo", ["short", "path", "node", "all"])
+def test_spcf(capsys, algo):
+    code, out, _ = run(capsys, "spcf", "cmb", "--algorithm", algo)
+    assert code == 0
+    if algo == "all":
+        assert "over-approximation factor" in out
+    else:
+        assert "critical patterns" in out
+
+
+def test_mask_writes_files(capsys, tmp_path):
+    out_blif = tmp_path / "masked.blif"
+    mask_blif = tmp_path / "mask.blif"
+    verilog = tmp_path / "masked.v"
+    code, out, _ = run(
+        capsys,
+        "mask",
+        "cmb",
+        "--out", str(out_blif),
+        "--mask-out", str(mask_blif),
+        "--verilog", str(verilog),
+    )
+    assert code == 0
+    assert "masking coverage   : 100.0%" in out
+    masked = read_blif(out_blif, library=lsi10k_like_library())
+    assert any(net.startswith("masked$") for net in masked.outputs)
+    assert read_blif(mask_blif, library=lsi10k_like_library()).num_gates > 0
+    assert verilog.read_text().startswith("module")
+
+
+def test_mask_blif_input_roundtrip(capsys, tmp_path):
+    """CLI accepts a .blif file path as the circuit argument."""
+    from repro.benchcircuits import make_benchmark
+    from repro.netlist import write_blif_file
+
+    lib = lsi10k_like_library()
+    path = tmp_path / "c.blif"
+    write_blif_file(make_benchmark("x2", lib), path)
+    code, out, _ = run(capsys, "report", str(path))
+    assert code == 0
+    assert "10/7" in out
+
+
+def test_table1(capsys):
+    code, out, _ = run(capsys, "table1")
+    assert code == 0
+    assert "C432" in out and "lsu_stb_ctl" in out
+
+
+def test_table2_subset(capsys):
+    code, out, _ = run(capsys, "table2", "--circuits", "cmb", "x2")
+    assert code == 0
+    assert "average" in out
+    assert out.count("100") >= 2  # both rows at 100% coverage
+
+
+def test_unknown_circuit_is_graceful(capsys):
+    code, out, err = run(capsys, "report", "does_not_exist")
+    assert code == 2
+    assert "error:" in err

@@ -1,0 +1,41 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    subclasses = [
+        errors.BddError,
+        errors.LogicError,
+        errors.ExprSyntaxError,
+        errors.NetlistError,
+        errors.LibraryError,
+        errors.BlifError,
+        errors.TimingError,
+        errors.SimulationError,
+        errors.SpcfError,
+        errors.SynthesisError,
+        errors.MaskingError,
+    ]
+    for cls in subclasses:
+        assert issubclass(cls, errors.ReproError), cls
+
+
+def test_specializations():
+    assert issubclass(errors.ExprSyntaxError, errors.LogicError)
+    assert issubclass(errors.LibraryError, errors.NetlistError)
+    assert issubclass(errors.BlifError, errors.NetlistError)
+
+
+def test_single_catch_point():
+    """Any library failure is catchable as ReproError."""
+    from repro.netlist import unit_library
+
+    with pytest.raises(errors.ReproError):
+        unit_library().get("NOT_A_CELL")
+    from repro.logic import parse_expr
+
+    with pytest.raises(errors.ReproError):
+        parse_expr("a &")
