@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the CI gate: tier-1 tests plus the
+# warning-level lint sweep over every builtin benchmark.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: check test lint-circuits verify-mask lint-py bench
+
+check: test lint-circuits
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+lint-circuits:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro lint all --fail-on warning
+
+verify-mask:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro verify-mask comparator2
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro verify-mask cmb
+
+# Python-side style lint; config lives in pyproject.toml ([tool.ruff]).
+# Optional: skipped with a notice when ruff is not installed.
+lint-py:
+	@command -v ruff >/dev/null 2>&1 \
+		&& ruff check src tests \
+		|| echo "ruff not installed; skipping python lint"
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

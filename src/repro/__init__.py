@@ -11,6 +11,7 @@ The package is organized bottom-up:
 * :mod:`repro.spcf` — the three speed-path characteristic function algorithms.
 * :mod:`repro.synth` — technology-independent networks, decomposition, mapping.
 * :mod:`repro.core` — error-masking synthesis (the paper's contribution).
+* :mod:`repro.analysis` — netlist lint + BDD-based formal verification.
 * :mod:`repro.apps` — wearout prediction and debug trace capture.
 * :mod:`repro.benchcircuits` — benchmark circuits and generators.
 
@@ -23,6 +24,14 @@ Quickstart::
     print(result.report.area_overhead_percent, result.report.slack_percent)
 """
 
+from repro.analysis import (
+    LintConfig,
+    LintReport,
+    VerifyMaskReport,
+    lint_circuit,
+    lint_suite,
+    verify_mask,
+)
 from repro.benchcircuits import circuit_by_name, make_benchmark
 from repro.core import (
     MaskedDesign,
@@ -80,4 +89,10 @@ __all__ = [
     "PipelineResult",
     "make_benchmark",
     "circuit_by_name",
+    "LintConfig",
+    "LintReport",
+    "VerifyMaskReport",
+    "lint_circuit",
+    "lint_suite",
+    "verify_mask",
 ]

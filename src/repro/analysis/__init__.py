@@ -1,0 +1,67 @@
+"""repro.analysis — circuit lint and formal verification.
+
+Two correctness tools on top of the netlist and BDD layers:
+
+* the **linter** (:func:`lint_circuit`) — rule-based structural checks with
+  stable rule ids (``LINT001`` combinational-loop ... ``LINT007``
+  constant-output) emitting structured :class:`Diagnostic` records,
+* the **formal pass** (:func:`verify_mask`) — BDD equivalence proofs of the
+  masking invariants (``e=1 ⟹ y~ = y``, ``Sigma_y ⟹ e``, off-SPCF
+  combinational equivalence of the mux-patched design) with counterexample
+  extraction.
+
+Quickstart::
+
+    from repro.analysis import lint_circuit, verify_mask
+    report = lint_circuit(circuit)
+    for diag in report:
+        print(diag.render())
+
+    result = synthesize_masking(circuit, library)
+    assert verify_mask(result).ok
+"""
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.linter import CircuitLinter, LintConfig, lint_circuit
+from repro.analysis.rules import RULE_REGISTRY, LintRule, rule
+from repro.analysis.batch import lint_suite, suite_ok
+from repro.analysis.reporters import (
+    render_json,
+    render_json_many,
+    render_text,
+    render_text_many,
+    render_verify_json,
+    render_verify_text,
+)
+from repro.analysis.verify import (
+    CheckResult,
+    Counterexample,
+    VerifyMaskReport,
+    assert_verified,
+    verify_mask,
+)
+
+__all__ = [
+    "CheckResult",
+    "CircuitLinter",
+    "Counterexample",
+    "Diagnostic",
+    "LintConfig",
+    "LintReport",
+    "LintRule",
+    "RULE_REGISTRY",
+    "Severity",
+    "VerifyMaskReport",
+    "assert_verified",
+    "lint_circuit",
+    "lint_suite",
+    "render_json",
+    "render_json_many",
+    "render_text",
+    "render_text_many",
+    "render_verify_json",
+    "render_verify_text",
+    "rule",
+    "suite_ok",
+    "verify_mask",
+]

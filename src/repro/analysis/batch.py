@@ -1,0 +1,38 @@
+"""Batch analysis over the builtin benchmark suite.
+
+``repro lint all`` and ``make check`` use these helpers to sweep every
+circuit of :mod:`repro.benchcircuits.suite` — the canary for correctness
+drift: a refactor that introduces a dangling net or breaks masking soundness
+in *any* benchmark turns the sweep red.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.benchcircuits.suite import all_circuit_names, circuit_by_name
+from repro.netlist.library import Library, builtin_library
+from repro.analysis.diagnostics import LintReport, Severity
+from repro.analysis.linter import LintConfig, lint_circuit
+
+
+def lint_suite(
+    library: Library | None = None,
+    config: LintConfig | None = None,
+    names: Iterable[str] | None = None,
+) -> dict[str, LintReport]:
+    """Lint every builtin benchmark (or the given subset), by name."""
+    lib = library or builtin_library("lsi10k_like")
+    selected = tuple(names) if names is not None else all_circuit_names()
+    return {
+        name: lint_circuit(circuit_by_name(name, lib), config)
+        for name in selected
+    }
+
+
+def suite_ok(
+    reports: Mapping[str, LintReport],
+    fail_on: Severity = Severity.ERROR,
+) -> bool:
+    """True when no report reaches the ``fail_on`` severity."""
+    return all(report.ok(fail_on) for report in reports.values())

@@ -6,6 +6,9 @@ Usage (installed as ``python -m repro``)::
     python -m repro report C432
     python -m repro spcf C432 --algorithm all
     python -m repro mask C432 --out masked.blif --mask-out mask.blif
+    python -m repro lint C432 --format json
+    python -m repro lint all --fail-on warning
+    python -m repro verify-mask cmb
     python -m repro table1
     python -m repro table2 --circuits cmb x2 cu
     python -m repro mask path/to/design.blif --library lsi10k_like
@@ -21,8 +24,21 @@ import sys
 from pathlib import Path
 
 from repro.benchcircuits import PAPER_SPECS, TABLE1_NAMES, all_circuit_names, circuit_by_name
-from repro.core import mask_circuit
-from repro.errors import ReproError
+from repro.analysis import (
+    LintConfig,
+    Severity,
+    lint_circuit,
+    lint_suite,
+    render_json,
+    render_json_many,
+    render_text,
+    render_text_many,
+    render_verify_json,
+    render_verify_text,
+    verify_mask,
+)
+from repro.core import build_masked_design, mask_circuit, synthesize_masking
+from repro.errors import BlifError, ReproError
 from repro.netlist import (
     Circuit,
     Library,
@@ -35,18 +51,25 @@ from repro.spcf import compare_algorithms, spcf_nodebased, spcf_pathbased, spcf_
 from repro.sta import analyze
 
 
-def _load_circuit(spec: str, library: Library) -> Circuit:
+def _load_circuit(spec: str, library: Library, validate: bool = True) -> Circuit:
     path = Path(spec)
-    if spec.endswith(".blif") or path.exists():
-        return read_blif(path, library=library)
+    if spec.endswith(".blif"):
+        if not path.exists():
+            raise BlifError(f"BLIF file not found: {path}")
+        return read_blif(path, library=library, validate=validate)
+    if path.exists():
+        return read_blif(path, library=library, validate=validate)
     return circuit_by_name(spec, library)
 
 
 def _fmt_count(n: int) -> str:
-    if n == 0:
-        return "0"
-    exp = len(str(n)) - 1
-    return f"{n / 10**exp:.2f}e{exp}"
+    """Compact rendering of a pattern count: exact below 1000, else mantissa+exp."""
+    if -1000 < n < 1000:
+        return str(n)
+    sign = "-" if n < 0 else ""
+    magnitude = abs(n)
+    exp = len(str(magnitude)) - 1
+    return f"{sign}{magnitude / 10**exp:.2f}e{exp}"
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -134,6 +157,43 @@ def cmd_mask(args: argparse.Namespace) -> int:
     return 0 if (r.sound and r.coverage_percent == 100.0) else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    library = builtin_library(args.library)
+    config = LintConfig(
+        fanout_threshold=args.fanout_threshold,
+        ignore=frozenset(args.ignore or ()),
+    )
+    fail_on = Severity.from_name(args.fail_on)
+    if args.circuit == "all":
+        reports = lint_suite(library, config)
+        render = render_json_many if args.format == "json" else render_text_many
+        print(render(reports))
+        return 0 if all(r.ok(fail_on) for r in reports.values()) else 1
+    # Load without structural validation: diagnosing loops and dangling
+    # nets (LINT001/LINT002) is the linter's job, not the loader's.
+    report = lint_circuit(
+        _load_circuit(args.circuit, library, validate=False), config
+    )
+    render = render_json if args.format == "json" else render_text
+    print(render(report))
+    return 0 if report.ok(fail_on) else 1
+
+
+def cmd_verify_mask(args: argparse.Namespace) -> int:
+    library = builtin_library(args.library)
+    circuit = _load_circuit(args.circuit, library)
+    result = synthesize_masking(
+        circuit,
+        library,
+        threshold=args.threshold,
+        max_support=args.max_support,
+    )
+    report = verify_mask(result, design=build_masked_design(result))
+    render = render_verify_json if args.format == "json" else render_verify_text
+    print(render(report))
+    return 0 if report.ok else 1
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     library = builtin_library(args.library)
     print(f"{'circuit':18s} {'node-based':>12s} {'path-based':>12s} "
@@ -209,6 +269,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mask-out", help="write the masking circuit as BLIF")
     p.add_argument("--verilog", help="write the masked design as Verilog")
     p.set_defaults(func=cmd_mask)
+
+    p = sub.add_parser("lint", help="rule-based netlist lint (LINT001-LINT007)")
+    p.add_argument("circuit", help="benchmark name, .blif path, or 'all'")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.add_argument(
+        "--fail-on",
+        default="error",
+        choices=("info", "warning", "error"),
+        help="lowest severity that makes the exit code nonzero",
+    )
+    p.add_argument("--fanout-threshold", type=int, default=64)
+    p.add_argument(
+        "--ignore", nargs="*", metavar="RULE", help="rule ids or names to skip"
+    )
+    p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "verify-mask",
+        help="formally verify masking soundness/coverage/equivalence (BDD)",
+    )
+    p.add_argument("circuit", help="benchmark name or .blif path")
+    p.add_argument("--threshold", type=float, default=0.9)
+    p.add_argument("--max-support", type=int, default=12)
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.set_defaults(func=cmd_verify_mask)
 
     sub.add_parser("table1", help="regenerate Table 1").set_defaults(
         func=cmd_table1

@@ -24,6 +24,8 @@ class PipelineResult:
     design: MaskedDesign
     verification: VerificationReport
     report: OverheadReport
+    formal: "object | None" = None
+    """:class:`repro.analysis.VerifyMaskReport` when ``self_verify`` was set."""
 
 
 def mask_circuit(
@@ -36,6 +38,7 @@ def mask_circuit(
     cube_pool: str = "isop",
     dontcare_isop: bool = True,
     power_method: str = "bdd",
+    self_verify: bool = False,
 ) -> PipelineResult:
     """Synthesize, integrate, verify, and report in one call.
 
@@ -44,6 +47,13 @@ def mask_circuit(
         from repro import mask_circuit, lsi10k_like_library
         result = mask_circuit(my_circuit, lsi10k_like_library())
         print(result.report.area_overhead_percent)
+
+    With ``self_verify=True`` the formal pass of :mod:`repro.analysis` runs
+    on the synthesized masking circuit (soundness, SPCF coverage, and
+    off-SPCF equivalence of the mux-patched design, all by BDD equivalence)
+    and a :class:`repro.errors.VerificationError` carrying a counterexample
+    pattern is raised if any theorem fails; the proof record lands in
+    :attr:`PipelineResult.formal`.
     """
     masking = synthesize_masking(
         circuit,
@@ -57,9 +67,19 @@ def mask_circuit(
     )
     design = build_masked_design(masking)
     verification = verify_masking(masking)
+    formal = None
+    if self_verify:
+        # Imported lazily: repro.analysis sits above repro.core in the layering.
+        from repro.analysis import assert_verified
+
+        formal = assert_verified(masking, design=design)
     report = overhead_report(
         masking, design=design, verification=verification, power_method=power_method
     )
     return PipelineResult(
-        masking=masking, design=design, verification=verification, report=report
+        masking=masking,
+        design=design,
+        verification=verification,
+        report=report,
+        formal=formal,
     )

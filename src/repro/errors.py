@@ -54,3 +54,15 @@ class SynthesisError(ReproError):
 
 class MaskingError(ReproError):
     """Raised when error-masking synthesis cannot satisfy its invariants."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the static-analysis subsystem (:mod:`repro.analysis`)."""
+
+
+class LintError(AnalysisError):
+    """Raised for invalid linter configuration (unknown rule ids, bad limits)."""
+
+
+class VerificationError(AnalysisError):
+    """Raised when formal verification of a masking circuit finds a violation."""

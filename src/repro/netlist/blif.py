@@ -85,10 +85,13 @@ def read_blif(
     source: str | Path,
     library: Library | None = None,
     delay_rule: DelayRule = _default_lut_delay,
+    validate: bool = True,
 ) -> Circuit:
     """Parse BLIF text (or a file path) into a :class:`Circuit`.
 
     ``library`` is required when the file contains ``.gate`` lines.
+    ``validate=False`` skips the structural check so that broken netlists
+    (loops, dangling nets) can still be loaded for linting.
     """
     if isinstance(source, Path):
         text = source.read_text()
@@ -185,7 +188,8 @@ def read_blif(
         cell = _lut_cell(tuple(rows), len(in_nets), delay_rule)
         circuit.add_gate(out_net, cell, tuple(in_nets))
 
-    circuit.validate()
+    if validate:
+        circuit.validate()
     return circuit
 
 

@@ -1,0 +1,51 @@
+"""Text/JSON reporters: stable schema, stable rule ids."""
+
+import json
+
+from repro.analysis import (
+    lint_circuit,
+    lint_suite,
+    render_json,
+    render_json_many,
+    render_text,
+    render_text_many,
+)
+from repro.netlist import Circuit
+
+
+def broken_circuit(unit_lib):
+    c = Circuit("broken", inputs=["a"], outputs=["g1"])
+    c.add_gate("g1", unit_lib.get("AND2"), ("ghost", "a"))
+    return c
+
+
+def test_render_text_has_summary_line(unit_lib):
+    text = render_text(lint_circuit(broken_circuit(unit_lib)))
+    assert "LINT002" in text
+    assert "broken: 1 finding(s) (1 error, 0 warning, 0 info)" in text
+
+
+def test_render_json_schema(unit_lib):
+    payload = json.loads(render_json(lint_circuit(broken_circuit(unit_lib))))
+    assert payload["schema"] == "repro-lint/1"
+    assert payload["circuit"] == "broken"
+    assert payload["summary"] == {"info": 0, "warning": 0, "error": 1}
+    (diag,) = payload["diagnostics"]
+    assert diag["rule_id"] == "LINT002"
+    assert diag["rule_name"] == "dangling-net"
+    assert diag["severity"] == "error"
+    assert diag["location"] == "g1"
+    assert "ghost" in diag["message"]
+
+
+def test_render_json_many_aggregates(unit_lib, lsi_lib):
+    reports = lint_suite(lsi_lib, names=["cmb", "x2"])
+    payload = json.loads(render_json_many(reports))
+    assert payload["schema"] == "repro-lint/1"
+    assert {c["circuit"] for c in payload["circuits"]} == {"cmb", "x2"}
+    assert payload["summary"]["error"] == 0
+
+
+def test_render_text_many_counts_circuits(lsi_lib):
+    reports = lint_suite(lsi_lib, names=["cmb", "x2"])
+    assert "linted 2 circuit(s)" in render_text_many(reports)

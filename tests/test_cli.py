@@ -92,3 +92,102 @@ def test_unknown_circuit_is_graceful(capsys):
     code, out, err = run(capsys, "report", "does_not_exist")
     assert code == 2
     assert "error:" in err
+
+
+def test_missing_blif_path_names_the_file(capsys):
+    """A nonexistent .blif path fails with a BlifError naming the path."""
+    code, out, err = run(capsys, "report", "no/such/file.blif")
+    assert code == 2
+    assert "no/such/file.blif" in err
+    assert "unknown circuit" not in err
+
+
+@pytest.mark.parametrize(
+    "n,expected",
+    [
+        (0, "0"),
+        (5, "5"),
+        (-5, "-5"),
+        (999, "999"),
+        (-999, "-999"),
+        (1000, "1.00e3"),
+        (1234, "1.23e3"),
+        (-1234, "-1.23e3"),
+        (10**12, "1.00e12"),
+        (2**40, "1.10e12"),
+    ],
+)
+def test_fmt_count(n, expected):
+    from repro.cli import _fmt_count
+
+    assert _fmt_count(n) == expected
+
+
+def test_lint_text(capsys):
+    code, out, _ = run(capsys, "lint", "cmb")
+    assert code == 0
+    assert "finding(s)" in out
+
+
+def test_lint_json_has_stable_rule_ids(capsys):
+    import json
+
+    code, out, _ = run(capsys, "lint", "i1", "--format", "json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["schema"] == "repro-lint/1"
+    ids = {d["rule_id"] for d in payload["diagnostics"]}
+    assert ids <= {f"LINT00{k}" for k in range(1, 8)}
+
+
+def test_lint_fail_on_gates_exit_code(capsys):
+    # i1 has info-level findings: clean at the default gate, dirty at info.
+    code, _, _ = run(capsys, "lint", "i1")
+    assert code == 0
+    code, _, _ = run(capsys, "lint", "i1", "--fail-on", "info")
+    assert code == 1
+    code, _, _ = run(capsys, "lint", "i1", "--fail-on", "info", "--ignore",
+                     "LINT004", "LINT007")
+    assert code == 0
+
+
+def test_lint_broken_blif_reaches_the_linter(capsys, tmp_path):
+    """A looped + dangling BLIF is linted, not rejected by the loader."""
+    path = tmp_path / "broken.blif"
+    path.write_text(
+        ".model broken\n.inputs a\n.outputs y\n"
+        ".names a g2 g1\n11 1\n"     # g1 <-> g2 loop
+        ".names g1 g2\n0 1\n"
+        ".names g1 ghost y\n11 1\n"  # 'ghost' has no driver
+        ".end\n"
+    )
+    code, out, _ = run(capsys, "lint", str(path))
+    assert code == 1
+    assert "LINT001" in out and "LINT002" in out
+    assert "ghost" in out
+
+
+def test_lint_all_is_warning_clean(capsys):
+    code, out, _ = run(capsys, "lint", "all", "--fail-on", "warning")
+    assert code == 0
+    assert "linted" in out
+
+
+def test_verify_mask_cli(capsys):
+    code, out, _ = run(capsys, "verify-mask", "comparator2")
+    assert code == 0
+    assert "soundness" in out and "coverage" in out and "equivalence" in out
+    assert "VERIFIED" in out
+
+
+def test_verify_mask_cli_json(capsys):
+    import json
+
+    code, out, _ = run(capsys, "verify-mask", "cmb", "--format", "json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["schema"] == "repro-verify/1"
+    assert payload["verified"] is True
+    assert {c["check"] for c in payload["checks"]} == {
+        "soundness", "coverage", "equivalence",
+    }
