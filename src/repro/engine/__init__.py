@@ -1,0 +1,53 @@
+"""Compiled circuit engine: one lowering, many evaluation passes.
+
+``repro.engine`` turns a :class:`~repro.netlist.circuit.Circuit` into a
+:class:`CompiledCircuit` — levelized, integer-indexed flat arrays — and
+evaluates packed pattern words through interchangeable backends (pure-Python
+big ints, or NumPy ``uint64`` lanes when NumPy is importable).  The
+simulation, STA, and Monte-Carlo verification passes all run on this IR;
+the per-net dict APIs in :mod:`repro.sim` and :mod:`repro.sta` are thin
+adapters over it.  See DESIGN.md ("Compiled circuit engine") for the
+lowering and backend-selection rules.
+"""
+
+from repro.engine.backends import (
+    BACKEND_ENV_VAR,
+    NumpyWordBackend,
+    PythonWordBackend,
+    available_backends,
+    evaluate_words,
+    lanes_to_words,
+    numpy_available,
+    select_backend,
+    words_to_lanes,
+)
+from repro.engine.ir import (
+    CompiledCircuit,
+    cell_prime_tables,
+    cell_word_function,
+    compile_circuit,
+    compile_program,
+    pack_input_words,
+    patterns_to_words,
+    run_program,
+)
+
+__all__ = [
+    "CompiledCircuit",
+    "compile_circuit",
+    "compile_program",
+    "run_program",
+    "cell_word_function",
+    "cell_prime_tables",
+    "pack_input_words",
+    "patterns_to_words",
+    "PythonWordBackend",
+    "NumpyWordBackend",
+    "available_backends",
+    "numpy_available",
+    "select_backend",
+    "evaluate_words",
+    "words_to_lanes",
+    "lanes_to_words",
+    "BACKEND_ENV_VAR",
+]

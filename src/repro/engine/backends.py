@@ -1,0 +1,232 @@
+"""Word-parallel evaluation backends over :class:`CompiledCircuit`.
+
+Two interchangeable backends implement the same contract — *identical*
+results, bit for bit:
+
+* :class:`PythonWordBackend` — arbitrary-precision Python ints, one word per
+  net holding ``width`` patterns (the historical ``simulate_words``
+  semantics).  Zero dependencies.  CPython big-int bitwise operators are a
+  single C loop over 30-bit digits, so this is also the *fastest* backend
+  for the word-in/word-out API at typical batch sizes: one gate evaluation
+  costs a few hundred nanoseconds of dispatch, versus 1–2 µs per NumPy ufunc
+  call.
+* :class:`NumpyWordBackend` — patterns split into 64-bit lanes held in a
+  ``(n_nets, n_lanes)`` ``uint64`` matrix.  Its native interface is
+  :meth:`NumpyWordBackend.eval_lanes`, which keeps everything in lane form;
+  that is where NumPy wins — on *large* Monte-Carlo batches (hundreds of
+  thousands of patterns) whose results are consumed as lanes (bit counts,
+  mismatch masks) rather than converted back to big ints.  Small batches
+  are evaluated levelized and *grouped by cell type* (one vectorized
+  expression per same-cell group per level) to amortize ufunc dispatch;
+  large batches switch to per-gate row views to avoid gather copies.
+
+Backend selection (:func:`select_backend`):
+
+1. an explicit ``name`` argument wins ("python" / "numpy"),
+2. else the ``REPRO_ENGINE_BACKEND`` environment variable,
+3. else "python" — measured fastest for the big-int word API (see
+   DESIGN.md, "Compiled circuit engine"); the NumPy backend is opt-in for
+   lane-native pipelines and huge batches.
+
+Requesting "numpy" when NumPy is missing raises
+:class:`~repro.errors.EngineError`; nothing in the library *requires*
+NumPy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Sequence
+
+from repro.engine.ir import CompiledCircuit, compile_circuit, pack_input_words
+from repro.errors import EngineError
+
+try:  # NumPy is optional; everything degrades to the pure-Python backend.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+#: Environment variable overriding automatic backend selection.
+BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
+
+#: Lane count at or below which the numpy backend uses grouped gathers;
+#: above it, gather copies cost more than the per-gate dispatch they save.
+_GROUPED_LANES_MAX = 256
+
+_LANE_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+class PythonWordBackend:
+    """Bit-parallel evaluation on arbitrary-precision Python ints."""
+
+    name = "python"
+
+    def eval_words(
+        self, compiled: CompiledCircuit, input_words: Sequence[int], width: int
+    ) -> list[int]:
+        """Evaluate ``width`` packed patterns; returns one word per net."""
+        if len(input_words) != compiled.n_inputs:
+            raise EngineError(
+                f"{len(input_words)} input words for {compiled.n_inputs} inputs"
+            )
+        mask = (1 << width) - 1
+        values = [0] * compiled.n_nets
+        for i, word in enumerate(input_words):
+            values[i] = word & mask
+        for func, out, fanins in compiled.plan:
+            values[out] = func(mask, *[values[f] for f in fanins])
+        return values
+
+
+def words_to_lanes(input_words: Sequence[int], width: int):
+    """Pack big-int words into a little-endian ``(n, n_lanes)`` uint64 matrix."""
+    if _np is None:
+        raise EngineError("numpy is not importable")
+    mask = (1 << width) - 1
+    n_lanes = max(1, (width + 63) // 64)
+    nbytes = n_lanes * 8
+    out = _np.zeros((len(input_words), n_lanes), dtype="<u8")
+    for i, word in enumerate(input_words):
+        out[i] = _np.frombuffer((word & mask).to_bytes(nbytes, "little"), dtype="<u8")
+    return out
+
+
+def lanes_to_words(lanes, width: int) -> list[int]:
+    """Unpack a ``(n, n_lanes)`` uint64 matrix back into masked big ints."""
+    mask = (1 << width) - 1
+    return [
+        int.from_bytes(_np.ascontiguousarray(row).tobytes(), "little") & mask
+        for row in lanes
+    ]
+
+
+class NumpyWordBackend:
+    """Levelized uint64-lane evaluation; identical results to pure Python."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        if _np is None:
+            raise EngineError("numpy backend requested but numpy is not importable")
+
+    def _group_plan(self, compiled: CompiledCircuit):
+        """Gates grouped by (level, cell); cached on the compiled circuit.
+
+        Each group is ``(func, out_indices, fanin_matrix, n_pins)`` with
+        NumPy index arrays, ordered by level so every gate's fanins are
+        already computed when its group runs.
+        """
+        plan = compiled._derived.get("numpy_group_plan")
+        if plan is None:
+            groups: dict[tuple[int, tuple], list[int]] = {}
+            for pos, cell in enumerate(compiled.gate_cells):
+                level = compiled.levels[compiled.n_inputs + pos]
+                groups.setdefault((level, cell._key), []).append(pos)
+            plan = []
+            for (_level, _key), positions in sorted(
+                groups.items(), key=lambda item: item[0][0]
+            ):
+                first = positions[0]
+                func = compiled.plan[first][0]
+                n_pins = len(compiled.gate_fanins[first])
+                outs = _np.array(
+                    [compiled.n_inputs + p for p in positions], dtype=_np.intp
+                )
+                if n_pins:
+                    fanin_matrix = _np.array(
+                        [compiled.gate_fanins[p] for p in positions],
+                        dtype=_np.intp,
+                    )
+                else:
+                    fanin_matrix = None
+                plan.append((func, outs, fanin_matrix, n_pins))
+            plan = tuple(plan)
+            compiled._derived["numpy_group_plan"] = plan
+        return plan
+
+    def eval_lanes(self, compiled: CompiledCircuit, input_lanes):
+        """Native path: ``(n_inputs, n_lanes)`` uint64 in, all nets out.
+
+        Returns the full ``(n_nets, n_lanes)`` value matrix (row ``i`` is
+        net ``i`` in engine order).  Bits of the final lane beyond the
+        caller's pattern count are unspecified; mask on consumption.
+        """
+        lanes = _np.asarray(input_lanes, dtype=_np.uint64)
+        if lanes.ndim != 2 or lanes.shape[0] != compiled.n_inputs:
+            raise EngineError(
+                f"input lane matrix {getattr(lanes, 'shape', None)} does not "
+                f"match {compiled.n_inputs} inputs"
+            )
+        n_lanes = lanes.shape[1]
+        values = _np.empty((compiled.n_nets, n_lanes), dtype=_np.uint64)
+        values[: compiled.n_inputs] = lanes
+        m = _np.uint64(_LANE_MASK)
+        if n_lanes <= _GROUPED_LANES_MAX:
+            for func, outs, fanin_matrix, n_pins in self._group_plan(compiled):
+                if n_pins == 0:
+                    values[outs] = func(m)
+                else:
+                    ins = values[fanin_matrix]  # (group, pins, lanes)
+                    values[outs] = func(m, *(ins[:, p] for p in range(n_pins)))
+        else:
+            for func, out, fanins in compiled.plan:
+                values[out] = func(m, *(values[f] for f in fanins))
+        return values
+
+    def eval_words(
+        self, compiled: CompiledCircuit, input_words: Sequence[int], width: int
+    ) -> list[int]:
+        """Evaluate ``width`` packed patterns; returns one word per net."""
+        if len(input_words) != compiled.n_inputs:
+            raise EngineError(
+                f"{len(input_words)} input words for {compiled.n_inputs} inputs"
+            )
+        values = self.eval_lanes(compiled, words_to_lanes(input_words, width))
+        return lanes_to_words(values, width)
+
+
+_python_backend = PythonWordBackend()
+_numpy_backend: NumpyWordBackend | None = None
+
+
+def numpy_available() -> bool:
+    """True iff the NumPy backend can be instantiated."""
+    return _np is not None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends usable in this interpreter."""
+    return ("python", "numpy") if numpy_available() else ("python",)
+
+
+def select_backend(name: str | None = None):
+    """Resolve a backend instance (see module docstring for the rules)."""
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or "python"
+    if name == "python":
+        return _python_backend
+    if name == "numpy":
+        global _numpy_backend
+        if _numpy_backend is None:
+            _numpy_backend = NumpyWordBackend()  # raises if numpy missing
+        return _numpy_backend
+    raise EngineError(
+        f"unknown engine backend {name!r}; choose from {available_backends()}"
+    )
+
+
+def evaluate_words(
+    circuit,
+    words: Mapping[str, int],
+    width: int,
+    backend: str | None = None,
+) -> dict[str, int]:
+    """Word-parallel evaluation with a per-net dict interface.
+
+    Accepts a :class:`Circuit` or a :class:`CompiledCircuit`; this is the
+    adapter :func:`repro.sim.simulate_words` is built on.
+    """
+    compiled = compile_circuit(circuit)
+    row = pack_input_words(compiled, words, width)
+    values = select_backend(backend).eval_words(compiled, row, width)
+    return dict(zip(compiled.net_names, values))

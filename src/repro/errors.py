@@ -44,6 +44,10 @@ class SimulationError(ReproError):
     """Raised when a simulation is driven with malformed stimuli."""
 
 
+class EngineError(ReproError):
+    """Raised by :mod:`repro.engine` (unknown backend, malformed word batch)."""
+
+
 class SpcfError(ReproError):
     """Raised when an SPCF computation is requested with invalid parameters."""
 

@@ -13,6 +13,7 @@ fanin cones, and per-gate pin delays with aging scale factors applied.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import NetlistError
@@ -42,11 +43,17 @@ class Gate:
 
     def pin_delay(self, pin: int) -> int:
         """Scaled integer delay from input ``pin`` to the output."""
-        return int(round(self.cell.pin_delays[pin] * self.delay_scale))
+        return self.pin_delays()[pin]
 
     def pin_delays(self) -> tuple[int, ...]:
-        """All scaled pin delays."""
-        return tuple(self.pin_delay(i) for i in range(self.cell.num_inputs))
+        """All scaled pin delays (memoized; the dataclass is frozen)."""
+        cached = self.__dict__.get("_pin_delays")
+        if cached is None:
+            cached = tuple(
+                int(round(d * self.delay_scale)) for d in self.cell.pin_delays
+            )
+            object.__setattr__(self, "_pin_delays", cached)
+        return cached
 
 
 class Circuit:
@@ -63,8 +70,10 @@ class Circuit:
         self._input_set: set[str] = set()
         self._outputs: list[str] = []
         self._gates: dict[str, Gate] = {}
+        self._gates_view: Mapping[str, Gate] = MappingProxyType(self._gates)
         self._topo: list[str] | None = None
         self._fanouts: dict[str, list[tuple[str, int]]] | None = None
+        self._version = 0
         for net in inputs:
             self.add_input(net)
         for net in outputs:
@@ -84,8 +93,13 @@ class Circuit:
 
     @property
     def gates(self) -> Mapping[str, Gate]:
-        """Read-only view of gates by output net name."""
-        return dict(self._gates)
+        """Read-only *live* view of gates by output net name.
+
+        A cached :class:`types.MappingProxyType` over the internal dict:
+        O(1) to obtain (no copy per access) and always current.  Callers
+        needing a snapshot should take ``dict(circuit.gates)`` explicitly.
+        """
+        return self._gates_view
 
     @property
     def num_gates(self) -> int:
@@ -106,6 +120,7 @@ class Circuit:
         if net in self._outputs:
             raise NetlistError(f"duplicate output {net!r}")
         self._outputs.append(net)
+        self._version += 1
 
     def add_gate(
         self,
@@ -157,9 +172,19 @@ class Circuit:
         yield from self._inputs
         yield from self._gates
 
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every structural change.
+
+        Derived artifacts (e.g. :class:`repro.engine.CompiledCircuit`) cache
+        against this to detect staleness without hashing the netlist.
+        """
+        return self._version
+
     def _invalidate(self) -> None:
         self._topo = None
         self._fanouts = None
+        self._version += 1
 
     # ------------------------------------------------------------ validation
 

@@ -1,8 +1,19 @@
 """Simulation: zero-delay, floating-mode oracle, event-driven, faults, aging."""
 
-from repro.sim.aging import LinearAging, SaturatingAging, aged_copy, speed_path_gates
+from repro.sim.aging import (
+    LinearAging,
+    SaturatingAging,
+    aged_compiled,
+    aged_copy,
+    speed_path_gates,
+)
 from repro.sim.eventsim import Waveform, settle_times, two_vector_waveforms
-from repro.sim.faults import SampleResult, sample_at_clock, timing_errors
+from repro.sim.faults import (
+    SampleResult,
+    sample_at_clock,
+    sample_many,
+    timing_errors,
+)
 from repro.sim.logicsim import (
     exhaustive_patterns,
     pack_patterns,
@@ -30,9 +41,11 @@ __all__ = [
     "settle_times",
     "SampleResult",
     "sample_at_clock",
+    "sample_many",
     "timing_errors",
     "LinearAging",
     "SaturatingAging",
     "aged_copy",
+    "aged_compiled",
     "speed_path_gates",
 ]

@@ -18,6 +18,7 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.engine import CompiledCircuit, compile_circuit
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 
@@ -90,34 +91,39 @@ def _combine(cell_eval, waveforms: Sequence[Waveform]) -> Waveform:
 
 
 def two_vector_waveforms(
-    circuit: Circuit,
+    circuit: Circuit | CompiledCircuit,
     v1: Mapping[str, bool],
     v2: Mapping[str, bool],
 ) -> dict[str, Waveform]:
-    """Waveform of every net when inputs switch from ``v1`` to ``v2`` at t=0."""
-    waves: dict[str, Waveform] = {}
-    for net in circuit.inputs:
+    """Waveform of every net when inputs switch from ``v1`` to ``v2`` at t=0.
+
+    One pass over the compiled gate arrays (indices, cached scaled delays);
+    accepts a plain or pre-compiled circuit.
+    """
+    compiled = compile_circuit(circuit)
+    waves: list[Waveform] = []
+    for net in compiled.inputs:
         try:
-            waves[net] = Waveform.step(bool(v1[net]), bool(v2[net]))
+            waves.append(Waveform.step(bool(v1[net]), bool(v2[net])))
         except KeyError as exc:
             raise SimulationError(f"vector missing input {exc}") from exc
-    for name in circuit.topo_order():
-        gate = circuit.gates[name]
-        cell = gate.cell
-        if not gate.fanins:
-            waves[name] = Waveform.constant(cell.evaluate({}))
+    for pos, fanins in enumerate(compiled.gate_fanins):
+        cell = compiled.gate_cells[pos]
+        if not fanins:
+            waves.append(Waveform.constant(cell.evaluate({})))
             continue
-        shifted = [
-            waves[f].shifted(d)
-            for f, d in zip(gate.fanins, gate.pin_delays())
-        ]
-        waves[name] = _combine(cell.evaluate_seq, shifted)
-    return waves
+        delays = compiled.gate_delays[pos]
+        shifted = [waves[f].shifted(d) for f, d in zip(fanins, delays)]
+        waves.append(_combine(cell.evaluate_seq, shifted))
+    return dict(zip(compiled.net_names, waves))
 
 
 def settle_times(
-    circuit: Circuit, v1: Mapping[str, bool], v2: Mapping[str, bool]
+    circuit: Circuit | CompiledCircuit,
+    v1: Mapping[str, bool],
+    v2: Mapping[str, bool],
 ) -> dict[str, int]:
     """Last-transition time of every primary output for the vector pair."""
-    waves = two_vector_waveforms(circuit, v1, v2)
-    return {net: waves[net].settle_time for net in circuit.outputs}
+    compiled = compile_circuit(circuit)
+    waves = two_vector_waveforms(compiled, v1, v2)
+    return {net: waves[net].settle_time for net in compiled.outputs}

@@ -13,8 +13,9 @@ the prediction/indicator outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
+from repro.engine import CompiledCircuit, compile_circuit
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
 from repro.sim.eventsim import two_vector_waveforms
@@ -40,7 +41,7 @@ class SampleResult:
 
 
 def sample_at_clock(
-    circuit: Circuit,
+    circuit: Circuit | CompiledCircuit,
     v1: Mapping[str, bool],
     v2: Mapping[str, bool],
     clock: int,
@@ -48,22 +49,38 @@ def sample_at_clock(
     """Simulate the vector pair and sample all outputs at ``clock``."""
     if clock < 0:
         raise SimulationError(f"clock period {clock} must be non-negative")
-    waves = two_vector_waveforms(circuit, v1, v2)
-    sampled = {net: waves[net].value_at(clock) for net in circuit.outputs}
-    settled = {net: waves[net].final for net in circuit.outputs}
-    times = {net: waves[net].settle_time for net in circuit.outputs}
+    compiled = compile_circuit(circuit)
+    waves = two_vector_waveforms(compiled, v1, v2)
+    outputs = compiled.outputs
+    sampled = {net: waves[net].value_at(clock) for net in outputs}
+    settled = {net: waves[net].final for net in outputs}
+    times = {net: waves[net].settle_time for net in outputs}
     return SampleResult(sampled=sampled, settled=settled, settle_time=times)
 
 
+def sample_many(
+    circuit: Circuit | CompiledCircuit,
+    vector_pairs: Iterable[tuple[Mapping[str, bool], Mapping[str, bool]]],
+    clock: int,
+) -> Iterator[SampleResult]:
+    """Sample a whole workload of vector pairs, compiling the circuit once.
+
+    The Monte-Carlo injection harnesses iterate thousands of pairs; this
+    amortizes the lowering and keeps the hot loop on the array IR.
+    """
+    compiled = compile_circuit(circuit)
+    for v1, v2 in vector_pairs:
+        yield sample_at_clock(compiled, v1, v2, clock)
+
+
 def timing_errors(
-    circuit: Circuit,
+    circuit: Circuit | CompiledCircuit,
     vector_pairs: Iterable[tuple[Mapping[str, bool], Mapping[str, bool]]],
     clock: int,
 ) -> list[tuple[int, dict[str, bool]]]:
     """Indices and per-output error flags for every erroneous vector pair."""
     failures = []
-    for idx, (v1, v2) in enumerate(vector_pairs):
-        result = sample_at_clock(circuit, v1, v2, clock)
+    for idx, result in enumerate(sample_many(circuit, vector_pairs, clock)):
         errs = result.errors()
         if any(errs.values()):
             failures.append((idx, errs))

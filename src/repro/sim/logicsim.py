@@ -4,8 +4,14 @@ Two evaluation modes:
 
 * :func:`simulate` — one pattern, ``{net: bool}`` in and out.
 * :func:`simulate_words` — bit-parallel simulation: every net carries a
-  machine word (arbitrary-precision int) holding one pattern per bit, so a
-  whole random-vector batch costs one topological pass.
+  machine word holding one pattern per bit, so a whole random-vector batch
+  costs one topological pass.
+
+Both are thin adapters over :mod:`repro.engine`: the circuit is lowered once
+to a :class:`~repro.engine.CompiledCircuit` (cached on the circuit) and
+evaluated on flat integer-indexed arrays.  ``simulate_words`` dispatches to
+the selected word backend — NumPy ``uint64`` lanes when NumPy is importable,
+pure-Python big ints otherwise — with bit-identical results.
 
 Pattern sources (:func:`exhaustive_patterns`, :func:`random_patterns`,
 :func:`pack_patterns`) are shared by tests, the masking validator, and the
@@ -18,64 +24,30 @@ import itertools
 import random
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro.engine import compile_circuit, evaluate_words
 from repro.errors import SimulationError
-from repro.logic.expr import BoolExpr
 from repro.netlist.circuit import Circuit
 
 
 def simulate(circuit: Circuit, pattern: Mapping[str, bool]) -> dict[str, bool]:
     """Evaluate every net of ``circuit`` under one input pattern."""
-    values: dict[str, bool] = {}
-    for net in circuit.inputs:
-        try:
-            values[net] = bool(pattern[net])
-        except KeyError:
-            raise SimulationError(f"pattern missing input {net!r}") from None
-    for name in circuit.topo_order():
-        gate = circuit.gates[name]
-        values[name] = gate.cell.evaluate(
-            {pin: values[f] for pin, f in zip(gate.cell.inputs, gate.fanins)}
-        )
-    return values
-
-
-def _eval_words(expr: BoolExpr, words: Mapping[str, int], mask: int) -> int:
-    if expr.op == "var":
-        return words[expr.name]
-    if expr.op == "const":
-        return mask if expr.value else 0
-    if expr.op == "not":
-        return mask & ~_eval_words(expr.args[0], words, mask)
-    vals = [_eval_words(a, words, mask) for a in expr.args]
-    acc = vals[0]
-    for v in vals[1:]:
-        if expr.op == "and":
-            acc &= v
-        elif expr.op == "or":
-            acc |= v
-        else:
-            acc ^= v
-    return acc
+    compiled = compile_circuit(circuit)
+    values = compiled.eval_pattern(pattern)
+    return {net: bool(v) for net, v in zip(compiled.net_names, values)}
 
 
 def simulate_words(
-    circuit: Circuit, words: Mapping[str, int], width: int
+    circuit: Circuit,
+    words: Mapping[str, int],
+    width: int,
+    backend: str | None = None,
 ) -> dict[str, int]:
-    """Bit-parallel simulation of ``width`` patterns packed into ints."""
-    mask = (1 << width) - 1
-    values: dict[str, int] = {}
-    for net in circuit.inputs:
-        try:
-            values[net] = words[net] & mask
-        except KeyError:
-            raise SimulationError(f"word vector missing input {net!r}") from None
-    for name in circuit.topo_order():
-        gate = circuit.gates[name]
-        local = {
-            pin: values[f] for pin, f in zip(gate.cell.inputs, gate.fanins)
-        }
-        values[name] = _eval_words(gate.cell.expr, local, mask)
-    return values
+    """Bit-parallel simulation of ``width`` patterns packed into ints.
+
+    ``backend`` picks the word engine ("python" / "numpy"); the default
+    follows :func:`repro.engine.select_backend` (NumPy when available).
+    """
+    return evaluate_words(circuit, words, width, backend=backend)
 
 
 def exhaustive_patterns(inputs: Sequence[str]) -> Iterator[dict[str, bool]]:

@@ -16,47 +16,53 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro.engine import CompiledCircuit, compile_circuit
 from repro.errors import SimulationError
 from repro.netlist.circuit import Circuit
-from repro.sim.logicsim import simulate
 
 
 def stabilization_times(
-    circuit: Circuit, pattern: Mapping[str, bool]
+    circuit: Circuit | CompiledCircuit, pattern: Mapping[str, bool]
 ) -> dict[str, int]:
-    """Exact floating-mode stabilization time of every net for ``pattern``."""
-    values = simulate(circuit, pattern)
-    times: dict[str, int] = {net: 0 for net in circuit.inputs}
-    for name in circuit.topo_order():
-        gate = circuit.gates[name]
-        cell = gate.cell
-        if not gate.fanins:
-            times[name] = 0
+    """Exact floating-mode stabilization time of every net for ``pattern``.
+
+    Runs on the compiled array IR: logic values come from one bit-parallel
+    pass, then one walk over the topological gate arrays resolves each
+    gate's earliest satisfied prime (index/polarity tables, precomputed per
+    cell).  Accepts a plain or pre-compiled circuit.
+    """
+    compiled = compile_circuit(circuit)
+    values = compiled.eval_pattern(pattern)
+    times = [0] * compiled.n_nets
+    n_inputs = compiled.n_inputs
+    for pos, fanins in enumerate(compiled.gate_fanins):
+        idx = n_inputs + pos
+        if not fanins:
             continue
-        on_primes, off_primes = cell.primes()
-        primes = on_primes if values[name] else off_primes
-        delays = gate.pin_delays()
-        pin_index = {pin: i for i, pin in enumerate(cell.inputs)}
-        local = {
-            pin: values[f] for pin, f in zip(cell.inputs, gate.fanins)
-        }
+        delays = compiled.gate_delays[pos]
+        on_primes, off_primes = compiled.gate_primes(pos)
+        primes = on_primes if values[idx] else off_primes
         best: int | None = None
-        for prime in primes:
-            lits = prime.to_dict(cell.inputs)
-            if any(local[pin] != pol for pin, pol in lits.items()):
-                continue  # prime not satisfied by this pattern
+        for pins, pols in primes:
             worst = 0
-            for pin in lits:
-                i = pin_index[pin]
-                worst = max(worst, times[gate.fanins[i]] + delays[i])
-            if best is None or worst < best:
+            satisfied = True
+            for p, want in zip(pins, pols):
+                fanin = fanins[p]
+                if values[fanin] != want:
+                    satisfied = False
+                    break
+                t = times[fanin] + delays[p]
+                if t > worst:
+                    worst = t
+            if satisfied and (best is None or worst < best):
                 best = worst
         if best is None:
             raise SimulationError(
-                f"no satisfied prime at gate {name!r} (inconsistent cell model)"
+                f"no satisfied prime at gate {compiled.gate_names[pos]!r} "
+                "(inconsistent cell model)"
             )
-        times[name] = best
-    return times
+        times[idx] = best
+    return dict(zip(compiled.net_names, times))
 
 
 def output_stabilization(

@@ -8,13 +8,22 @@ Three algorithms, matching Table 1 of the paper:
 
 :func:`compare_algorithms` runs all three on a shared context and reports
 counts and runtimes, reproducing one row of Table 1.
+
+:func:`monte_carlo_accuracy` cross-checks a computed SPCF against the exact
+floating-mode stabilization oracle on a random pattern batch (driven by the
+compiled circuit engine), classifying each sampled pattern as a true/false
+positive/negative — the sampled counterpart of the exhaustive accuracy
+tests, usable on circuits far too wide to enumerate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine import compile_circuit
 from repro.netlist.circuit import Circuit
+from repro.sim.logicsim import random_patterns
+from repro.sim.timingsim import stabilization_times
 from repro.spcf import nodebased, pathbased, shortpath
 from repro.spcf.result import SpcfResult
 from repro.spcf.timedfunc import SpcfContext, expr_to_function
@@ -69,6 +78,67 @@ def compare_algorithms(
     )
 
 
+@dataclass(frozen=True)
+class SampledAccuracy:
+    """Monte-Carlo agreement between an SPCF and the stabilization oracle.
+
+    Per sampled pattern and critical output: *positive* means the SPCF
+    claims the pattern activates a speed-path; *true* means the exact
+    floating-mode oracle agrees.  Exact algorithms must show zero false
+    positives and zero false negatives; the node-based over-approximation
+    may show false positives but never false negatives.
+    """
+
+    num_patterns: int
+    checks: int
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def is_exact_on_sample(self) -> bool:
+        return self.false_positives == 0 and self.false_negatives == 0
+
+    @property
+    def is_superset_on_sample(self) -> bool:
+        """No false negatives (sound over-approximation on the sample)."""
+        return self.false_negatives == 0
+
+
+def monte_carlo_accuracy(
+    result: SpcfResult, num_patterns: int = 256, seed: int = 0
+) -> SampledAccuracy:
+    """Cross-check ``result`` against the exact oracle on random patterns.
+
+    For each sampled pattern the compiled engine computes the exact
+    stabilization time of every critical output; membership in the
+    per-output SPCF BDD is compared against ``time > target``.
+    """
+    ctx = result.context
+    compiled = compile_circuit(ctx.circuit)
+    target = result.target
+    checks = tp = fp = fn = 0
+    for pattern in random_patterns(compiled.inputs, num_patterns, seed=seed):
+        times = stabilization_times(compiled, pattern)
+        for y, sigma in result.per_output.items():
+            claimed = sigma.evaluate(pattern)
+            actual = times[y] > target
+            checks += 1
+            if claimed and actual:
+                tp += 1
+            elif claimed and not actual:
+                fp += 1
+            elif actual and not claimed:
+                fn += 1
+    return SampledAccuracy(
+        num_patterns=num_patterns,
+        checks=checks,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+    )
+
+
 __all__ = [
     "SpcfContext",
     "SpcfResult",
@@ -78,4 +148,6 @@ __all__ = [
     "spcf_nodebased",
     "AlgorithmComparison",
     "compare_algorithms",
+    "SampledAccuracy",
+    "monte_carlo_accuracy",
 ]

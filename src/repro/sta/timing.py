@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.engine import CompiledCircuit, compile_circuit
 from repro.errors import TimingError
 from repro.netlist.circuit import Circuit
 
@@ -79,62 +80,47 @@ def threshold_target(critical_delay: int, fraction: float) -> int:
 
 
 def analyze(
-    circuit: Circuit,
+    circuit: Circuit | CompiledCircuit,
     target: int | None = None,
     threshold: float = 0.9,
 ) -> TimingReport:
-    """Run STA on ``circuit``.
+    """Run STA on ``circuit`` (plain or pre-compiled).
 
     ``target`` overrides the required time at the primary outputs; when
     ``None`` it is derived as ``threshold_target(Delta, threshold)``.
+
+    The forward passes (arrival, prime-based ``min_stable``) are cached on
+    the :class:`~repro.engine.CompiledCircuit`, so repeated analyses of an
+    unmodified circuit only redo the cheap backward required-time sweep.
     """
-    order = circuit.topo_order()
-    arrival: dict[str, int] = {net: 0 for net in circuit.inputs}
-    min_stable: dict[str, int] = {net: 0 for net in circuit.inputs}
+    compiled = compile_circuit(circuit)
+    arrival_arr = compiled.arrival()
+    min_stable_arr = compiled.min_stable()
 
-    for name in order:
-        gate = circuit.gates[name]
-        delays = gate.pin_delays()
-        if not gate.fanins:
-            arrival[name] = 0
-            min_stable[name] = 0
-            continue
-        arrival[name] = max(
-            arrival[f] + d for f, d in zip(gate.fanins, delays)
-        )
-        on_primes, off_primes = gate.cell.primes()
-        pin_index = {pin: i for i, pin in enumerate(gate.cell.inputs)}
-        best = None
-        for prime in (*on_primes, *off_primes):
-            worst = 0
-            for pin_name, _pol in prime.to_dict(gate.cell.inputs).items():
-                i = pin_index[pin_name]
-                worst = max(worst, min_stable[gate.fanins[i]] + delays[i])
-            if best is None or worst < best:
-                best = worst
-        min_stable[name] = best if best is not None else 0
-
-    outputs = [net for net in circuit.outputs]
-    critical_delay = max((arrival[net] for net in outputs), default=0)
+    critical_delay = compiled.critical_delay()
     if target is None:
         target = threshold_target(critical_delay, threshold)
 
-    required: dict[str, int] = {net: INFINITE_TIME for net in arrival}
-    for net in outputs:
-        required[net] = min(required[net], target)
-    for name in reversed(order):
-        gate = circuit.gates[name]
-        req = required[name]
-        for fanin, delay in zip(gate.fanins, gate.pin_delays()):
+    required_arr = [INFINITE_TIME] * compiled.n_nets
+    for idx in compiled.output_index:
+        if target < required_arr[idx]:
+            required_arr[idx] = target
+    n_inputs = compiled.n_inputs
+    for pos in range(compiled.n_gates - 1, -1, -1):
+        req = required_arr[n_inputs + pos]
+        fanins = compiled.gate_fanins[pos]
+        delays = compiled.gate_delays[pos]
+        for fanin, delay in zip(fanins, delays):
             candidate = req - delay
-            if candidate < required[fanin]:
-                required[fanin] = candidate
+            if candidate < required_arr[fanin]:
+                required_arr[fanin] = candidate
 
+    names = compiled.net_names
     return TimingReport(
-        circuit_name=circuit.name,
-        arrival=arrival,
-        min_stable=min_stable,
-        required=required,
+        circuit_name=compiled.name,
+        arrival=dict(zip(names, arrival_arr)),
+        min_stable=dict(zip(names, min_stable_arr)),
+        required=dict(zip(names, required_arr)),
         critical_delay=critical_delay,
         target=target,
     )
