@@ -1,18 +1,24 @@
-# Developer entry points. `make check` is the CI gate: tier-1 tests plus the
-# warning-level lint sweep over every builtin benchmark.
+# Developer entry points. `make check` is the CI gate: tier-1 tests, the
+# warning-level lint sweep over every builtin benchmark, and the campaign
+# crash/quarantine/resume smoke drill.
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test lint-circuits verify-mask lint-py bench
+.PHONY: check test lint-circuits campaign-smoke verify-mask lint-py bench
 
-check: test lint-circuits
+check: test lint-circuits campaign-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 lint-circuits:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro lint all --fail-on warning
+
+# End-to-end campaign drill: worker SIGKILL absorbed by retry, a persistent
+# crasher quarantined, and resume reproducing the baseline byte-for-byte.
+campaign-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro campaign smoke
 
 verify-mask:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro verify-mask comparator2

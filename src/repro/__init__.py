@@ -12,6 +12,7 @@ The package is organized bottom-up:
 * :mod:`repro.synth` — technology-independent networks, decomposition, mapping.
 * :mod:`repro.core` — error-masking synthesis (the paper's contribution).
 * :mod:`repro.analysis` — netlist lint + BDD-based formal verification.
+* :mod:`repro.campaign` — resilient fault-injection campaigns (checkpoint/resume).
 * :mod:`repro.apps` — wearout prediction and debug trace capture.
 * :mod:`repro.benchcircuits` — benchmark circuits and generators.
 
@@ -33,6 +34,13 @@ from repro.analysis import (
     verify_mask,
 )
 from repro.benchcircuits import circuit_by_name, make_benchmark
+from repro.campaign import (
+    CampaignSpec,
+    RunnerConfig,
+    plan_campaign,
+    resume_campaign,
+    run_campaign,
+)
 from repro.core import (
     MaskedDesign,
     MaskingResult,
@@ -95,4 +103,9 @@ __all__ = [
     "lint_circuit",
     "lint_suite",
     "verify_mask",
+    "CampaignSpec",
+    "RunnerConfig",
+    "plan_campaign",
+    "run_campaign",
+    "resume_campaign",
 ]

@@ -1,0 +1,134 @@
+"""Order-independent aggregation of shard results into campaign coverage.
+
+The aggregate is a pure function of (spec, shard results): counts are sums
+of per-shard integers, groups follow plan order, output maps are sorted —
+so the same set of completed shards produces byte-identical JSON whether
+the campaign ran straight through, was resumed three times, or finished
+its shards in any interleaving.
+
+Aggregation *degrades gracefully*: missing shards never raise.  They are
+listed under ``incomplete_shards`` (quarantined, with their last error, or
+simply pending) and every group reports how much of its sample actually
+arrived, so partial coverage is explicit rather than silently wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.campaign.spec import SCHEMA_VERSION, CampaignSpec, ShardSpec
+from repro.core.report import MaskingEffectiveness
+
+
+def _merge_outputs(
+    into: dict[str, dict[str, int]], outputs: Mapping[str, Mapping[str, int]]
+) -> None:
+    for name, counters in outputs.items():
+        row = into.setdefault(
+            name, {"unmasked": 0, "masked": 0, "recovered": 0, "introduced": 0}
+        )
+        for key in row:
+            row[key] += int(counters.get(key, 0))
+
+
+def _effectiveness(vectors: int, unmasked: int, masked: int) -> dict:
+    eff = MaskingEffectiveness(
+        vectors=vectors, unmasked_errors=unmasked, masked_errors=masked
+    )
+    return {
+        "vectors": eff.vectors,
+        "unmasked_errors": eff.unmasked_errors,
+        "masked_errors": eff.masked_errors,
+        "recovered": eff.recovered,
+        "effectiveness_percent": round(eff.effectiveness_percent, 4),
+    }
+
+
+def aggregate_results(
+    spec: CampaignSpec,
+    plan: Sequence[ShardSpec],
+    results: Mapping[int, dict],
+    quarantined: Mapping[int, dict] | None = None,
+) -> dict:
+    """Fold shard results into the deterministic campaign aggregate."""
+    quarantined = quarantined or {}
+    group_order: list[tuple[str, str]] = []
+    group_shards: dict[tuple[str, str], list[ShardSpec]] = {}
+    for shard in plan:
+        key = (shard.circuit, shard.mode_key)
+        if key not in group_shards:
+            group_order.append(key)
+            group_shards[key] = []
+        group_shards[key].append(shard)
+
+    groups = []
+    total_vectors = total_unmasked = total_masked = 0
+    for circuit, mkey in group_order:
+        shards = group_shards[(circuit, mkey)]
+        done = [results[s.index] for s in shards if s.index in results]
+        vectors = sum(r["vectors"] for r in done)
+        pairs_un = sum(r["pairs_unmasked_errors"] for r in done)
+        pairs_mk = sum(r["pairs_masked_errors"] for r in done)
+        outputs: dict[str, dict[str, int]] = {}
+        for record in done:
+            _merge_outputs(outputs, record["outputs"])
+        per_output = {
+            name: {
+                **outputs[name],
+                "effectiveness_percent": round(
+                    MaskingEffectiveness(
+                        vectors, outputs[name]["unmasked"], outputs[name]["masked"]
+                    ).effectiveness_percent,
+                    4,
+                ),
+            }
+            for name in sorted(outputs)
+        }
+        groups.append(
+            {
+                "circuit": circuit,
+                "mode": dict(shards[0].mode),
+                "mode_key": mkey,
+                "shards_total": len(shards),
+                "shards_done": len(done),
+                **_effectiveness(vectors, pairs_un, pairs_mk),
+                "outputs": per_output,
+            }
+        )
+        total_vectors += vectors
+        total_unmasked += pairs_un
+        total_masked += pairs_mk
+
+    incomplete = []
+    for shard in plan:
+        if shard.index in results:
+            continue
+        record = quarantined.get(shard.index)
+        entry = {
+            "shard": shard.index,
+            "circuit": shard.circuit,
+            "mode_key": shard.mode_key,
+            "status": "quarantined" if record else "pending",
+        }
+        if record:
+            entry["attempts"] = record.get("attempts", 0)
+            entry["error"] = record.get("error", "")
+        incomplete.append(entry)
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "campaign": {
+            "fingerprint": spec.fingerprint(),
+            "seed": spec.seed,
+            "n_shards": len(plan),
+            "circuits": list(spec.circuits),
+            "clock_fraction": spec.clock_fraction,
+            "threshold": spec.threshold,
+            "library": spec.library,
+        },
+        "complete": len(incomplete) == 0,
+        "shards_done": len(plan) - len(incomplete),
+        "totals": _effectiveness(total_vectors, total_unmasked, total_masked),
+        "groups": groups,
+        "incomplete_shards": incomplete,
+    }

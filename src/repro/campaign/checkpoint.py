@@ -1,0 +1,166 @@
+"""Append-only campaign checkpoint journal (``campaign.ckpt.jsonl``).
+
+One JSON record per line.  The first line is a header binding the journal
+to a campaign fingerprint; every completed shard appends a ``shard``
+record, every exhausted retry budget a ``quarantine`` record.  Records are
+flushed *and fsync'd* before the runner considers the shard durable, so a
+SIGKILL at any instant loses at most the in-flight shard.
+
+The loader is exactly as tolerant as a crash requires and no more: a torn
+*final* line (the classic kill-during-write artifact) is dropped; garbage
+anywhere else — or a header that does not match the campaign being resumed
+— raises :class:`~repro.errors.CheckpointError` rather than silently
+mis-aggregating someone else's numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.campaign.spec import SCHEMA_VERSION, CampaignSpec, canonical_json
+from repro.errors import CheckpointError
+
+
+@dataclass
+class JournalState:
+    """Everything a resume needs to know from an existing journal."""
+
+    spec: CampaignSpec
+    fingerprint: str
+    n_shards: int
+    results: dict[int, dict] = field(default_factory=dict)
+    quarantined: dict[int, dict] = field(default_factory=dict)
+    dropped_tail: bool = False
+
+    @property
+    def done_indices(self) -> frozenset[int]:
+        return frozenset(self.results)
+
+
+def _parse_line(line: str, lineno: int, path: Path) -> dict:
+    try:
+        record = json.loads(line)
+    except ValueError:
+        raise CheckpointError(
+            f"{path}:{lineno}: corrupt checkpoint record (not JSON)"
+        ) from None
+    if not isinstance(record, dict) or "kind" not in record:
+        raise CheckpointError(f"{path}:{lineno}: malformed checkpoint record")
+    return record
+
+
+def load_journal(path: str | os.PathLike) -> JournalState:
+    """Parse a journal; later records for a shard supersede earlier ones."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from None
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        raise CheckpointError(f"{path}: empty checkpoint (no header)")
+
+    dropped_tail = False
+    if not text.endswith("\n"):
+        # The writer always terminates records; an unterminated tail is a
+        # torn write from a kill mid-append.  Drop that record only.
+        lines.pop()
+        dropped_tail = True
+        if not lines:
+            raise CheckpointError(f"{path}: checkpoint holds only a torn header")
+
+    header = _parse_line(lines[0], 1, path)
+    if header.get("kind") != "header":
+        raise CheckpointError(f"{path}: first record is not a campaign header")
+    if header.get("schema") != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint schema {header.get('schema')!r} "
+            f"not supported (this build writes {SCHEMA_VERSION})"
+        )
+    spec = CampaignSpec.from_json(header.get("spec", {}))
+    fingerprint = header.get("fingerprint", "")
+    if fingerprint != spec.fingerprint():
+        raise CheckpointError(
+            f"{path}: header fingerprint does not match its own spec "
+            "(checkpoint edited or mixed)"
+        )
+
+    state = JournalState(
+        spec=spec,
+        fingerprint=fingerprint,
+        n_shards=int(header.get("n_shards", 0)),
+        dropped_tail=dropped_tail,
+    )
+    for lineno, line in enumerate(lines[1:], start=2):
+        record = _parse_line(line, lineno, path)
+        kind = record["kind"]
+        if kind == "shard":
+            index = record["shard"]
+            state.results[index] = record
+            state.quarantined.pop(index, None)
+        elif kind == "quarantine":
+            index = record["shard"]
+            if index not in state.results:
+                state.quarantined[index] = record
+        else:
+            raise CheckpointError(
+                f"{path}:{lineno}: unknown record kind {kind!r}"
+            )
+    return state
+
+
+class CheckpointWriter:
+    """Serialized, durable appends to the journal file."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike, spec: CampaignSpec, n_shards: int
+    ) -> "CheckpointWriter":
+        """Start a fresh journal; refuses to clobber an existing one."""
+        path = Path(path)
+        if path.exists():
+            raise CheckpointError(
+                f"checkpoint {path} already exists; resume it or pick a new path"
+            )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        writer = cls(path)
+        writer._append(
+            {
+                "kind": "header",
+                "schema": SCHEMA_VERSION,
+                "fingerprint": spec.fingerprint(),
+                "n_shards": n_shards,
+                "spec": spec.to_json(),
+            }
+        )
+        return writer
+
+    def _append(self, record: dict) -> None:
+        line = canonical_json(record) + "\n"
+        with self._lock:
+            with open(self.path, "a", encoding="ascii") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def shard_done(self, index: int, attempts: int, result: dict) -> None:
+        self._append(
+            {"kind": "shard", "shard": index, "attempts": attempts,
+             "result": result}
+        )
+
+    def quarantine(self, index: int, attempts: int, error: str) -> None:
+        self._append(
+            {"kind": "quarantine", "shard": index, "attempts": attempts,
+             "error": error}
+        )

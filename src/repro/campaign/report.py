@@ -1,0 +1,66 @@
+"""Text and JSON rendering of campaign aggregates.
+
+Follows the reporter idiom of :mod:`repro.analysis.reporters`: one JSON
+renderer (canonical, machine-diffable — the byte-identity guarantee of
+checkpoint/resume is stated over this form) and one human table renderer.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def render_campaign_json(aggregate: dict) -> str:
+    """Canonical JSON form; byte-identical for identical shard result sets."""
+    return json.dumps(aggregate, indent=2, sort_keys=True) + "\n"
+
+
+def render_campaign_text(aggregate: dict) -> str:
+    """Human-readable campaign coverage tables."""
+    lines: list[str] = []
+    campaign = aggregate["campaign"]
+    status = "COMPLETE" if aggregate["complete"] else "PARTIAL"
+    lines.append(
+        f"campaign {campaign['fingerprint'][:12]}  "
+        f"[{status}: {aggregate['shards_done']}/{campaign['n_shards']} shards]"
+    )
+    lines.append(
+        f"{'circuit':14s} {'mode':28s} {'shards':>7s} {'vectors':>8s} "
+        f"{'errors':>7s} {'escaped':>8s} {'masked%':>8s}"
+    )
+    for group in aggregate["groups"]:
+        lines.append(
+            f"{group['circuit']:14s} {group['mode_key']:28s} "
+            f"{group['shards_done']}/{group['shards_total']:<5d} "
+            f"{group['vectors']:>8d} {group['unmasked_errors']:>7d} "
+            f"{group['masked_errors']:>8d} "
+            f"{group['effectiveness_percent']:>7.1f}%"
+        )
+        for name, row in group["outputs"].items():
+            if row["unmasked"] == 0 and row["masked"] == 0:
+                continue
+            lines.append(
+                f"    {name:24s} unmasked={row['unmasked']:<6d} "
+                f"masked={row['masked']:<6d} recovered={row['recovered']:<6d} "
+                f"({row['effectiveness_percent']:.1f}%)"
+            )
+    totals = aggregate["totals"]
+    lines.append(
+        f"{'total':14s} {'':28s} {aggregate['shards_done']:>7d} "
+        f"{totals['vectors']:>8d} {totals['unmasked_errors']:>7d} "
+        f"{totals['masked_errors']:>8d} {totals['effectiveness_percent']:>7.1f}%"
+    )
+    if aggregate["incomplete_shards"]:
+        lines.append("incomplete shards:")
+        for entry in aggregate["incomplete_shards"]:
+            suffix = ""
+            if entry["status"] == "quarantined":
+                suffix = (
+                    f" after {entry.get('attempts', 0)} attempts: "
+                    f"{entry.get('error', '')}"
+                )
+            lines.append(
+                f"  #{entry['shard']:<4d} {entry['circuit']} "
+                f"{entry['mode_key']}  {entry['status']}{suffix}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,372 @@
+"""The resilient campaign runner: isolation, retry, backoff, quarantine.
+
+Execution model:
+
+* Each pending shard is handed to an **isolated worker subprocess**
+  (``repro.campaign.worker``).  A segfault, OOM kill, or hang costs one
+  shard attempt, never the campaign.
+* Every attempt runs under a **per-task timeout**; an expired worker is
+  killed and the attempt counted as a failure.
+* Failures that look *environmental* (crash, signal, timeout, garbled
+  pipe) are retried with **exponential backoff plus deterministic
+  jitter**, up to ``max_retries``.  Failures the worker itself reports as
+  deterministic (a :class:`~repro.errors.ReproError` inside the shard)
+  skip the retry budget — re-running the same pure function would spin.
+* A shard that exhausts its budget is **quarantined**: journaled as such,
+  reported under ``incomplete_shards``, and never allowed to wedge the
+  run.  A campaign-level **circuit breaker** aborts dispatch when too many
+  consecutive attempts fail — the signature of a broken environment, not
+  a bad shard.
+* Completed shards are journaled (fsync'd) to the **checkpoint** before
+  they count; :func:`resume_campaign` replays the journal and re-runs only
+  what is missing.  Because shards are deterministic and aggregation is
+  order-independent, a resumed campaign's aggregate is bit-identical to an
+  uninterrupted one.
+
+``workers=0`` selects the in-process inline mode (no isolation, fastest;
+used by unit tests and tiny sweeps).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import random
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+import repro
+from repro.campaign.aggregate import aggregate_results
+from repro.campaign.checkpoint import CheckpointWriter, load_journal
+from repro.campaign.shard import run_shard
+from repro.campaign.spec import CampaignSpec, ShardSpec, derive_seed, plan_campaign
+from repro.errors import CampaignError, ReproError
+
+#: Callback signature: ``progress(event, shard_index, message)``.
+ProgressFn = Callable[[str, int, str], None]
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Resilience knobs; defaults suit medium campaigns on one machine."""
+
+    workers: int = 2
+    task_timeout: float = 300.0
+    max_retries: int = 3
+    backoff_base: float = 0.25
+    backoff_cap: float = 8.0
+    backoff_jitter: float = 0.25
+    max_consecutive_failures: int = 16
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise CampaignError(f"workers {self.workers} must be >= 0")
+        if self.task_timeout <= 0:
+            raise CampaignError(f"task_timeout {self.task_timeout} must be positive")
+        if self.max_retries < 0:
+            raise CampaignError(f"max_retries {self.max_retries} must be >= 0")
+        if self.max_consecutive_failures <= 0:
+            raise CampaignError("max_consecutive_failures must be positive")
+
+
+@dataclass
+class CampaignOutcome:
+    """What a run/resume returns: the aggregate plus runner bookkeeping."""
+
+    aggregate: dict
+    checkpoint: Path
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.aggregate.get("complete"))
+
+
+class _AttemptFailure(Exception):
+    """One worker attempt failed. ``retryable`` marks environmental causes."""
+
+    def __init__(self, message: str, retryable: bool = True):
+        super().__init__(message)
+        self.retryable = retryable
+
+
+def _child_env() -> dict[str, str]:
+    """Environment for worker subprocesses; guarantees ``repro`` imports."""
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    return env
+
+
+def _attempt_subprocess(
+    shard: ShardSpec,
+    attempt: int,
+    sabotage: dict | None,
+    timeout: float,
+) -> dict:
+    request = {
+        "shard": shard.to_json(),
+        "attempt": attempt,
+        "sabotage": sabotage,
+    }
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.campaign.worker"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_child_env(),
+    )
+    try:
+        out, err = proc.communicate(json.dumps(request), timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+        raise _AttemptFailure(f"worker timed out after {timeout:g}s") from None
+    payload: dict | None = None
+    try:
+        payload = json.loads(out) if out.strip() else None
+    except ValueError:
+        payload = None
+    if proc.returncode != 0:
+        if payload and "error" in payload:
+            # The worker ran the shard and reported a deterministic error.
+            raise _AttemptFailure(payload["error"], retryable=False)
+        cause = (
+            f"killed by signal {-proc.returncode}"
+            if proc.returncode < 0
+            else f"exited {proc.returncode}"
+        )
+        tail = err.strip().splitlines()[-1] if err and err.strip() else ""
+        raise _AttemptFailure(f"worker {cause}" + (f" ({tail})" if tail else ""))
+    if not payload or "result" not in payload:
+        raise _AttemptFailure("worker produced no parseable result")
+    result = payload["result"]
+    if result.get("shard") != shard.index:
+        raise _AttemptFailure(
+            f"worker answered for shard {result.get('shard')!r}, "
+            f"expected {shard.index}", retryable=False,
+        )
+    return result
+
+
+def _backoff_delay(config: RunnerConfig, shard: ShardSpec, attempt: int) -> float:
+    """Exponential backoff with deterministic per-(shard, attempt) jitter."""
+    delay = min(config.backoff_cap, config.backoff_base * (2.0 ** attempt))
+    rng = random.Random(derive_seed(shard.seed, "backoff", attempt))
+    return delay * (1.0 + config.backoff_jitter * rng.random())
+
+
+class _Dispatcher:
+    """Shared mutable state of one campaign execution."""
+
+    def __init__(
+        self,
+        config: RunnerConfig,
+        writer: CheckpointWriter,
+        sabotage: Mapping[int, dict] | None,
+        progress: ProgressFn | None,
+    ):
+        self.config = config
+        self.writer = writer
+        self.sabotage = dict(sabotage or {})
+        self.progress = progress
+        self.results: dict[int, dict] = {}
+        self.quarantined: dict[int, dict] = {}
+        self.attempts_made = 0
+        self.stop = threading.Event()
+        self.breaker_reason: str | None = None
+        self._lock = threading.Lock()
+        self._consecutive = 0
+
+    def _emit(self, event: str, index: int, message: str) -> None:
+        if self.progress is not None:
+            self.progress(event, index, message)
+
+    def _note_failure(self, message: str) -> None:
+        with self._lock:
+            self.attempts_made += 1
+            self._consecutive += 1
+            if (
+                self._consecutive >= self.config.max_consecutive_failures
+                and not self.stop.is_set()
+            ):
+                self.breaker_reason = (
+                    f"circuit breaker: {self._consecutive} consecutive "
+                    f"failed attempts (last: {message})"
+                )
+                self.stop.set()
+
+    def _note_success(self) -> None:
+        with self._lock:
+            self.attempts_made += 1
+            self._consecutive = 0
+
+    def run_one(self, shard: ShardSpec) -> None:
+        failures: list[str] = []
+        attempt = 0
+        while attempt <= self.config.max_retries:
+            if self.stop.is_set():
+                return
+            try:
+                if self.config.workers == 0:
+                    try:
+                        result = run_shard(shard)
+                    except ReproError as exc:
+                        raise _AttemptFailure(
+                            f"{type(exc).__name__}: {exc}", retryable=False
+                        ) from exc
+                else:
+                    result = _attempt_subprocess(
+                        shard,
+                        attempt,
+                        self.sabotage.get(shard.index),
+                        self.config.task_timeout,
+                    )
+            except _AttemptFailure as exc:
+                failures.append(str(exc))
+                self._note_failure(str(exc))
+                self._emit(
+                    "attempt-failed", shard.index,
+                    f"attempt {attempt + 1}: {exc}",
+                )
+                if not exc.retryable:
+                    break
+                attempt += 1
+                if attempt <= self.config.max_retries and not self.stop.is_set():
+                    time.sleep(_backoff_delay(self.config, shard, attempt - 1))
+                continue
+            self._note_success()
+            with self._lock:
+                self.results[shard.index] = result
+            self.writer.shard_done(shard.index, attempt + 1, result)
+            self._emit("shard-done", shard.index, f"attempts={attempt + 1}")
+            return
+        error = failures[-1] if failures else "no attempt made"
+        record = {
+            "kind": "quarantine",
+            "shard": shard.index,
+            "attempts": len(failures),
+            "error": error,
+        }
+        with self._lock:
+            self.quarantined[shard.index] = record
+        self.writer.quarantine(shard.index, len(failures), error)
+        self._emit("quarantined", shard.index, error)
+
+
+def _execute(
+    spec: CampaignSpec,
+    writer: CheckpointWriter,
+    prior_results: dict[int, dict],
+    config: RunnerConfig,
+    sabotage: Mapping[int, dict] | None,
+    progress: ProgressFn | None,
+) -> CampaignOutcome:
+    if config.workers == 0 and sabotage:
+        raise CampaignError(
+            "sabotage drills require isolated workers (workers >= 1); "
+            "inline mode would kill the campaign process itself"
+        )
+    plan = plan_campaign(spec)
+    for index in prior_results:
+        if index >= len(plan):
+            raise CampaignError(
+                f"checkpoint refers to shard {index} but the plan has "
+                f"{len(plan)} shards"
+            )
+    pending = [shard for shard in plan if shard.index not in prior_results]
+    dispatcher = _Dispatcher(config, writer, sabotage, progress)
+
+    started = time.monotonic()
+    if config.workers == 0 or len(pending) <= 1:
+        for shard in pending:
+            if dispatcher.stop.is_set():
+                break
+            dispatcher.run_one(shard)
+    else:
+        work: queue.SimpleQueue[ShardSpec] = queue.SimpleQueue()
+        for shard in pending:
+            work.put(shard)
+
+        def loop() -> None:
+            while not dispatcher.stop.is_set():
+                try:
+                    shard = work.get_nowait()
+                except queue.Empty:
+                    return
+                dispatcher.run_one(shard)
+
+        threads = [
+            threading.Thread(target=loop, name=f"campaign-worker-{i}")
+            for i in range(min(config.workers, len(pending)))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    wall = time.monotonic() - started
+
+    merged = dict(prior_results)
+    merged.update(dispatcher.results)
+    aggregate = aggregate_results(spec, plan, merged, dispatcher.quarantined)
+    stats = {
+        "shards_total": len(plan),
+        "shards_previously_done": len(prior_results),
+        "shards_run": len(dispatcher.results),
+        "shards_quarantined": len(dispatcher.quarantined),
+        "attempts": dispatcher.attempts_made,
+        "wall_seconds": wall,
+        "aborted": dispatcher.breaker_reason,
+    }
+    return CampaignOutcome(
+        aggregate=aggregate, checkpoint=writer.path, stats=stats
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    checkpoint: str | os.PathLike,
+    config: RunnerConfig | None = None,
+    sabotage: Mapping[int, dict] | None = None,
+    progress: ProgressFn | None = None,
+) -> CampaignOutcome:
+    """Run a fresh campaign, journaling every completed shard.
+
+    Refuses to overwrite an existing checkpoint — that is what
+    :func:`resume_campaign` is for.  Partial failure does not raise: the
+    outcome's aggregate carries ``incomplete_shards`` and ``complete`` is
+    False.  Only misconfiguration raises :class:`~repro.errors.CampaignError`.
+    """
+    config = config or RunnerConfig()
+    writer = CheckpointWriter.create(checkpoint, spec, len(plan_campaign(spec)))
+    return _execute(spec, writer, {}, config, sabotage, progress)
+
+
+def resume_campaign(
+    checkpoint: str | os.PathLike,
+    config: RunnerConfig | None = None,
+    sabotage: Mapping[int, dict] | None = None,
+    progress: ProgressFn | None = None,
+) -> CampaignOutcome:
+    """Continue a campaign exactly where its checkpoint left off.
+
+    The spec is read back from the journal header; shards with journaled
+    results are skipped, quarantined shards get a fresh retry budget, and
+    the final aggregate is bit-identical to an uninterrupted run of the
+    same spec.
+    """
+    config = config or RunnerConfig()
+    state = load_journal(checkpoint)
+    prior = {index: record["result"] for index, record in state.results.items()}
+    writer = CheckpointWriter(checkpoint)
+    return _execute(state.spec, writer, prior, config, sabotage, progress)

@@ -1,0 +1,73 @@
+"""Single-shot campaign worker: one shard spec in, one result out.
+
+Runs as ``python -m repro.campaign.worker``.  The parent writes a JSON
+request on stdin and reads a JSON response on stdout; anything that goes
+wrong — a crash, an OOM kill, a hang past the runner's timeout — costs
+exactly this process and therefore exactly one shard attempt.
+
+The request may carry a ``sabotage`` directive.  That is the campaign's
+built-in fault drill: CI and the kill-and-resume tests use it to make a
+worker SIGKILL itself, hang, or exit nonzero on demand, proving the
+runner's isolation/retry/quarantine story against *real* process death
+rather than mocks.  Sabotage is a runner option, never part of the shard
+spec, so checkpoints and fingerprints are untouched by drills.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import time
+
+from repro.campaign.shard import run_shard
+from repro.campaign.spec import SCHEMA_VERSION, ShardSpec
+from repro.errors import ReproError
+
+#: Sabotage directives the drill understands.
+SABOTAGE_MODES = ("kill", "hang", "exit")
+
+
+def apply_sabotage(directive: dict | None, attempt: int) -> None:
+    """Carry out a fault drill if it applies to this attempt."""
+    if not directive:
+        return
+    if attempt >= int(directive.get("attempts", 1 << 30)):
+        return
+    mode = directive.get("mode")
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif mode == "hang":
+        time.sleep(float(directive.get("seconds", 3600.0)))
+    elif mode == "exit":
+        sys.exit(int(directive.get("code", 3)))
+    else:
+        raise ValueError(
+            f"unknown sabotage mode {mode!r}; choose from {SABOTAGE_MODES}"
+        )
+
+
+def main() -> int:
+    try:
+        request = json.load(sys.stdin)
+    except ValueError:
+        print(json.dumps({"error": "worker request is not valid JSON"}))
+        return 1
+    attempt = int(request.get("attempt", 0))
+    apply_sabotage(request.get("sabotage"), attempt)
+    try:
+        shard = ShardSpec.from_json(request["shard"])
+        result = run_shard(shard)
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        # A deterministic shard failure: report it as data so the runner
+        # can quarantine immediately instead of burning retries.
+        print(json.dumps({"schema": SCHEMA_VERSION,
+                          "error": f"{type(exc).__name__}: {exc}"}))
+        return 1
+    print(json.dumps({"schema": SCHEMA_VERSION, "result": result}))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,11 @@ Usage (installed as ``python -m repro``)::
     python -m repro verify-mask cmb
     python -m repro table1
     python -m repro table2 --circuits cmb x2 cu
+    python -m repro campaign plan --circuits comparator2 --modes delay seu
+    python -m repro campaign run camp.ckpt.jsonl --circuits comparator2
+    python -m repro campaign resume camp.ckpt.jsonl
+    python -m repro campaign report camp.ckpt.jsonl --format json
+    python -m repro campaign smoke
     python -m repro mask path/to/design.blif --library lsi10k_like
 
 Circuits are named benchmarks from :mod:`repro.benchcircuits` or paths to
@@ -20,10 +25,24 @@ BLIF files (``.gate`` netlists are read against the chosen library).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.benchcircuits import PAPER_SPECS, TABLE1_NAMES, all_circuit_names, circuit_by_name
+from repro.campaign import (
+    FAULT_KINDS,
+    CampaignSpec,
+    RunnerConfig,
+    aggregate_results,
+    load_journal,
+    plan_campaign,
+    render_campaign_json,
+    render_campaign_text,
+    resume_campaign,
+    run_campaign,
+    run_smoke,
+)
 from repro.analysis import (
     LintConfig,
     Severity,
@@ -38,7 +57,7 @@ from repro.analysis import (
     verify_mask,
 )
 from repro.core import build_masked_design, mask_circuit, synthesize_masking
-from repro.errors import BlifError, ReproError
+from repro.errors import BlifError, CampaignError, ReproError
 from repro.netlist import (
     Circuit,
     Library,
@@ -230,6 +249,136 @@ def cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_mode(text: str) -> dict:
+    """Parse ``kind`` or ``kind:key=value,key=value`` into a mode spec."""
+    kind, _, params = text.partition(":")
+    mode: dict = {"kind": kind.strip()}
+    if params.strip():
+        for item in params.split(","):
+            key, sep, raw = item.partition("=")
+            if not sep or not key.strip():
+                raise CampaignError(
+                    f"bad mode parameter {item!r} in {text!r}; expected key=value"
+                )
+            raw = raw.strip()
+            try:
+                value = json.loads(raw)
+            except json.JSONDecodeError:
+                value = raw
+            mode[key.strip()] = value
+    return mode
+
+
+def _parse_sabotage(entries: list[str] | None) -> dict[int, dict] | None:
+    """Parse ``SHARD:MODE[:ATTEMPTS]`` drill directives."""
+    if not entries:
+        return None
+    sabotage: dict[int, dict] = {}
+    for text in entries:
+        parts = text.split(":")
+        if len(parts) not in (2, 3):
+            raise CampaignError(
+                f"bad sabotage {text!r}; expected SHARD:MODE[:ATTEMPTS]"
+            )
+        try:
+            shard = int(parts[0])
+        except ValueError:
+            raise CampaignError(f"bad sabotage shard index {parts[0]!r}") from None
+        directive: dict = {"mode": parts[1]}
+        if len(parts) == 3:
+            try:
+                directive["attempts"] = int(parts[2])
+            except ValueError:
+                raise CampaignError(
+                    f"bad sabotage attempt count {parts[2]!r}"
+                ) from None
+        sabotage[shard] = directive
+    return sabotage
+
+
+def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
+    return CampaignSpec(
+        circuits=tuple(args.circuits),
+        modes=tuple(_parse_mode(m) for m in args.modes),
+        shards_per_cell=args.shards,
+        vectors_per_shard=args.vectors,
+        seed=args.seed,
+        clock_fraction=args.clock_fraction,
+        threshold=args.threshold,
+        library=args.library,
+    )
+
+
+def _runner_config(args: argparse.Namespace) -> RunnerConfig:
+    return RunnerConfig(
+        workers=args.workers,
+        task_timeout=args.timeout,
+        max_retries=args.retries,
+    )
+
+
+def _emit_campaign(outcome_aggregate: dict, args: argparse.Namespace) -> None:
+    render = (
+        render_campaign_json if args.format == "json" else render_campaign_text
+    )
+    text = render(outcome_aggregate)
+    if args.out:
+        Path(args.out).write_text(
+            text if text.endswith("\n") else text + "\n"
+        )
+        print(f"campaign report written to {args.out}")
+    else:
+        print(text.rstrip("\n"))
+
+
+def cmd_campaign_plan(args: argparse.Namespace) -> int:
+    spec = _campaign_spec(args)
+    plan = plan_campaign(spec)
+    print(f"campaign {spec.fingerprint()[:12]}: {len(plan)} shards")
+    for shard in plan:
+        print(
+            f"  #{shard.index:<4d} {shard.circuit:14s} {shard.mode_key:32s} "
+            f"vectors={shard.vectors} seed={shard.seed}"
+        )
+    return 0
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    outcome = run_campaign(
+        _campaign_spec(args),
+        args.checkpoint,
+        _runner_config(args),
+        sabotage=_parse_sabotage(args.sabotage),
+        progress=print if args.progress else None,
+    )
+    _emit_campaign(outcome.aggregate, args)
+    return 0 if outcome.complete else 1
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    outcome = resume_campaign(
+        args.checkpoint,
+        _runner_config(args),
+        progress=print if args.progress else None,
+    )
+    _emit_campaign(outcome.aggregate, args)
+    return 0 if outcome.complete else 1
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    state = load_journal(args.checkpoint)
+    results = {i: record["result"] for i, record in state.results.items()}
+    aggregate = aggregate_results(
+        state.spec, plan_campaign(state.spec), results, state.quarantined
+    )
+    _emit_campaign(aggregate, args)
+    return 0 if aggregate["complete"] else 1
+
+
+def cmd_campaign_smoke(args: argparse.Namespace) -> int:
+    return run_smoke(args.workdir)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -302,6 +451,87 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table2", help="regenerate Table 2 rows")
     p.add_argument("--circuits", nargs="*", help="subset of circuit names")
     p.set_defaults(func=cmd_table2)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="resilient fault-injection campaigns (checkpoint/resume)",
+    )
+    csub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    def add_spec_options(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument(
+            "--circuits",
+            nargs="+",
+            default=["comparator2", "cu"],
+            help="benchmark circuits to sweep",
+        )
+        cp.add_argument(
+            "--modes",
+            nargs="+",
+            default=list(FAULT_KINDS),
+            metavar="KIND[:k=v,...]",
+            help=f"fault modes, from {FAULT_KINDS} "
+            "(e.g. delay:scale=3.0,arcs=2)",
+        )
+        cp.add_argument("--shards", type=int, default=2,
+                        help="shards per (circuit, mode) cell")
+        cp.add_argument("--vectors", type=int, default=128,
+                        help="vector pairs per shard")
+        cp.add_argument("--seed", type=int, default=0)
+        cp.add_argument("--clock-fraction", type=float, default=0.85,
+                        help="sample clock as fraction of critical delay")
+        cp.add_argument("--threshold", type=float, default=0.9)
+
+    def add_runner_options(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("--workers", type=int, default=2,
+                        help="worker subprocesses; 0 runs shards inline")
+        cp.add_argument("--timeout", type=float, default=300.0,
+                        help="per-shard attempt timeout in seconds")
+        cp.add_argument("--retries", type=int, default=3,
+                        help="retries per shard before quarantine")
+        cp.add_argument("--progress", action="store_true",
+                        help="log per-shard progress lines")
+
+    def add_output_options(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("--format", default="text", choices=("text", "json"))
+        cp.add_argument("--out", help="write the report to a file")
+
+    p = csub.add_parser("plan", help="show the deterministic shard plan")
+    add_spec_options(p)
+    p.set_defaults(func=cmd_campaign_plan)
+
+    p = csub.add_parser("run", help="run a campaign against a new checkpoint")
+    p.add_argument("checkpoint", help="checkpoint journal path (must not exist)")
+    add_spec_options(p)
+    add_runner_options(p)
+    add_output_options(p)
+    p.add_argument(
+        "--sabotage",
+        nargs="*",
+        metavar="SHARD:MODE[:ATTEMPTS]",
+        help="failure drill: kill/hang/exit a shard's worker "
+        "(testing; not recorded in the checkpoint)",
+    )
+    p.set_defaults(func=cmd_campaign_run)
+
+    p = csub.add_parser("resume", help="resume an interrupted checkpoint")
+    p.add_argument("checkpoint", help="existing checkpoint journal path")
+    add_runner_options(p)
+    add_output_options(p)
+    p.set_defaults(func=cmd_campaign_resume)
+
+    p = csub.add_parser(
+        "report", help="aggregate an existing checkpoint without running"
+    )
+    p.add_argument("checkpoint", help="existing checkpoint journal path")
+    add_output_options(p)
+    p.set_defaults(func=cmd_campaign_report)
+
+    p = csub.add_parser(
+        "smoke", help="end-to-end crash/quarantine/resume drill (CI gate)"
+    )
+    p.add_argument("--workdir", help="keep checkpoints here instead of a tmpdir")
+    p.set_defaults(func=cmd_campaign_smoke)
     return parser
 
 

@@ -13,6 +13,7 @@ from repro.core.masking import (
 )
 from repro.core.pipeline import PipelineResult, mask_circuit
 from repro.core.report import (
+    MaskingEffectiveness,
     OverheadReport,
     VerificationReport,
     masking_delay,
@@ -37,6 +38,7 @@ __all__ = [
     "build_masked_design",
     "VerificationReport",
     "verify_masking",
+    "MaskingEffectiveness",
     "OverheadReport",
     "overhead_report",
     "masking_delay",

@@ -157,6 +157,41 @@ def _verify_masking_sampled(
 
 
 @dataclass(frozen=True)
+class MaskingEffectiveness:
+    """Before/after error counts for one output (or one aggregate group).
+
+    The mux patch replaces an erroneous critical output with the masking
+    circuit's prediction; *effectiveness* is the fraction of erroneous
+    samples it repaired.  Shared by the sampling verifier and the
+    fault-injection campaign aggregator, and additive: two disjoint sample
+    batches combine with :meth:`merged`.
+    """
+
+    vectors: int
+    unmasked_errors: int
+    masked_errors: int
+
+    @property
+    def recovered(self) -> int:
+        """Errors present before the mux patch and absent after it."""
+        return max(0, self.unmasked_errors - self.masked_errors)
+
+    @property
+    def effectiveness_percent(self) -> float:
+        """100 * recovered / unmasked errors (100.0 when nothing to mask)."""
+        if self.unmasked_errors == 0:
+            return 100.0
+        return 100.0 * self.recovered / self.unmasked_errors
+
+    def merged(self, other: "MaskingEffectiveness") -> "MaskingEffectiveness":
+        return MaskingEffectiveness(
+            vectors=self.vectors + other.vectors,
+            unmasked_errors=self.unmasked_errors + other.unmasked_errors,
+            masked_errors=self.masked_errors + other.masked_errors,
+        )
+
+
+@dataclass(frozen=True)
 class OverheadReport:
     """One Table-2 row: overheads of masking for a single circuit."""
 

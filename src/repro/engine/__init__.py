@@ -11,7 +11,6 @@ lowering and backend-selection rules.
 """
 
 from repro.engine.backends import (
-    BACKEND_ENV_VAR,
     NumpyWordBackend,
     PythonWordBackend,
     available_backends,
@@ -22,6 +21,8 @@ from repro.engine.backends import (
     words_to_lanes,
 )
 from repro.engine.ir import (
+    BACKEND_ENV_VAR,
+    KNOWN_BACKEND_NAMES,
     CompiledCircuit,
     cell_prime_tables,
     cell_word_function,
@@ -30,6 +31,7 @@ from repro.engine.ir import (
     pack_input_words,
     patterns_to_words,
     run_program,
+    validated_backend_name,
 )
 
 __all__ = [
@@ -50,4 +52,6 @@ __all__ = [
     "words_to_lanes",
     "lanes_to_words",
     "BACKEND_ENV_VAR",
+    "KNOWN_BACKEND_NAMES",
+    "validated_backend_name",
 ]

@@ -35,10 +35,15 @@ NumPy.
 
 from __future__ import annotations
 
-import os
 from typing import Mapping, Sequence
 
-from repro.engine.ir import CompiledCircuit, compile_circuit, pack_input_words
+from repro.engine.ir import (
+    BACKEND_ENV_VAR,
+    CompiledCircuit,
+    compile_circuit,
+    pack_input_words,
+    validated_backend_name,
+)
 from repro.errors import EngineError
 
 try:  # NumPy is optional; everything degrades to the pure-Python backend.
@@ -46,14 +51,33 @@ try:  # NumPy is optional; everything degrades to the pure-Python backend.
 except ImportError:  # pragma: no cover - exercised on numpy-free installs
     _np = None
 
-#: Environment variable overriding automatic backend selection.
-BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "PythonWordBackend",
+    "NumpyWordBackend",
+    "available_backends",
+    "numpy_available",
+    "select_backend",
+    "evaluate_words",
+    "words_to_lanes",
+    "lanes_to_words",
+]
 
 #: Lane count at or below which the numpy backend uses grouped gathers;
 #: above it, gather copies cost more than the per-gate dispatch they save.
 _GROUPED_LANES_MAX = 256
 
 _LANE_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _check_width(width: int) -> None:
+    """Reject negative widths before they hit a shift deep in a backend.
+
+    ``width == 0`` is a legitimate empty batch: every word is masked to 0
+    and the result is well-formed all-zero words.
+    """
+    if width < 0:
+        raise EngineError(f"pattern width {width} must be non-negative")
 
 
 class PythonWordBackend:
@@ -65,6 +89,7 @@ class PythonWordBackend:
         self, compiled: CompiledCircuit, input_words: Sequence[int], width: int
     ) -> list[int]:
         """Evaluate ``width`` packed patterns; returns one word per net."""
+        _check_width(width)
         if len(input_words) != compiled.n_inputs:
             raise EngineError(
                 f"{len(input_words)} input words for {compiled.n_inputs} inputs"
@@ -82,6 +107,7 @@ def words_to_lanes(input_words: Sequence[int], width: int):
     """Pack big-int words into a little-endian ``(n, n_lanes)`` uint64 matrix."""
     if _np is None:
         raise EngineError("numpy is not importable")
+    _check_width(width)
     mask = (1 << width) - 1
     n_lanes = max(1, (width + 63) // 64)
     nbytes = n_lanes * 8
@@ -177,6 +203,7 @@ class NumpyWordBackend:
         self, compiled: CompiledCircuit, input_words: Sequence[int], width: int
     ) -> list[int]:
         """Evaluate ``width`` packed patterns; returns one word per net."""
+        _check_width(width)
         if len(input_words) != compiled.n_inputs:
             raise EngineError(
                 f"{len(input_words)} input words for {compiled.n_inputs} inputs"
@@ -200,19 +227,19 @@ def available_backends() -> tuple[str, ...]:
 
 
 def select_backend(name: str | None = None):
-    """Resolve a backend instance (see module docstring for the rules)."""
-    if name is None:
-        name = os.environ.get(BACKEND_ENV_VAR) or "python"
+    """Resolve a backend instance (see module docstring for the rules).
+
+    Validation is shared with :func:`repro.engine.ir.validated_backend_name`:
+    an unknown name — explicit or via ``REPRO_ENGINE_BACKEND`` — raises
+    :class:`~repro.errors.EngineError` naming the valid choices.
+    """
+    name = validated_backend_name(name)
     if name == "python":
         return _python_backend
-    if name == "numpy":
-        global _numpy_backend
-        if _numpy_backend is None:
-            _numpy_backend = NumpyWordBackend()  # raises if numpy missing
-        return _numpy_backend
-    raise EngineError(
-        f"unknown engine backend {name!r}; choose from {available_backends()}"
-    )
+    global _numpy_backend
+    if _numpy_backend is None:
+        _numpy_backend = NumpyWordBackend()  # raises if numpy missing
+    return _numpy_backend
 
 
 def evaluate_words(

@@ -29,6 +29,7 @@ repeated passes over an unmodified circuit compile exactly once.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -36,6 +37,36 @@ from repro.errors import EngineError, SimulationError
 from repro.logic.expr import BoolExpr
 from repro.netlist.cell import Cell
 from repro.netlist.circuit import Circuit
+
+#: Environment variable overriding automatic backend selection.
+BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
+
+#: Every backend name the engine knows about, importable or not.
+KNOWN_BACKEND_NAMES = ("python", "numpy")
+
+
+def validated_backend_name(name: str | None = None, default: str = "python") -> str:
+    """Resolve and validate a backend name (case/whitespace tolerant).
+
+    ``None`` falls through to ``$REPRO_ENGINE_BACKEND``, then ``default``;
+    an unset or empty variable is the documented "no preference" state.  An
+    *unknown* value raises :class:`~repro.errors.EngineError` naming the
+    valid choices — it must never silently fall back, whether it arrives as
+    an explicit argument or through the environment.
+    """
+    source = "backend name"
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR)
+        source = f"${BACKEND_ENV_VAR}"
+    if name is None or not name.strip():
+        return default
+    normalized = name.strip().lower()
+    if normalized not in KNOWN_BACKEND_NAMES:
+        raise EngineError(
+            f"unknown engine backend {name!r} (from {source}); "
+            f"choose from {KNOWN_BACKEND_NAMES}"
+        )
+    return normalized
 
 #: Opcodes of the postfix gate programs (``run_program`` is the interpreter).
 OP_LOAD = 0  #: push the word of fanin pin ``arg``
@@ -447,7 +478,13 @@ def compile_circuit(circuit: "Circuit | CompiledCircuit") -> CompiledCircuit:
     Passing an already-compiled circuit is a no-op, so every evaluation
     entry point can accept either form.  The cache is invalidated by
     :attr:`Circuit.version`, so structural edits trigger a fresh lowering.
+
+    The backend environment variable is validated here — the common entry
+    of every evaluation path — so a misspelt ``REPRO_ENGINE_BACKEND``
+    raises immediately instead of being silently ignored by paths (single
+    patterns, waveforms) that never consult a word backend.
     """
+    validated_backend_name()
     if isinstance(circuit, CompiledCircuit):
         return circuit
     cached: CompiledCircuit | None = getattr(circuit, "_compiled_ir", None)

@@ -48,6 +48,14 @@ class EngineError(ReproError):
     """Raised by :mod:`repro.engine` (unknown backend, malformed word batch)."""
 
 
+class CampaignError(ReproError):
+    """Raised by :mod:`repro.campaign` (bad specs, runner misconfiguration)."""
+
+
+class CheckpointError(CampaignError):
+    """Raised for unusable campaign checkpoints (corruption, spec mismatch)."""
+
+
 class SpcfError(ReproError):
     """Raised when an SPCF computation is requested with invalid parameters."""
 

@@ -1,15 +1,18 @@
 """Simulation: zero-delay, floating-mode oracle, event-driven, faults, aging."""
 
 from repro.sim.aging import (
+    AGING_MODELS,
     LinearAging,
     SaturatingAging,
     aged_compiled,
     aged_copy,
+    aging_model,
     speed_path_gates,
 )
 from repro.sim.eventsim import Waveform, settle_times, two_vector_waveforms
 from repro.sim.faults import (
     SampleResult,
+    eval_with_faults,
     sample_at_clock,
     sample_many,
     timing_errors,
@@ -42,10 +45,13 @@ __all__ = [
     "SampleResult",
     "sample_at_clock",
     "sample_many",
+    "eval_with_faults",
     "timing_errors",
+    "AGING_MODELS",
     "LinearAging",
     "SaturatingAging",
     "aged_copy",
     "aged_compiled",
+    "aging_model",
     "speed_path_gates",
 ]

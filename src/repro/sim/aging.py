@@ -47,6 +47,29 @@ class SaturatingAging:
         return 1.0 + self.amplitude * (t / (t + self.tau))
 
 
+#: Aging models constructible from a JSON-serializable campaign spec.
+AGING_MODELS = {
+    "linear": LinearAging,
+    "saturating": SaturatingAging,
+}
+
+
+def aging_model(kind: str, **params: float) -> LinearAging | SaturatingAging:
+    """Instantiate a named aging model (campaign specs carry name + params)."""
+    try:
+        cls = AGING_MODELS[kind]
+    except KeyError:
+        raise SimulationError(
+            f"unknown aging model {kind!r}; choose from {tuple(AGING_MODELS)}"
+        ) from None
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise SimulationError(
+            f"bad parameters for aging model {kind!r}: {exc}"
+        ) from None
+
+
 def speed_path_gates(
     circuit: Circuit, threshold: float = 0.9, report: TimingReport | None = None
 ) -> set[str]:

@@ -67,10 +67,74 @@ def sample_many(
 
     The Monte-Carlo injection harnesses iterate thousands of pairs; this
     amortizes the lowering and keeps the hot loop on the array IR.
+
+    Empty workloads are legal and yield nothing — but the clock is still
+    validated up front, so a bad period is reported even when the batch
+    (e.g. an ``n=0`` campaign shard) contains no vector pairs.
+    """
+    if clock < 0:
+        raise SimulationError(f"clock period {clock} must be non-negative")
+    compiled = compile_circuit(circuit)
+
+    def _generate() -> Iterator[SampleResult]:
+        for v1, v2 in vector_pairs:
+            yield sample_at_clock(compiled, v1, v2, clock)
+
+    return _generate()
+
+
+def eval_with_faults(
+    circuit: Circuit | CompiledCircuit,
+    pattern: Mapping[str, bool],
+    flips: Iterable[str] = (),
+    stuck: Mapping[str, bool] | None = None,
+) -> dict[str, bool]:
+    """Zero-delay evaluation with injected net faults, all nets out.
+
+    ``flips`` are transient single-event upsets: the named nets are inverted
+    *after* their driver evaluates, and the upset propagates through the
+    fanout cone.  ``stuck`` pins nets at a constant (stuck-at faults).  A net
+    that is both flipped and stuck ends up at the inverted stuck value —
+    the flip is applied last, matching a particle strike on a tied node.
+
+    The fault-injection campaign uses this for its SEU and stuck-at modes;
+    errors are deviations of the primary outputs from the fault-free run.
     """
     compiled = compile_circuit(circuit)
-    for v1, v2 in vector_pairs:
-        yield sample_at_clock(compiled, v1, v2, clock)
+    index = compiled.net_index
+    overrides: dict[int, tuple[bool, int]] = {}
+
+    def _idx(net: str) -> int:
+        try:
+            return index[net]
+        except KeyError:
+            raise SimulationError(
+                f"cannot inject fault on unknown net {net!r}"
+            ) from None
+
+    for net, value in (stuck or {}).items():
+        overrides[_idx(net)] = (True, 1 if value else 0)
+    for net in flips:
+        i = _idx(net)
+        pinned, value = overrides.get(i, (False, 0))
+        overrides[i] = (pinned, value ^ 1) if pinned else (False, 1)
+
+    def _apply(i: int, value: int) -> int:
+        pinned, override = overrides.get(i, (False, 0))
+        if pinned:
+            return override
+        # A bare flip entry stores the xor mask in ``override``.
+        return value ^ override if i in overrides else value
+
+    values = [0] * compiled.n_nets
+    for i, net in enumerate(compiled.inputs):
+        try:
+            values[i] = _apply(i, 1 if pattern[net] else 0)
+        except KeyError:
+            raise SimulationError(f"pattern missing input {net!r}") from None
+    for func, out, fanins in compiled.plan:
+        values[out] = _apply(out, func(1, *[values[f] for f in fanins]))
+    return {net: bool(v) for net, v in zip(compiled.net_names, values)}
 
 
 def timing_errors(

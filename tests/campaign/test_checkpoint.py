@@ -1,0 +1,133 @@
+"""Checkpoint journal: durability, crash tolerance, corruption refusal."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, CheckpointWriter, load_journal
+from repro.errors import CheckpointError
+
+
+def spec() -> CampaignSpec:
+    return CampaignSpec(
+        circuits=("comparator2",),
+        modes=({"kind": "seu"},),
+        shards_per_cell=2,
+        vectors_per_shard=4,
+        seed=3,
+    )
+
+
+def fake_result(index: int) -> dict:
+    return {"shard": index, "vectors": 4, "pairs_unmasked_errors": 1,
+            "pairs_masked_errors": 0, "outputs": {}}
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "c.ckpt.jsonl"
+    writer = CheckpointWriter.create(path, spec(), 2)
+    writer.shard_done(0, 1, fake_result(0))
+    writer.quarantine(1, 3, "worker killed by signal 9")
+
+    state = load_journal(path)
+    assert state.fingerprint == spec().fingerprint()
+    assert state.n_shards == 2
+    assert state.spec == spec()
+    assert state.results[0]["result"] == fake_result(0)
+    assert state.quarantined[1]["error"] == "worker killed by signal 9"
+    assert state.done_indices == frozenset({0})
+    assert not state.dropped_tail
+
+
+def test_later_shard_record_supersedes_quarantine(tmp_path):
+    path = tmp_path / "c.ckpt.jsonl"
+    writer = CheckpointWriter.create(path, spec(), 2)
+    writer.quarantine(0, 2, "flaky")
+    writer.shard_done(0, 1, fake_result(0))
+    state = load_journal(path)
+    assert 0 in state.results
+    assert 0 not in state.quarantined
+
+
+def test_create_refuses_to_clobber(tmp_path):
+    path = tmp_path / "c.ckpt.jsonl"
+    CheckpointWriter.create(path, spec(), 2)
+    with pytest.raises(CheckpointError, match="already exists"):
+        CheckpointWriter.create(path, spec(), 2)
+
+
+def test_torn_tail_is_dropped(tmp_path):
+    path = tmp_path / "c.ckpt.jsonl"
+    writer = CheckpointWriter.create(path, spec(), 2)
+    writer.shard_done(0, 1, fake_result(0))
+    with open(path, "a") as handle:
+        handle.write('{"kind": "shard", "shard": 1, "resu')  # kill mid-write
+    state = load_journal(path)
+    assert state.dropped_tail
+    assert state.done_indices == frozenset({0})
+
+
+def test_torn_header_alone_is_unusable(tmp_path):
+    path = tmp_path / "c.ckpt.jsonl"
+    path.write_text('{"kind": "header", "schema"')
+    with pytest.raises(CheckpointError, match="torn header"):
+        load_journal(path)
+
+
+def test_midfile_corruption_raises(tmp_path):
+    path = tmp_path / "c.ckpt.jsonl"
+    writer = CheckpointWriter.create(path, spec(), 2)
+    with open(path, "a") as handle:
+        handle.write("!!not json!!\n")
+    writer.shard_done(0, 1, fake_result(0))
+    with pytest.raises(CheckpointError, match="not JSON"):
+        load_journal(path)
+
+
+def test_missing_and_empty_files(tmp_path):
+    with pytest.raises(CheckpointError, match="cannot read"):
+        load_journal(tmp_path / "nope.jsonl")
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(CheckpointError, match="empty checkpoint"):
+        load_journal(empty)
+
+
+def test_wrong_first_record(tmp_path):
+    path = tmp_path / "c.ckpt.jsonl"
+    path.write_text('{"kind": "shard", "shard": 0}\n')
+    with pytest.raises(CheckpointError, match="not a campaign header"):
+        load_journal(path)
+
+
+def test_schema_mismatch(tmp_path):
+    import json
+
+    path = tmp_path / "c.ckpt.jsonl"
+    CheckpointWriter.create(path, spec(), 2)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["schema"] = 999
+    path.write_text(json.dumps(header) + "\n")
+    with pytest.raises(CheckpointError, match="schema 999"):
+        load_journal(path)
+
+
+def test_fingerprint_spec_mismatch(tmp_path):
+    import json
+
+    path = tmp_path / "c.ckpt.jsonl"
+    CheckpointWriter.create(path, spec(), 2)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["fingerprint"] = "0" * 64
+    path.write_text(json.dumps(header) + "\n")
+    with pytest.raises(CheckpointError, match="does not match"):
+        load_journal(path)
+
+
+def test_unknown_record_kind(tmp_path):
+    path = tmp_path / "c.ckpt.jsonl"
+    CheckpointWriter.create(path, spec(), 2)
+    with open(path, "a") as handle:
+        handle.write('{"kind": "gremlin"}\n')
+    with pytest.raises(CheckpointError, match="unknown record kind"):
+        load_journal(path)

@@ -20,6 +20,7 @@ from repro.engine import (
     pack_input_words,
     run_program,
     select_backend,
+    validated_backend_name,
 )
 from repro.errors import EngineError, SimulationError
 from repro.netlist import lsi10k_like_library, unit_library
@@ -220,6 +221,48 @@ def test_select_backend_rules(monkeypatch):
     with pytest.raises(EngineError, match="unknown engine backend"):
         select_backend("vhdl")
     assert "python" in available_backends()
+
+
+def test_validated_backend_name_normalizes(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    assert validated_backend_name("  PYTHON ") == "python"
+    assert validated_backend_name(None) == "python"  # unset env -> default
+    monkeypatch.setenv(BACKEND_ENV_VAR, "   ")
+    assert validated_backend_name(None) == "python"  # blank env -> default
+    with pytest.raises(EngineError, match=r"choose from \('python', 'numpy'\)"):
+        validated_backend_name("fpga")
+
+
+def test_bogus_env_backend_rejected_on_every_compile(monkeypatch, unit_lib):
+    """A typo'd REPRO_ENGINE_BACKEND must fail loudly at the engine's
+    front door — even on paths that never touch a word backend, and even
+    when the compile itself is a cache hit."""
+    c = random_dag_circuit(14, num_inputs=3, num_gates=4, library=unit_lib)
+    compile_circuit(c)  # populate the cache
+    monkeypatch.setenv(BACKEND_ENV_VAR, "bogus")
+    with pytest.raises(EngineError, match=r"\$REPRO_ENGINE_BACKEND"):
+        compile_circuit(c)
+    with pytest.raises(EngineError, match="unknown engine backend"):
+        simulate(c, {net: False for net in c.inputs})
+
+
+def test_negative_width_is_engine_error(unit_lib):
+    cc = compile_circuit(
+        random_dag_circuit(15, num_inputs=3, num_gates=4, library=unit_lib)
+    )
+    words = {net: 0 for net in cc.inputs}
+    with pytest.raises(EngineError, match="width"):
+        PythonWordBackend().eval_words(cc, pack_input_words(cc, words, 1), -1)
+
+
+def test_zero_width_empty_batch_is_legal(unit_lib):
+    cc = compile_circuit(
+        random_dag_circuit(16, num_inputs=3, num_gates=4, library=unit_lib)
+    )
+    words = {net: 0 for net in cc.inputs}
+    out = evaluate_words(cc, words, 0)
+    assert set(out) == set(cc.net_names)
+    assert all(word == 0 for word in out.values())
 
 
 @pytest.mark.skipif(not numpy_available(), reason="numpy not importable")

@@ -5,9 +5,12 @@ import pytest
 from repro.benchcircuits import comparator2
 from repro.errors import SimulationError
 from repro.sim import (
+    eval_with_faults,
     exhaustive_patterns,
     random_patterns,
     sample_at_clock,
+    sample_many,
+    simulate,
     timing_errors,
 )
 from repro.sta import analyze
@@ -49,6 +52,57 @@ def test_negative_clock_rejected():
     v = dict.fromkeys(c.inputs, False)
     with pytest.raises(SimulationError):
         sample_at_clock(c, v, v, clock=-1)
+
+
+def test_sample_many_empty_batch_is_legal():
+    """An n=0 workload yields nothing instead of erroring in the backend."""
+    c = comparator2()
+    assert list(sample_many(c, [], clock=7)) == []
+
+
+def test_sample_many_validates_clock_before_iterating():
+    """A bad period is reported at the call, even for an empty batch."""
+    c = comparator2()
+    with pytest.raises(SimulationError, match="clock period"):
+        sample_many(c, [], clock=-1)
+
+
+def test_sample_many_matches_sample_at_clock():
+    c = comparator2()
+    pats = list(exhaustive_patterns(c.inputs))[:5]
+    pairs = list(zip(pats, pats[1:]))
+    many = list(sample_many(c, pairs, clock=7))
+    assert len(many) == len(pairs)
+    for (v1, v2), res in zip(pairs, many):
+        assert res == sample_at_clock(c, v1, v2, clock=7)
+
+
+def test_eval_with_faults_no_faults_matches_simulate():
+    c = comparator2()
+    for pattern in list(exhaustive_patterns(c.inputs))[:8]:
+        assert eval_with_faults(c, pattern) == simulate(c, pattern)
+
+
+def test_eval_with_faults_flip_propagates_to_output():
+    c = comparator2()
+    pattern = dict.fromkeys(c.inputs, False)
+    clean = simulate(c, pattern)
+    flipped = eval_with_faults(c, pattern, flips=["y"])
+    assert flipped["y"] != clean["y"]
+
+
+def test_eval_with_faults_stuck_pins_net():
+    c = comparator2()
+    for pattern in list(exhaustive_patterns(c.inputs))[:8]:
+        out = eval_with_faults(c, pattern, stuck={"y": True})
+        assert out["y"] is True
+
+
+def test_eval_with_faults_unknown_net():
+    c = comparator2()
+    pattern = dict.fromkeys(c.inputs, False)
+    with pytest.raises(SimulationError, match="unknown net"):
+        eval_with_faults(c, pattern, flips=["zz9"])
 
 
 def test_error_rate_grows_with_aging():

@@ -191,3 +191,84 @@ def test_verify_mask_cli_json(capsys):
     assert {c["check"] for c in payload["checks"]} == {
         "soundness", "coverage", "equivalence",
     }
+
+
+def test_campaign_plan(capsys):
+    code, out, _ = run(
+        capsys, "campaign", "plan",
+        "--circuits", "comparator2",
+        "--modes", "seu", "delay:scale=3.0,arcs=1",
+        "--shards", "2",
+    )
+    assert code == 0
+    assert "4 shards" in out
+    assert "seu(flips=1)" in out
+    assert "delay(arcs=1,scale=3.0)" in out
+
+
+def test_campaign_run_report_resume_inline(capsys, tmp_path):
+    import json
+
+    ckpt = tmp_path / "c.ckpt.jsonl"
+    code, out, _ = run(
+        capsys, "campaign", "run", str(ckpt),
+        "--circuits", "comparator2", "--modes", "seu",
+        "--shards", "2", "--vectors", "6", "--workers", "0",
+    )
+    assert code == 0
+    assert "COMPLETE" in out
+    assert ckpt.exists()
+
+    code, out, _ = run(
+        capsys, "campaign", "report", str(ckpt), "--format", "json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["complete"] is True
+    assert payload["shards_done"] == 2
+
+    code, out, _ = run(capsys, "campaign", "resume", str(ckpt), "--workers", "0")
+    assert code == 0
+    assert "COMPLETE" in out
+
+
+def test_campaign_run_refuses_existing_checkpoint(capsys, tmp_path):
+    ckpt = tmp_path / "c.ckpt.jsonl"
+    ckpt.write_text("{}\n")
+    code, _, err = run(
+        capsys, "campaign", "run", str(ckpt),
+        "--circuits", "comparator2", "--modes", "seu", "--workers", "0",
+    )
+    assert code == 2
+    assert "already exists" in err
+
+
+def test_campaign_bad_mode_and_sabotage_args(capsys, tmp_path):
+    code, _, err = run(
+        capsys, "campaign", "plan", "--modes", "seu:wings=3"
+    )
+    assert code == 2
+    assert "no parameter" in err
+
+    code, _, err = run(
+        capsys, "campaign", "run", str(tmp_path / "x.jsonl"),
+        "--modes", "seu", "--sabotage", "notanint:kill",
+    )
+    assert code == 2
+    assert "sabotage" in err
+
+
+def test_campaign_report_written_to_file(capsys, tmp_path):
+    import json
+
+    ckpt = tmp_path / "c.ckpt.jsonl"
+    out_path = tmp_path / "report.json"
+    code, _, _ = run(
+        capsys, "campaign", "run", str(ckpt),
+        "--circuits", "comparator2", "--modes", "stuck",
+        "--shards", "1", "--vectors", "4", "--workers", "0",
+        "--format", "json", "--out", str(out_path),
+    )
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["complete"] is True

@@ -21,6 +21,8 @@ def test_hierarchy():
         errors.AnalysisError,
         errors.LintError,
         errors.VerificationError,
+        errors.CampaignError,
+        errors.CheckpointError,
     ]
     for cls in subclasses:
         assert issubclass(cls, errors.ReproError), cls
@@ -32,6 +34,7 @@ def test_specializations():
     assert issubclass(errors.BlifError, errors.NetlistError)
     assert issubclass(errors.LintError, errors.AnalysisError)
     assert issubclass(errors.VerificationError, errors.AnalysisError)
+    assert issubclass(errors.CheckpointError, errors.CampaignError)
 
 
 def _netlist_cycle():
@@ -106,6 +109,18 @@ def _masking_bad_pool():
     synthesize_masking(circuit_by_name("comparator2", lib), lib, cube_pool="bogus")
 
 
+def _campaign_bad_mode():
+    from repro.campaign import CampaignSpec
+
+    CampaignSpec(circuits=("cmb",), modes=({"kind": "meteor"},))
+
+
+def _campaign_missing_checkpoint():
+    from repro.campaign import load_journal
+
+    load_journal("/no/such/campaign.ckpt.jsonl")
+
+
 def _analysis_unknown_rule():
     from repro.analysis import LintConfig
 
@@ -131,6 +146,8 @@ def _analysis_bad_severity():
         _spcf_threshold,
         _spcf_unbound_name,
         _masking_bad_pool,
+        _campaign_bad_mode,
+        _campaign_missing_checkpoint,
         _analysis_unknown_rule,
         _analysis_bad_severity,
     ],
