@@ -1,19 +1,26 @@
 # Developer entry points. `make check` is the CI gate: tier-1 tests, the
-# warning-level lint sweep over every builtin benchmark, and the campaign
-# crash/quarantine/resume smoke drill.
+# warning-level lint sweep over every builtin benchmark, the
+# abstract-interpretation sweep, and the campaign crash/quarantine/resume
+# smoke drill.
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test lint-circuits campaign-smoke verify-mask lint-py bench
+.PHONY: check test lint-circuits analyze campaign-smoke verify-mask lint-py typecheck bench
 
-check: test lint-circuits campaign-smoke
+check: test lint-circuits analyze campaign-smoke
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 lint-circuits:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro lint all --fail-on warning
+
+# Abstract-interpretation sweep (ABS001-ABS008) over every builtin
+# benchmark.  Errors here mean an internal-consistency bug (interval vs.
+# STA, or a hazard escaping Sigma_y), so the gate is --fail-on error.
+analyze:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro analyze all --fail-on error
 
 # End-to-end campaign drill: worker SIGKILL absorbed by retry, a persistent
 # crasher quarantined, and resume reproducing the baseline byte-for-byte.
@@ -30,6 +37,13 @@ lint-py:
 	@command -v ruff >/dev/null 2>&1 \
 		&& ruff check src tests \
 		|| echo "ruff not installed; skipping python lint"
+
+# Strict type-checking of the analysis package (config in pyproject.toml,
+# [tool.mypy]).  Optional: skipped with a notice when mypy is not installed.
+typecheck:
+	@command -v mypy >/dev/null 2>&1 \
+		&& mypy \
+		|| echo "mypy not installed; skipping typecheck"
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -1,20 +1,31 @@
-"""repro.analysis — circuit lint and formal verification.
+"""repro.analysis — circuit lint, abstract interpretation, verification.
 
-Two correctness tools on top of the netlist and BDD layers:
+Three correctness tools on top of the netlist, engine, and BDD layers:
 
 * the **linter** (:func:`lint_circuit`) — rule-based structural checks with
   stable rule ids (``LINT001`` combinational-loop ... ``LINT007``
   constant-output) emitting structured :class:`Diagnostic` records,
+* the **abstract interpreter** (:mod:`repro.analysis.absint`) — fixpoint
+  passes over the compiled IR (``ABS001`` ... ``ABS008``): Kleene-ternary
+  hazard proofs with event-simulator replays, arrival-interval
+  certification cross-checked against STA, X-observability, and the
+  machine-checked Eqn. 1 / SPCF soundness audit,
 * the **formal pass** (:func:`verify_mask`) — BDD equivalence proofs of the
   masking invariants (``e=1 ⟹ y~ = y``, ``Sigma_y ⟹ e``, off-SPCF
   combinational equivalence of the mux-patched design) with counterexample
   extraction.
 
+All three emit through the same :class:`Diagnostic`/report pipeline, with
+baseline suppression (:mod:`repro.analysis.baseline`) and text / JSON /
+SARIF 2.1.0 rendering (:mod:`repro.analysis.sarif`).
+
 Quickstart::
 
     from repro.analysis import lint_circuit, verify_mask
-    report = lint_circuit(circuit)
-    for diag in report:
+    from repro.analysis.absint import analyze_circuit
+    for diag in lint_circuit(circuit):
+        print(diag.render())
+    for diag in analyze_circuit(circuit):
         print(diag.render())
 
     result = synthesize_masking(circuit, library)
@@ -25,6 +36,14 @@ from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
 from repro.analysis.linter import CircuitLinter, LintConfig, lint_circuit
 from repro.analysis.rules import RULE_REGISTRY, LintRule, rule
 from repro.analysis.batch import lint_suite, suite_ok
+from repro.analysis.baseline import (
+    BASELINE_SCHEMA,
+    apply_baseline,
+    apply_baseline_many,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
 from repro.analysis.reporters import (
     render_json,
     render_json_many,
@@ -33,6 +52,7 @@ from repro.analysis.reporters import (
     render_verify_json,
     render_verify_text,
 )
+from repro.analysis.sarif import render_sarif, sarif_log
 from repro.analysis.verify import (
     CheckResult,
     Counterexample,
@@ -42,6 +62,7 @@ from repro.analysis.verify import (
 )
 
 __all__ = [
+    "BASELINE_SCHEMA",
     "CheckResult",
     "CircuitLinter",
     "Counterexample",
@@ -52,16 +73,23 @@ __all__ = [
     "RULE_REGISTRY",
     "Severity",
     "VerifyMaskReport",
+    "apply_baseline",
+    "apply_baseline_many",
     "assert_verified",
     "lint_circuit",
     "lint_suite",
+    "load_baseline",
+    "render_baseline",
     "render_json",
     "render_json_many",
+    "render_sarif",
     "render_text",
     "render_text_many",
     "render_verify_json",
     "render_verify_text",
     "rule",
+    "sarif_log",
     "suite_ok",
     "verify_mask",
+    "write_baseline",
 ]

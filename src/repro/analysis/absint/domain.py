@@ -1,0 +1,115 @@
+"""The abstract-interpretation fixpoint framework over the compiled IR.
+
+An :class:`AbstractDomain` assigns every net an element of a join-semilattice
+and gives each gate a monotone transfer function over its fanin values;
+:func:`run_fixpoint` computes the least fixpoint by chaotic iteration with a
+fanout-driven worklist seeded in level order.
+
+Termination argument
+--------------------
+
+Each worklist step either leaves a net's value unchanged (its fanouts are not
+re-enqueued) or strictly raises it in the lattice order (``join`` with the
+old value guarantees ascent, monotonicity of ``transfer`` is the domain's
+contract).  On the acyclic :class:`~repro.engine.CompiledCircuit` IR the
+level-ordered seed reaches the fixpoint in a single sweep; on domains with
+unbounded ascending chains (or a buggy non-monotone transfer) the explicit
+``max_steps`` guard raises :class:`~repro.errors.AbsintError` instead of
+spinning, so every pass terminates by construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Sequence, TypeVar
+
+from repro.engine.ir import CompiledCircuit
+from repro.errors import AbsintError
+
+V = TypeVar("V")
+
+
+class AbstractDomain(Generic[V]):
+    """One lattice domain: values, order, and per-gate transfer.
+
+    Subclasses implement the four hooks; ``transfer`` must be monotone in
+    every fanin value for the fixpoint to be the least one (and for the
+    termination guard to be an error signal rather than a crutch).
+    """
+
+    name = "abstract"
+
+    def bottom(self, compiled: CompiledCircuit) -> V:
+        """Least element; initial value of every gate net."""
+        raise NotImplementedError
+
+    def input_value(self, compiled: CompiledCircuit, index: int) -> V:
+        """Abstract value of primary input ``index`` (fixed, never recomputed)."""
+        raise NotImplementedError
+
+    def transfer(
+        self, compiled: CompiledCircuit, pos: int, fanin_values: Sequence[V]
+    ) -> V:
+        """Output value of gate ``pos`` from its fanin values (pin order)."""
+        raise NotImplementedError
+
+    def join(self, a: V, b: V) -> V:
+        """Least upper bound."""
+        raise NotImplementedError
+
+    def leq(self, a: V, b: V) -> bool:
+        """Lattice order: ``a`` below-or-equal ``b``."""
+        raise NotImplementedError
+
+
+def run_fixpoint(
+    compiled: CompiledCircuit,
+    domain: AbstractDomain[V],
+    max_steps: int | None = None,
+) -> list[V]:
+    """Least-fixpoint values of ``domain`` for every net of ``compiled``.
+
+    Gates are seeded in level order (one sweep suffices on the DAG); the
+    worklist re-enqueues fanout readers whenever a net's value rises, so the
+    same engine drives domains that need more than one pass.  ``max_steps``
+    defaults to a generous multiple of the gate count; exceeding it raises
+    :class:`~repro.errors.AbsintError` naming the domain.
+    """
+    n_inputs = compiled.n_inputs
+    values: list[V] = [
+        domain.input_value(compiled, i) for i in range(n_inputs)
+    ] + [domain.bottom(compiled) for _ in range(compiled.n_gates)]
+    fanouts = compiled.fanouts()
+    if max_steps is None:
+        max_steps = 64 * compiled.n_gates + 64
+
+    worklist: deque[int] = deque(range(compiled.n_gates))
+    queued = [True] * compiled.n_gates
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > max_steps:
+            raise AbsintError(
+                f"domain {domain.name!r} did not reach a fixpoint on "
+                f"{compiled.name!r} within {max_steps} steps; the transfer "
+                "function is non-monotone or the chain is unbounded"
+            )
+        pos = worklist.popleft()
+        queued[pos] = False
+        out = n_inputs + pos
+        fanins = compiled.gate_fanins[pos]
+        candidate = domain.transfer(
+            compiled, pos, [values[f] for f in fanins]
+        )
+        new = domain.join(values[out], candidate)
+        if domain.leq(new, values[out]):
+            continue
+        values[out] = new
+        for reader_pos, _pin in fanouts[out]:
+            if not queued[reader_pos]:
+                queued[reader_pos] = True
+                worklist.append(reader_pos)
+    return values
+
+
+__all__ = ["AbstractDomain", "run_fixpoint"]

@@ -1,0 +1,129 @@
+"""Machine-checked audit of Eqn. 1: hazards must live inside the SPCF.
+
+The paper's masking construction only pays for patterns in ``Sigma_y`` —
+every pattern that can still be switching after the speed-path target
+``Delta_y``.  Two independent oracles bound that set from below:
+
+* **confirmed hazard witnesses** (two-vector event simulation): the pure
+  delay model with a *specific* initial vector is one realization of the
+  floating-mode worst case, so ``settle(v1 -> v2)[y] <= stab(v2)[y]``; a
+  witness settling after the target therefore proves ``v2 in Sigma_y``;
+* **floating-mode stabilization** (:func:`repro.sim.timingsim
+  .stabilization_times`): exact per-pattern membership, checked as a full
+  equivalence ``stab(v)[y] > Delta_y  <=>  Sigma_y(v)`` on enumerated or
+  sampled vectors.
+
+Any disagreement means the short-path BDD recursion dropped a critical
+pattern (or invented one) — a soundness bug in :mod:`repro.spcf`, reported
+as ``ABS008`` with the counterexample vector attached.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.sim.timingsim import stabilization_times
+from repro.spcf.result import SpcfResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.analysis.absint.passes import AbsintConfig
+    from repro.analysis.absint.ternary import HazardWitness
+
+#: One audit violation: ``(location, message, data)``.
+SpcfFinding = tuple[str, str, dict]
+
+
+def containment_violations(
+    spcf: SpcfResult,
+    witnesses: Iterable["HazardWitness"],
+) -> Iterator[SpcfFinding]:
+    """Confirmed hazards that escape ``Sigma_y`` (should be impossible).
+
+    Only witnesses on critical outputs settling *after* the target are
+    obligations; an early-settling glitch is harmless at the clock edge and
+    legitimately outside the SPCF.
+    """
+    circuit = spcf.context.circuit
+    inputs = circuit.inputs
+    target = spcf.target
+    for w in witnesses:
+        sigma = spcf.per_output.get(w.output)
+        if sigma is None or w.settle_time <= target:
+            continue
+        pattern = dict(zip(inputs, map(bool, w.v2)))
+        if not sigma.evaluate(pattern):
+            yield (
+                w.output,
+                f"confirmed hazard on {w.output!r} settles at "
+                f"t={w.settle_time} > target {target} but its final vector "
+                f"is outside Sigma_y — Eqn. 1 dropped a critical pattern",
+                {
+                    "output": w.output,
+                    "v1": list(w.v1),
+                    "v2": list(w.v2),
+                    "settle_time": w.settle_time,
+                    "target": target,
+                },
+            )
+
+
+def _sample_vectors(
+    n_inputs: int, config: "AbsintConfig"
+) -> Sequence[tuple[int, ...]]:
+    """Vectors for the floating-mode equivalence check.
+
+    Exhaustive for small input counts, a seeded sample otherwise (distinct
+    stream from the class sampler so the two probes are independent).
+    """
+    if n_inputs <= config.binary_exhaustive_inputs:
+        return [
+            tuple((code >> i) & 1 for i in range(n_inputs))
+            for code in range(1 << n_inputs)
+        ]
+    rng = random.Random(config.seed + 0x5BCF)
+    return [
+        tuple(rng.randint(0, 1) for _ in range(n_inputs))
+        for _ in range(config.spcf_samples)
+    ]
+
+
+def equivalence_violations(
+    spcf: SpcfResult, config: "AbsintConfig"
+) -> Iterator[SpcfFinding]:
+    """Vectors where ``Sigma_y`` and the floating-mode oracle disagree."""
+    circuit = spcf.context.circuit
+    inputs = circuit.inputs
+    target = spcf.target
+    for v in _sample_vectors(len(inputs), config):
+        pattern = dict(zip(inputs, map(bool, v)))
+        times = stabilization_times(circuit, pattern)
+        for output, sigma in spcf.per_output.items():
+            is_late = times[output] > target
+            in_sigma = sigma.evaluate(pattern)
+            if is_late != in_sigma:
+                direction = (
+                    "late pattern missing from Sigma_y (unsound)"
+                    if is_late
+                    else "on-time pattern inside Sigma_y (over-approximate)"
+                )
+                yield (
+                    output,
+                    f"floating-mode oracle disagrees with Sigma_y on "
+                    f"{output!r}: stab={times[output]}, target={target} — "
+                    f"{direction}",
+                    {
+                        "output": output,
+                        "vector": list(v),
+                        "stabilization": times[output],
+                        "target": target,
+                        "in_sigma": bool(in_sigma),
+                    },
+                )
+
+
+__all__ = [
+    "SpcfFinding",
+    "containment_violations",
+    "equivalence_violations",
+]

@@ -7,7 +7,9 @@ Usage (installed as ``python -m repro``)::
     python -m repro spcf C432 --algorithm all
     python -m repro mask C432 --out masked.blif --mask-out mask.blif
     python -m repro lint C432 --format json
-    python -m repro lint all --fail-on warning
+    python -m repro lint all --fail-on warning --baseline lint.baseline.json
+    python -m repro analyze comparator2
+    python -m repro analyze all --format sarif --out analysis.sarif
     python -m repro verify-mask cmb
     python -m repro table1
     python -m repro table2 --circuits cmb x2 cu
@@ -20,6 +22,11 @@ Usage (installed as ``python -m repro``)::
 
 Circuits are named benchmarks from :mod:`repro.benchcircuits` or paths to
 BLIF files (``.gate`` netlists are read against the chosen library).
+
+Exit codes (``lint`` and ``analyze``): 0 — clean, 1 — diagnostics at or
+above ``--fail-on``, 2 — the tool itself failed (bad arguments, unreadable
+input, internal error).  Other subcommands use 0/1 for pass/fail and 2 for
+tool failure.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import traceback
 from pathlib import Path
 
 from repro.benchcircuits import PAPER_SPECS, TABLE1_NAMES, all_circuit_names, circuit_by_name
@@ -46,16 +54,21 @@ from repro.campaign import (
 from repro.analysis import (
     LintConfig,
     Severity,
+    apply_baseline_many,
     lint_circuit,
     lint_suite,
+    load_baseline,
     render_json,
     render_json_many,
+    render_sarif,
     render_text,
     render_text_many,
     render_verify_json,
     render_verify_text,
     verify_mask,
+    write_baseline,
 )
+from repro.analysis.absint import AbsintConfig, analyze_circuit, analyze_suite
 from repro.core import build_masked_design, mask_circuit, synthesize_masking
 from repro.errors import BlifError, CampaignError, ReproError
 from repro.netlist import (
@@ -68,6 +81,19 @@ from repro.netlist import (
 )
 from repro.spcf import compare_algorithms, spcf_nodebased, spcf_pathbased, spcf_shortpath
 from repro.sta import analyze
+
+
+#: Exit codes of the diagnostic subcommands (documented in ``--help``).
+EXIT_OK = 0  #: no findings at or above the ``--fail-on`` severity
+EXIT_FINDINGS = 1  #: diagnostics found; the tool itself ran fine
+EXIT_ERROR = 2  #: the tool failed (bad arguments, unreadable input, crash)
+
+_EXIT_CODE_EPILOG = (
+    "exit codes:\n"
+    "  0  clean (no findings at or above --fail-on)\n"
+    "  1  diagnostics found\n"
+    "  2  the tool itself failed (bad arguments, unreadable input, crash)"
+)
 
 
 def _load_circuit(spec: str, library: Library, validate: bool = True) -> Circuit:
@@ -176,6 +202,58 @@ def cmd_mask(args: argparse.Namespace) -> int:
     return 0 if (r.sound and r.coverage_percent == 100.0) else 1
 
 
+def _finish_reports(reports: dict, args: argparse.Namespace) -> tuple[dict, int]:
+    """Shared baseline plumbing of ``lint`` and ``analyze``.
+
+    Writes the baseline first (so ``--write-baseline`` records *all* current
+    findings), then filters through ``--baseline``; returns the filtered
+    reports and the suppressed count.
+    """
+    if getattr(args, "write_baseline", None):
+        n = write_baseline(args.write_baseline, reports)
+        print(
+            f"baseline with {n} finding(s) written to {args.write_baseline}",
+            file=sys.stderr,
+        )
+    suppressed = 0
+    if getattr(args, "baseline", None):
+        reports, suppressed = apply_baseline_many(
+            reports, load_baseline(args.baseline)
+        )
+        if suppressed:
+            print(
+                f"{suppressed} baselined finding(s) suppressed",
+                file=sys.stderr,
+            )
+    return reports, suppressed
+
+
+def _emit_reports(reports: dict, args: argparse.Namespace, fail_on: Severity) -> int:
+    """Render reports in the chosen format and derive the exit code."""
+    if args.format == "sarif":
+        text = render_sarif(reports)
+    elif args.format == "json":
+        if len(reports) == 1 and args.circuit != "all":
+            text = render_json(next(iter(reports.values())))
+        else:
+            text = render_json_many(reports)
+    else:
+        if len(reports) == 1 and args.circuit != "all":
+            text = render_text(next(iter(reports.values())))
+        else:
+            text = render_text_many(reports)
+    out = getattr(args, "out", None)
+    if out:
+        Path(out).write_text(
+            text if text.endswith("\n") else text + "\n", encoding="utf-8"
+        )
+        print(f"report written to {out}", file=sys.stderr)
+    else:
+        print(text)
+    ok = all(r.ok(fail_on) for r in reports.values())
+    return EXIT_OK if ok else EXIT_FINDINGS
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     library = builtin_library(args.library)
     config = LintConfig(
@@ -185,17 +263,44 @@ def cmd_lint(args: argparse.Namespace) -> int:
     fail_on = Severity.from_name(args.fail_on)
     if args.circuit == "all":
         reports = lint_suite(library, config)
-        render = render_json_many if args.format == "json" else render_text_many
-        print(render(reports))
-        return 0 if all(r.ok(fail_on) for r in reports.values()) else 1
-    # Load without structural validation: diagnosing loops and dangling
-    # nets (LINT001/LINT002) is the linter's job, not the loader's.
-    report = lint_circuit(
-        _load_circuit(args.circuit, library, validate=False), config
+    else:
+        # Load without structural validation: diagnosing loops and dangling
+        # nets (LINT001/LINT002) is the linter's job, not the loader's.
+        reports = {
+            args.circuit: lint_circuit(
+                _load_circuit(args.circuit, library, validate=False), config
+            )
+        }
+    reports, _ = _finish_reports(reports, args)
+    return _emit_reports(reports, args, fail_on)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    library = builtin_library(args.library)
+    config = AbsintConfig(
+        threshold=args.threshold,
+        target=args.target,
+        seed=args.seed,
+        samples=args.samples,
+        replay_budget=args.replay_budget,
+        report_potential=args.report_potential,
+        backend=args.backend,
+        select=frozenset(args.select) if args.select else None,
+        ignore=frozenset(args.ignore or ()),
     )
-    render = render_json if args.format == "json" else render_text
-    print(render(report))
-    return 0 if report.ok(fail_on) else 1
+    fail_on = Severity.from_name(args.fail_on)
+    if args.circuit == "all":
+        reports = analyze_suite(library, config)
+    else:
+        # validate=False: a broken netlist yields ABS001 findings, not a
+        # loader exception.
+        reports = {
+            args.circuit: analyze_circuit(
+                _load_circuit(args.circuit, library, validate=False), config
+            )
+        }
+    reports, _ = _finish_reports(reports, args)
+    return _emit_reports(reports, args, fail_on)
 
 
 def cmd_verify_mask(args: argparse.Namespace) -> int:
@@ -419,20 +524,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verilog", help="write the masked design as Verilog")
     p.set_defaults(func=cmd_mask)
 
-    p = sub.add_parser("lint", help="rule-based netlist lint (LINT001-LINT007)")
+    def add_baseline_options(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument(
+            "--baseline",
+            metavar="FILE",
+            help="suppress findings recorded in this baseline file",
+        )
+        cp.add_argument(
+            "--write-baseline",
+            metavar="FILE",
+            help="record the current findings as a new baseline file",
+        )
+
+    p = sub.add_parser(
+        "lint",
+        help="rule-based netlist lint (LINT001-LINT007)",
+        epilog=_EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     p.add_argument("circuit", help="benchmark name, .blif path, or 'all'")
     p.add_argument("--format", default="text", choices=("text", "json"))
     p.add_argument(
         "--fail-on",
         default="error",
         choices=("info", "warning", "error"),
-        help="lowest severity that makes the exit code nonzero",
+        help="lowest severity that makes the exit code 1",
     )
     p.add_argument("--fanout-threshold", type=int, default=64)
     p.add_argument(
         "--ignore", nargs="*", metavar="RULE", help="rule ids or names to skip"
     )
+    add_baseline_options(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="abstract-interpretation proofs over the compiled IR "
+        "(ABS001-ABS008)",
+        epilog=_EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("circuit", help="benchmark name, .blif path, or 'all'")
+    p.add_argument("--format", default="text", choices=("text", "json", "sarif"))
+    p.add_argument(
+        "--fail-on",
+        default="error",
+        choices=("info", "warning", "error"),
+        help="lowest severity that makes the exit code 1",
+    )
+    p.add_argument("--threshold", type=float, default=0.9,
+                   help="speed-path threshold fraction (paper's Delta_y)")
+    p.add_argument("--target", type=int, default=None,
+                   help="explicit target arrival time (overrides --threshold)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for sampled transition classes and vectors")
+    p.add_argument("--samples", type=int, default=128,
+                   help="transition classes sampled above the exhaustive cap")
+    p.add_argument("--replay-budget", type=int, default=512,
+                   help="total event-simulator replays confirming hazards")
+    p.add_argument("--report-potential", action="store_true",
+                   help="also report X verdicts without a replayed witness "
+                   "(ABS006)")
+    p.add_argument("--backend", default=None, choices=("python", "numpy"),
+                   help="word backend for the ternary domain")
+    p.add_argument("--select", nargs="*", metavar="PASS",
+                   help="run only these pass ids or names")
+    p.add_argument("--ignore", nargs="*", metavar="PASS",
+                   help="pass ids or names to skip")
+    p.add_argument("--out", help="write the report to a file (any format)")
+    add_baseline_options(p)
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
         "verify-mask",
@@ -542,7 +703,13 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
+    except Exception:  # noqa: BLE001 - CLI boundary: crash must not exit 1
+        # Exit 1 is reserved for "diagnostics found"; an unexpected crash
+        # must be distinguishable by scripts and CI, so it maps to 2 like
+        # every other tool failure (the traceback still goes to stderr).
+        traceback.print_exc()
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

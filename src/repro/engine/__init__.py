@@ -14,6 +14,7 @@ from repro.engine.backends import (
     NumpyWordBackend,
     PythonWordBackend,
     available_backends,
+    evaluate_ternary_words,
     evaluate_words,
     lanes_to_words,
     numpy_available,
@@ -25,6 +26,7 @@ from repro.engine.ir import (
     KNOWN_BACKEND_NAMES,
     CompiledCircuit,
     cell_prime_tables,
+    cell_ternary_function,
     cell_word_function,
     compile_circuit,
     compile_program,
@@ -40,6 +42,7 @@ __all__ = [
     "compile_program",
     "run_program",
     "cell_word_function",
+    "cell_ternary_function",
     "cell_prime_tables",
     "pack_input_words",
     "patterns_to_words",
@@ -49,6 +52,7 @@ __all__ = [
     "numpy_available",
     "select_backend",
     "evaluate_words",
+    "evaluate_ternary_words",
     "words_to_lanes",
     "lanes_to_words",
     "BACKEND_ENV_VAR",

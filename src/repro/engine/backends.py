@@ -40,6 +40,7 @@ from typing import Mapping, Sequence
 from repro.engine.ir import (
     BACKEND_ENV_VAR,
     CompiledCircuit,
+    cell_ternary_function,
     compile_circuit,
     pack_input_words,
     validated_backend_name,
@@ -59,6 +60,7 @@ __all__ = [
     "numpy_available",
     "select_backend",
     "evaluate_words",
+    "evaluate_ternary_words",
     "words_to_lanes",
     "lanes_to_words",
 ]
@@ -80,10 +82,65 @@ def _check_width(width: int) -> None:
         raise EngineError(f"pattern width {width} must be non-negative")
 
 
+def _check_ternary_inputs(
+    compiled: CompiledCircuit,
+    ones: Sequence[int],
+    zeros: Sequence[int],
+    mask: int,
+) -> None:
+    """Every pattern bit of every input must carry 0, 1, or X.
+
+    A position where *neither* rail is set has no value at all — the Kleene
+    lattice has no such element and the rail algebra would silently turn it
+    into garbage downstream, so it is rejected here, at the only place the
+    caller hands rails to a backend.
+    """
+    if len(ones) != compiled.n_inputs or len(zeros) != compiled.n_inputs:
+        raise EngineError(
+            f"({len(ones)}, {len(zeros)}) rail words for "
+            f"{compiled.n_inputs} inputs"
+        )
+    for i, (h, l) in enumerate(zip(ones, zeros)):
+        if (h | l) & mask != mask:
+            raise EngineError(
+                f"input {compiled.inputs[i]!r}: rails leave pattern bit(s) "
+                f"{mask & ~(h | l):#x} with no value (set the 1-rail, the "
+                "0-rail, or both for X)"
+            )
+
+
 class PythonWordBackend:
     """Bit-parallel evaluation on arbitrary-precision Python ints."""
 
     name = "python"
+
+    def eval_ternary_words(
+        self,
+        compiled: CompiledCircuit,
+        ones: Sequence[int],
+        zeros: Sequence[int],
+        width: int,
+    ) -> tuple[list[int], list[int]]:
+        """Dual-rail Kleene evaluation of ``width`` packed ternary patterns.
+
+        ``ones[i]`` / ``zeros[i]`` are the can-be-1 / can-be-0 rails of input
+        ``i``; a bit set in both marks that pattern's input as X.  Returns
+        the two rails for every net (same convention).
+        """
+        _check_width(width)
+        mask = (1 << width) - 1
+        masked_ones = [h & mask for h in ones]
+        masked_zeros = [l & mask for l in zeros]
+        _check_ternary_inputs(compiled, masked_ones, masked_zeros, mask)
+        hi = masked_ones + [0] * compiled.n_gates
+        lo = masked_zeros + [0] * compiled.n_gates
+        for func, out, fanins in compiled.ternary_plan:
+            args: list[int] = []
+            for f in fanins:
+                args.append(hi[f])
+                args.append(lo[f])
+            hi[out], lo[out] = func(mask, *args)
+        return hi, lo
 
     def eval_words(
         self, compiled: CompiledCircuit, input_words: Sequence[int], width: int
@@ -135,14 +192,16 @@ class NumpyWordBackend:
         if _np is None:
             raise EngineError("numpy backend requested but numpy is not importable")
 
-    def _group_plan(self, compiled: CompiledCircuit):
+    def _group_plan(self, compiled: CompiledCircuit, ternary: bool = False):
         """Gates grouped by (level, cell); cached on the compiled circuit.
 
         Each group is ``(func, out_indices, fanin_matrix, n_pins)`` with
         NumPy index arrays, ordered by level so every gate's fanins are
-        already computed when its group runs.
+        already computed when its group runs.  ``ternary`` selects the
+        dual-rail cell functions (cached under a separate key).
         """
-        plan = compiled._derived.get("numpy_group_plan")
+        cache_key = "numpy_ternary_group_plan" if ternary else "numpy_group_plan"
+        plan = compiled._derived.get(cache_key)
         if plan is None:
             groups: dict[tuple[int, tuple], list[int]] = {}
             for pos, cell in enumerate(compiled.gate_cells):
@@ -153,7 +212,11 @@ class NumpyWordBackend:
                 groups.items(), key=lambda item: item[0][0]
             ):
                 first = positions[0]
-                func = compiled.plan[first][0]
+                func = (
+                    cell_ternary_function(compiled.gate_cells[first])
+                    if ternary
+                    else compiled.plan[first][0]
+                )
                 n_pins = len(compiled.gate_fanins[first])
                 outs = _np.array(
                     [compiled.n_inputs + p for p in positions], dtype=_np.intp
@@ -167,7 +230,7 @@ class NumpyWordBackend:
                     fanin_matrix = None
                 plan.append((func, outs, fanin_matrix, n_pins))
             plan = tuple(plan)
-            compiled._derived["numpy_group_plan"] = plan
+            compiled._derived[cache_key] = plan
         return plan
 
     def eval_lanes(self, compiled: CompiledCircuit, input_lanes):
@@ -210,6 +273,76 @@ class NumpyWordBackend:
             )
         values = self.eval_lanes(compiled, words_to_lanes(input_words, width))
         return lanes_to_words(values, width)
+
+    def eval_ternary_lanes(self, compiled: CompiledCircuit, one_lanes, zero_lanes):
+        """Native dual-rail path: two ``(n_inputs, n_lanes)`` uint64 rails in,
+        two ``(n_nets, n_lanes)`` rail matrices out.
+
+        Rail semantics match :meth:`PythonWordBackend.eval_ternary_words`;
+        bits beyond the caller's pattern count are unspecified, and rail
+        consistency (every bit 0/1/X) is the caller's responsibility on this
+        low-level path — :meth:`eval_ternary_words` validates it.
+        """
+        ones = _np.asarray(one_lanes, dtype=_np.uint64)
+        zeros = _np.asarray(zero_lanes, dtype=_np.uint64)
+        if (
+            ones.ndim != 2
+            or ones.shape != zeros.shape
+            or ones.shape[0] != compiled.n_inputs
+        ):
+            raise EngineError(
+                f"rail lane matrices {getattr(ones, 'shape', None)} / "
+                f"{getattr(zeros, 'shape', None)} do not match "
+                f"{compiled.n_inputs} inputs"
+            )
+        n_lanes = ones.shape[1]
+        hi = _np.empty((compiled.n_nets, n_lanes), dtype=_np.uint64)
+        lo = _np.empty((compiled.n_nets, n_lanes), dtype=_np.uint64)
+        hi[: compiled.n_inputs] = ones
+        lo[: compiled.n_inputs] = zeros
+        m = _np.uint64(_LANE_MASK)
+        if n_lanes <= _GROUPED_LANES_MAX:
+            for func, outs, fanin_matrix, n_pins in self._group_plan(
+                compiled, ternary=True
+            ):
+                if n_pins == 0:
+                    hi[outs], lo[outs] = func(m)
+                else:
+                    ins_h = hi[fanin_matrix]  # (group, pins, lanes)
+                    ins_l = lo[fanin_matrix]
+                    args = []
+                    for p in range(n_pins):
+                        args.append(ins_h[:, p])
+                        args.append(ins_l[:, p])
+                    hi[outs], lo[outs] = func(m, *args)
+        else:
+            for func, out, fanins in compiled.ternary_plan:
+                args = []
+                for f in fanins:
+                    args.append(hi[f])
+                    args.append(lo[f])
+                hi[out], lo[out] = func(m, *args)
+        return hi, lo
+
+    def eval_ternary_words(
+        self,
+        compiled: CompiledCircuit,
+        ones: Sequence[int],
+        zeros: Sequence[int],
+        width: int,
+    ) -> tuple[list[int], list[int]]:
+        """Dual-rail Kleene evaluation; bit-identical to the python backend."""
+        _check_width(width)
+        mask = (1 << width) - 1
+        masked_ones = [h & mask for h in ones]
+        masked_zeros = [l & mask for l in zeros]
+        _check_ternary_inputs(compiled, masked_ones, masked_zeros, mask)
+        hi, lo = self.eval_ternary_lanes(
+            compiled,
+            words_to_lanes(masked_ones, width),
+            words_to_lanes(masked_zeros, width),
+        )
+        return lanes_to_words(hi, width), lanes_to_words(lo, width)
 
 
 _python_backend = PythonWordBackend()
@@ -257,3 +390,25 @@ def evaluate_words(
     row = pack_input_words(compiled, words, width)
     values = select_backend(backend).eval_words(compiled, row, width)
     return dict(zip(compiled.net_names, values))
+
+
+def evaluate_ternary_words(
+    circuit,
+    ones: Mapping[str, int],
+    zeros: Mapping[str, int],
+    width: int,
+    backend: str | None = None,
+) -> tuple[dict[str, int], dict[str, int]]:
+    """Dual-rail Kleene evaluation with a per-net dict interface.
+
+    ``ones[net]`` / ``zeros[net]`` are the can-be-1 / can-be-0 rails of each
+    primary input (a bit set in both = X); returns the two rails for every
+    net.  Accepts a :class:`Circuit` or a :class:`CompiledCircuit`.
+    """
+    compiled = compile_circuit(circuit)
+    one_row = pack_input_words(compiled, ones, width)
+    zero_row = pack_input_words(compiled, zeros, width)
+    hi, lo = select_backend(backend).eval_ternary_words(
+        compiled, one_row, zero_row, width
+    )
+    return dict(zip(compiled.net_names, hi)), dict(zip(compiled.net_names, lo))

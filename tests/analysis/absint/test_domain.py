@@ -1,0 +1,52 @@
+"""The generic fixpoint engine: custom domains, divergence guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.absint import AbstractDomain, run_fixpoint
+from repro.benchcircuits import circuit_by_name
+from repro.engine import compile_circuit
+from repro.errors import AbsintError
+
+
+class LevelDomain(AbstractDomain[int]):
+    """Longest-path depth in gates — an easy independently checkable domain."""
+
+    name = "level"
+
+    def bottom(self, compiled):
+        return -1
+
+    def input_value(self, compiled, index):
+        return 0
+
+    def transfer(self, compiled, pos, fanin_values):
+        if not fanin_values:
+            return 0
+        if any(v < 0 for v in fanin_values):
+            return -1
+        return 1 + max(fanin_values)
+
+    def join(self, a, b):
+        return max(a, b)
+
+    def leq(self, a, b):
+        return a <= b
+
+
+def test_custom_domain_computes_levels():
+    compiled = compile_circuit(circuit_by_name("comparator2"))
+    levels = run_fixpoint(compiled, LevelDomain())
+    assert levels[: compiled.n_inputs] == [0] * compiled.n_inputs
+    for pos, fanins in enumerate(compiled.gate_fanins):
+        out = compiled.n_inputs + pos
+        assert levels[out] == 1 + max(levels[f] for f in fanins)
+
+
+def test_step_guard_raises_and_names_the_domain():
+    compiled = compile_circuit(circuit_by_name("comparator2"))
+    with pytest.raises(AbsintError, match="level"):
+        run_fixpoint(compiled, LevelDomain(), max_steps=2)
+    # a generous explicit budget still converges for a monotone domain
+    assert run_fixpoint(compiled, LevelDomain(), max_steps=10_000)

@@ -1,0 +1,106 @@
+"""The machine-checked Eqn. 1 audit: Sigma_y vs. replayed reality."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.absint import AbsintConfig, analyze_hazards
+from repro.analysis.absint.spcfcheck import (
+    containment_violations,
+    equivalence_violations,
+)
+from repro.benchcircuits import circuit_by_name
+from repro.spcf.shortpath import compute_spcf
+
+MASKED = ["comparator2", "cmb", "full_adder", "mux_tree3", "decoder3"]
+
+
+def spcf_for(name):
+    return compute_spcf(circuit_by_name(name))
+
+
+@pytest.mark.parametrize("name", MASKED)
+def test_spcf_containment_holds_on_suite(name):
+    """Every late-settling confirmed hazard lands inside Sigma_y (Eqn. 1)."""
+    circuit = circuit_by_name(name)
+    spcf = spcf_for(name)
+    analysis = analyze_hazards(circuit, AbsintConfig())
+    assert list(containment_violations(spcf, analysis.witnesses)) == []
+
+
+@pytest.mark.parametrize("name", MASKED)
+def test_spcf_equivalence_holds_on_suite(name):
+    """stab(v) > target  <=>  v in Sigma_y, for every (sampled) vector."""
+    spcf = spcf_for(name)
+    assert list(equivalence_violations(spcf, AbsintConfig())) == []
+
+
+class _ConstantSigma:
+    """A stand-in Sigma_y with a fixed verdict."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def evaluate(self, pattern):
+        return self.value
+
+
+def test_containment_fires_on_a_dropped_pattern():
+    """Corrupt Sigma_y to reject everything: every late witness escapes."""
+    circuit = circuit_by_name("comparator2")
+    spcf = spcf_for("comparator2")
+    analysis = analyze_hazards(circuit, AbsintConfig())
+    late = [
+        w for w in analysis.witnesses if w.settle_time > spcf.target
+    ]
+    assert late, "comparator2 must have late-settling witnesses"
+    corrupted = SimpleNamespace(
+        context=SimpleNamespace(circuit=circuit),
+        target=spcf.target,
+        per_output={"y": _ConstantSigma(False)},
+    )
+    violations = list(containment_violations(corrupted, analysis.witnesses))
+    assert len(violations) == len([w for w in late if w.output == "y"])
+    for output, message, data in violations:
+        assert output == "y"
+        assert "outside Sigma_y" in message
+        assert data["settle_time"] > data["target"]
+
+
+def test_containment_ignores_early_settling_witnesses():
+    """A glitch that settles by the target is no Sigma_y obligation."""
+    circuit = circuit_by_name("comparator2")
+    spcf = spcf_for("comparator2")
+    analysis = analyze_hazards(circuit, AbsintConfig())
+    early = [w for w in analysis.witnesses if w.settle_time <= spcf.target]
+    assert early, "comparator2 has at least one early-settling glitch"
+    corrupted = SimpleNamespace(
+        context=SimpleNamespace(circuit=circuit),
+        target=spcf.target,
+        per_output={"y": _ConstantSigma(False)},
+    )
+    assert list(containment_violations(corrupted, early)) == []
+
+
+def test_equivalence_fires_both_directions():
+    circuit = circuit_by_name("comparator2")
+    spcf = spcf_for("comparator2")
+    config = AbsintConfig()
+    # Sigma_y == always-true: every on-time vector is an over-approximation
+    always = SimpleNamespace(
+        context=SimpleNamespace(circuit=circuit),
+        target=spcf.target,
+        per_output={"y": _ConstantSigma(True)},
+    )
+    over = list(equivalence_violations(always, config))
+    assert over and all("over-approximate" in msg for _, msg, _ in over)
+    # Sigma_y == always-false: every late vector goes missing (unsound)
+    never = SimpleNamespace(
+        context=SimpleNamespace(circuit=circuit),
+        target=spcf.target,
+        per_output={"y": _ConstantSigma(False)},
+    )
+    under = list(equivalence_violations(never, config))
+    assert under and all("unsound" in msg for _, msg, _ in under)

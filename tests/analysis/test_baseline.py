@@ -1,0 +1,152 @@
+"""Baseline files: fingerprinting, write/load round-trip, suppression."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    BASELINE_SCHEMA,
+    Diagnostic,
+    LintReport,
+    Severity,
+    apply_baseline,
+    apply_baseline_many,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.errors import BaselineError
+
+
+def diag(rule_id="LINT004", location="g1", message="m", severity=Severity.INFO,
+         hint="", circuit="c"):
+    return Diagnostic(
+        rule_id=rule_id,
+        rule_name="some-rule",
+        severity=severity,
+        circuit=circuit,
+        location=location,
+        message=message,
+        hint=hint,
+    )
+
+
+def report(*diags, circuit="c"):
+    return LintReport(
+        circuit_name=circuit,
+        num_gates=1,
+        num_inputs=1,
+        num_outputs=1,
+        diagnostics=tuple(diags),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_is_stable_and_content_addressed():
+    a = diag()
+    assert a.fingerprint() == diag().fingerprint()
+    assert a.fingerprint() != diag(location="g2").fingerprint()
+    assert a.fingerprint() != diag(message="other").fingerprint()
+    assert a.fingerprint() != diag(rule_id="LINT005").fingerprint()
+    assert a.fingerprint() != diag(circuit="d").fingerprint()
+
+
+def test_fingerprint_ignores_severity_and_hint():
+    """Re-grading or re-wording a hint must not invalidate baselines."""
+    a = diag(severity=Severity.INFO, hint="old advice")
+    b = diag(severity=Severity.ERROR, hint="new advice")
+    assert a.fingerprint() == b.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_write_load_apply_round_trip(tmp_path):
+    d1, d2 = diag(location="g1"), diag(location="g2")
+    path = tmp_path / "base.json"
+    count = write_baseline(path, {"c": report(d1, d2)})
+    assert count == 2
+
+    fingerprints = load_baseline(path)
+    assert fingerprints == {d1.fingerprint(), d2.fingerprint()}
+
+    filtered, suppressed = apply_baseline(report(d1, d2), fingerprints)
+    assert suppressed == 2
+    assert list(filtered) == []
+    assert filtered.circuit_name == "c"
+
+    # a new finding survives the baseline
+    d3 = diag(location="g3")
+    filtered, suppressed = apply_baseline(report(d1, d3), fingerprints)
+    assert suppressed == 1
+    assert [d.location for d in filtered] == ["g3"]
+
+
+def test_apply_baseline_many(tmp_path):
+    reports = {"a": report(diag(circuit="a"), circuit="a"),
+               "b": report(diag(circuit="b"), circuit="b")}
+    path = tmp_path / "base.json"
+    write_baseline(path, reports)
+    filtered, suppressed = apply_baseline_many(reports, load_baseline(path))
+    assert suppressed == 2
+    assert all(len(list(r)) == 0 for r in filtered.values())
+    assert sorted(filtered) == ["a", "b"]
+
+
+def test_baseline_file_is_reviewable_json(tmp_path):
+    """Entries keep the human-facing context next to each fingerprint."""
+    payload = json.loads(render_baseline({"c": report(diag())}))
+    assert payload["schema"] == BASELINE_SCHEMA
+    entry = payload["entries"][0]
+    assert entry["fingerprint"] == diag().fingerprint()
+    assert entry["rule_id"] == "LINT004"
+    assert entry["circuit"] == "c"
+    assert entry["location"] == "g1"
+
+
+def test_baseline_is_sorted_deterministically():
+    reports = {"z": report(diag(circuit="z"), circuit="z"),
+               "a": report(diag(circuit="a"), circuit="a")}
+    payload = json.loads(render_baseline(reports))
+    assert [e["circuit"] for e in payload["entries"]] == ["a", "z"]
+
+
+# ---------------------------------------------------------------------------
+# Error handling
+# ---------------------------------------------------------------------------
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(BaselineError, match="no.such.baseline"):
+        load_baseline(tmp_path / "no.such.baseline")
+
+
+def test_load_unparseable_json_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+def test_load_wrong_schema_raises(tmp_path):
+    path = tmp_path / "wrong.json"
+    path.write_text(json.dumps({"schema": "bogus/9", "entries": []}))
+    with pytest.raises(BaselineError, match="bogus/9"):
+        load_baseline(path)
+
+
+def test_load_malformed_entries_raises(tmp_path):
+    path = tmp_path / "mangled.json"
+    path.write_text(json.dumps(
+        {"schema": BASELINE_SCHEMA, "entries": [{"no_fingerprint": True}]}
+    ))
+    with pytest.raises(BaselineError):
+        load_baseline(path)

@@ -70,3 +70,85 @@ def test_empty_report_is_ok():
     assert report.max_severity() is None
     assert report.ok(Severity.INFO)
     assert list(report) == []
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trips (the wire format must be lossless)
+# ---------------------------------------------------------------------------
+
+
+def test_diagnostic_from_dict_round_trip_lossless():
+    original = _diag()
+    assert Diagnostic.from_dict(original.to_dict()) == original
+
+
+def test_diagnostic_round_trip_preserves_data_payload():
+    import json
+
+    original = Diagnostic(
+        rule_id="ABS005",
+        rule_name="confirmed-hazard",
+        severity=Severity.WARNING,
+        circuit="comparator2",
+        location="y",
+        message="glitch",
+        hint="",
+        data={"v1": [0, 1], "v2": [1, 1], "settle_time": 7},
+    )
+    # through an actual JSON encode/decode, not just dicts
+    decoded = Diagnostic.from_dict(json.loads(json.dumps(original.to_dict())))
+    assert decoded == original
+    assert decoded.data == {"v1": [0, 1], "v2": [1, 1], "settle_time": 7}
+
+
+def test_diagnostic_from_dict_rejects_unknown_keys():
+    payload = _diag().to_dict()
+    payload["surprise"] = 1
+    with pytest.raises(LintError, match="surprise"):
+        Diagnostic.from_dict(payload)
+
+
+def test_diagnostic_from_dict_rejects_missing_keys():
+    payload = _diag().to_dict()
+    del payload["message"]
+    with pytest.raises(LintError, match="message"):
+        Diagnostic.from_dict(payload)
+
+
+def test_report_from_dict_round_trip():
+    report = LintReport(
+        circuit_name="c",
+        num_gates=3,
+        num_inputs=2,
+        num_outputs=1,
+        diagnostics=(_diag(), _diag(rule_id="LINT004", severity=Severity.INFO)),
+    )
+    again = LintReport.from_dict(report.to_dict())
+    assert again == report
+    assert again.counts() == report.counts()
+
+
+def test_wire_schema_snapshot():
+    """The exact key set of the JSON wire format is a compatibility contract.
+
+    If this test fails you changed the serialized shape: bump the schema
+    string in ``repro.analysis.reporters`` and update consumers.
+    """
+    d = _diag().to_dict()
+    assert set(d) == {
+        "rule_id", "rule_name", "severity", "circuit", "location",
+        "message", "hint",
+    }
+    with_data = Diagnostic(
+        rule_id="ABS005",
+        rule_name="n",
+        severity=Severity.INFO,
+        circuit="c",
+        location="l",
+        message="m",
+        data={"k": 1},
+    ).to_dict()
+    assert set(with_data) == {
+        "rule_id", "rule_name", "severity", "circuit", "location",
+        "message", "data",
+    }

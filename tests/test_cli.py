@@ -272,3 +272,92 @@ def test_campaign_report_written_to_file(capsys, tmp_path):
     assert code == 0
     payload = json.loads(out_path.read_text())
     assert payload["complete"] is True
+
+
+# ---------------------------------------------------------------------------
+# analyze: the abstract interpreter from the command line
+# ---------------------------------------------------------------------------
+
+
+def test_analyze_text(capsys):
+    code, out, _ = run(capsys, "analyze", "comparator2")
+    assert code == 0  # default --fail-on error; hazards are warnings
+    assert "ABS005" in out
+    assert "finding(s)" in out
+
+
+def test_analyze_fail_on_gates_exit_code(capsys):
+    code, _, _ = run(capsys, "analyze", "comparator2", "--fail-on", "warning")
+    assert code == 1
+    code, _, _ = run(capsys, "analyze", "comparator2", "--fail-on", "warning",
+                     "--ignore", "ABS005")
+    assert code == 0
+
+
+def test_analyze_crash_is_exit_2_not_1(capsys):
+    code, _, err = run(capsys, "analyze", "does_not_exist")
+    assert code == 2
+    assert "error:" in err
+
+
+def test_analyze_json(capsys):
+    import json
+
+    code, out, _ = run(capsys, "analyze", "comparator2", "--format", "json")
+    assert code == 0
+    payload = json.loads(out)
+    ids = {d["rule_id"] for d in payload["diagnostics"]}
+    assert ids <= {f"ABS00{k}" for k in range(1, 9)}
+    assert any(d.get("data", {}).get("settle_time") for d in payload["diagnostics"])
+
+
+def test_analyze_sarif_to_file(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "report.sarif"
+    code, _, _ = run(capsys, "analyze", "comparator2", "--format", "sarif",
+                     "--out", str(out_path))
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["version"] == "2.1.0"
+    assert payload["runs"][0]["results"]
+
+
+def test_analyze_baseline_round_trip(capsys, tmp_path):
+    base = tmp_path / "abs.baseline.json"
+    code, _, err = run(capsys, "analyze", "comparator2",
+                       "--write-baseline", str(base))
+    assert code == 0
+    assert "baseline" in err
+    code, out, err = run(capsys, "analyze", "comparator2",
+                         "--baseline", str(base), "--fail-on", "info")
+    assert code == 0
+    assert "suppressed" in err
+    assert "0 error, 0 warning, 0 info" in out
+
+
+def test_analyze_bad_baseline_is_exit_2(capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{broken")
+    code, _, err = run(capsys, "analyze", "comparator2", "--baseline", str(bad))
+    assert code == 2
+    assert "error:" in err
+
+
+def test_lint_baseline_round_trip(capsys, tmp_path):
+    base = tmp_path / "lint.baseline.json"
+    code, _, _ = run(capsys, "lint", "i1", "--write-baseline", str(base))
+    assert code == 0
+    code, _, err = run(capsys, "lint", "i1", "--baseline", str(base),
+                       "--fail-on", "info")
+    assert code == 0
+    assert "suppressed" in err
+
+
+def test_exit_codes_documented_in_help(capsys):
+    for cmd in ("lint", "analyze"):
+        with pytest.raises(SystemExit):
+            run(capsys, cmd, "--help")
+        out = capsys.readouterr().out
+        assert "exit codes" in out.lower()
+        assert "--baseline" in out
