@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test lint-circuits analyze campaign-smoke verify-mask lint-py typecheck bench
+.PHONY: check test lint-circuits analyze campaign-smoke verify-mask lint-py typecheck bench bench-obs
 
 check: test lint-circuits analyze campaign-smoke
 
@@ -47,3 +47,8 @@ typecheck:
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Observability overhead gate: instrumented hot paths with REPRO_OBS unset
+# must run within 2% of a pristine (never-instrumented) copy.
+bench-obs:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_obs_overhead.py --check

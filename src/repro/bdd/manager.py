@@ -24,6 +24,7 @@ import sys
 from fractions import Fraction
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro import obs
 from repro.errors import BddError
 
 # BDD operations recurse to the depth of a function's support; circuits with
@@ -57,6 +58,13 @@ class BddManager:
         self._and_cache: dict[tuple[int, int], int] = {}
         self._xor_cache: dict[tuple[int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
+        # Per-operation call counters.  Off by default: managers created
+        # while observability is disabled carry no wrappers at all, so the
+        # recursive hot paths keep their original cost.  Managers created
+        # while obs is enabled count automatically (see stats()).
+        self._op_counts: dict[str, int] | None = None
+        if obs.get_meter().enabled:
+            self.enable_op_counting()
         for name in var_names:
             self.add_var(name)
 
@@ -120,6 +128,64 @@ class BddManager:
     def num_nodes(self) -> int:
         """Total nodes allocated (including the two terminals)."""
         return len(self._level)
+
+    # ----------------------------------------------------------- observability
+
+    def enable_op_counting(self) -> None:
+        """Count ``_mk``/``_not``/``_and``/``_xor``/``_ite`` calls.
+
+        Counting is implemented by binding wrapper closures as *instance*
+        attributes: a manager that never enables counting dispatches the
+        original class methods with zero extra work, while the recursive
+        self-calls of a counting manager resolve to the wrappers.
+        """
+        if self._op_counts is not None:
+            return
+        counts: dict[str, int] = {"mk": 0, "not": 0, "and": 0, "xor": 0, "ite": 0}
+        self._op_counts = counts
+        for attr, key in (
+            ("_mk", "mk"),
+            ("_not", "not"),
+            ("_and", "and"),
+            ("_xor", "xor"),
+            ("_ite", "ite"),
+        ):
+            unbound = getattr(type(self), attr)
+
+            def counted(*args, _unbound=unbound, _key=key, _self=self):
+                counts[_key] += 1
+                return _unbound(_self, *args)
+
+            setattr(self, attr, counted)
+
+    def stats(self) -> dict:
+        """Structural and (when counting) operational statistics.
+
+        ``cache_hit_rate`` estimates per-operation compute-cache hit rates
+        as ``1 - distinct_cache_entries / calls`` — exact for ``and``/
+        ``xor``/``ite`` whose caches gain exactly one entry per miss.
+        """
+        out: dict = {
+            "nodes": self.num_nodes,
+            "vars": self.num_vars,
+            "unique_entries": len(self._unique),
+            "cache_entries": {
+                "not": len(self._not_cache),
+                "and": len(self._and_cache),
+                "xor": len(self._xor_cache),
+                "ite": len(self._ite_cache),
+            },
+        }
+        if self._op_counts is not None:
+            out["op_calls"] = dict(self._op_counts)
+            hit_rates = {}
+            for op in ("and", "xor", "ite"):
+                calls = self._op_counts[op]
+                if calls:
+                    misses = min(calls, out["cache_entries"][op])
+                    hit_rates[op] = round(1.0 - misses / calls, 4)
+            out["cache_hit_rate"] = hit_rates
+        return out
 
     # ------------------------------------------------------------- constants
 

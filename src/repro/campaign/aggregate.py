@@ -14,10 +14,12 @@ arrived, so partial coverage is explicit rather than silently wrong.
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Sequence
 
 from repro.campaign.spec import SCHEMA_VERSION, CampaignSpec, ShardSpec
 from repro.core.report import MaskingEffectiveness
+from repro.obs import merge_snapshots
 
 
 def _merge_outputs(
@@ -44,13 +46,78 @@ def _effectiveness(vectors: int, unmasked: int, masked: int) -> dict:
     }
 
 
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (deterministic)."""
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(q / 100.0 * len(sorted_values))
+    return sorted_values[max(0, min(len(sorted_values) - 1, rank - 1))]
+
+
+def _telemetry(
+    shard_obs: Mapping[int, dict], quarantined: Mapping[int, dict]
+) -> dict:
+    """Fold per-shard telemetry records into the aggregate's section.
+
+    A pure, order-independent function of the journaled records: shard
+    wall times come sorted, metric snapshots merge commutatively, so a
+    resumed campaign reporting from the same journal emits identical
+    bytes.  Wall times themselves are of course wall times — two separate
+    executions differ here even when every shard result matches, which is
+    why the section only exists when observability recorded something.
+    """
+    walls = sorted(
+        round(float(shard_obs[i].get("wall_seconds", 0.0)), 6)
+        for i in shard_obs
+    )
+    retries = sum(
+        max(0, int(shard_obs[i].get("attempts", 1)) - 1) for i in shard_obs
+    )
+    section: dict = {
+        "shards_with_telemetry": len(shard_obs),
+        "wall_seconds": {
+            "count": len(walls),
+            "total": round(sum(walls), 6),
+            "mean": round(sum(walls) / len(walls), 6) if walls else 0.0,
+            "p50": _percentile(walls, 50),
+            "p90": _percentile(walls, 90),
+            "p99": _percentile(walls, 99),
+            "max": walls[-1] if walls else 0.0,
+        },
+        "retries": retries,
+        "quarantined": len(quarantined),
+    }
+    snaps = [
+        shard_obs[i]["metrics"]
+        for i in sorted(shard_obs)
+        if isinstance(shard_obs[i].get("metrics"), dict)
+    ]
+    if snaps:
+        merged = merge_snapshots(snaps)
+        counters = {
+            name: dict(entry["series"])
+            for name, entry in merged["metrics"].items()
+            if entry["kind"] == "counter"
+        }
+        if counters:
+            section["counters"] = counters
+    return section
+
+
 def aggregate_results(
     spec: CampaignSpec,
     plan: Sequence[ShardSpec],
     results: Mapping[int, dict],
     quarantined: Mapping[int, dict] | None = None,
+    shard_obs: Mapping[int, dict] | None = None,
 ) -> dict:
-    """Fold shard results into the deterministic campaign aggregate."""
+    """Fold shard results into the deterministic campaign aggregate.
+
+    ``shard_obs`` maps shard index to the journaled telemetry record
+    (wall seconds, attempts, optional worker metric snapshot).  When any
+    are present the aggregate gains a ``telemetry`` section; with
+    observability off the output is byte-identical to earlier releases.
+    """
     quarantined = quarantined or {}
     group_order: list[tuple[str, str]] = []
     group_shards: dict[tuple[str, str], list[ShardSpec]] = {}
@@ -115,7 +182,7 @@ def aggregate_results(
             entry["error"] = record.get("error", "")
         incomplete.append(entry)
 
-    return {
+    aggregate = {
         "schema": SCHEMA_VERSION,
         "campaign": {
             "fingerprint": spec.fingerprint(),
@@ -132,3 +199,6 @@ def aggregate_results(
         "groups": groups,
         "incomplete_shards": incomplete,
     }
+    if shard_obs:
+        aggregate["telemetry"] = _telemetry(shard_obs, quarantined)
+    return aggregate

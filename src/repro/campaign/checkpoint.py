@@ -18,11 +18,19 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.campaign.spec import SCHEMA_VERSION, CampaignSpec, canonical_json
 from repro.errors import CheckpointError
+
+_METER = obs.get_meter()
+_FSYNC_SECONDS = _METER.histogram(
+    "repro_campaign_checkpoint_fsync_seconds",
+    "flush+fsync latency per journal append",
+)
 
 
 @dataclass
@@ -150,14 +158,30 @@ class CheckpointWriter:
         with self._lock:
             with open(self.path, "a", encoding="ascii") as handle:
                 handle.write(line)
-                handle.flush()
-                os.fsync(handle.fileno())
+                if _METER.enabled:
+                    t0 = time.perf_counter()
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    _FSYNC_SECONDS.observe(time.perf_counter() - t0)
+                else:
+                    handle.flush()
+                    os.fsync(handle.fileno())
 
-    def shard_done(self, index: int, attempts: int, result: dict) -> None:
-        self._append(
-            {"kind": "shard", "shard": index, "attempts": attempts,
-             "result": result}
-        )
+    def shard_done(
+        self,
+        index: int,
+        attempts: int,
+        result: dict,
+        obs_record: dict | None = None,
+    ) -> None:
+        """Journal a completed shard; ``obs_record`` rides along only when
+        observability captured one, so obs-off journals are byte-identical
+        to pre-observability ones."""
+        record = {"kind": "shard", "shard": index, "attempts": attempts,
+                  "result": result}
+        if obs_record is not None:
+            record["obs"] = obs_record
+        self._append(record)
 
     def quarantine(self, index: int, attempts: int, error: str) -> None:
         self._append(

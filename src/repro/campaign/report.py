@@ -63,4 +63,14 @@ def render_campaign_text(aggregate: dict) -> str:
                 f"  #{entry['shard']:<4d} {entry['circuit']} "
                 f"{entry['mode_key']}  {entry['status']}{suffix}"
             )
+    telemetry = aggregate.get("telemetry")
+    if telemetry:
+        wall = telemetry["wall_seconds"]
+        lines.append(
+            f"telemetry: {telemetry['shards_with_telemetry']} shards  "
+            f"wall p50={wall['p50']:.3f}s p90={wall['p90']:.3f}s "
+            f"p99={wall['p99']:.3f}s max={wall['max']:.3f}s  "
+            f"retries={telemetry['retries']} "
+            f"quarantined={telemetry['quarantined']}"
+        )
     return "\n".join(lines)

@@ -42,14 +42,43 @@ from pathlib import Path
 from typing import Callable, Mapping
 
 import repro
+from repro import obs
 from repro.campaign.aggregate import aggregate_results
 from repro.campaign.checkpoint import CheckpointWriter, load_journal
 from repro.campaign.shard import run_shard
 from repro.campaign.spec import CampaignSpec, ShardSpec, derive_seed, plan_campaign
-from repro.errors import CampaignError, ReproError
+from repro.errors import CampaignError, ObsError, ReproError
 
 #: Callback signature: ``progress(event, shard_index, message)``.
 ProgressFn = Callable[[str, int, str], None]
+
+_TRACER = obs.get_tracer("campaign")
+_METER = obs.get_meter()
+_ATTEMPTS = _METER.counter(
+    "repro_campaign_attempts_total", "shard attempts started"
+)
+_ATTEMPT_FAILURES = _METER.counter(
+    "repro_campaign_attempt_failures_total",
+    "shard attempts that failed (label: retryable)",
+)
+_RETRIES = _METER.counter(
+    "repro_campaign_retries_total",
+    "failed attempts retried after exponential backoff",
+)
+_QUARANTINED = _METER.counter(
+    "repro_campaign_quarantined_total",
+    "shards quarantined after exhausting their retry budget",
+)
+_BREAKER_TRIPS = _METER.counter(
+    "repro_campaign_breaker_trips_total", "circuit-breaker activations"
+)
+_SHARDS_COMPLETED = _METER.counter(
+    "repro_campaign_shards_completed_total", "shards completed and journaled"
+)
+_SHARD_SECONDS = _METER.histogram(
+    "repro_campaign_shard_seconds",
+    "wall seconds per completed shard (includes retries and backoff)",
+)
 
 
 @dataclass(frozen=True)
@@ -104,6 +133,12 @@ def _child_env() -> dict[str, str]:
     env["PYTHONPATH"] = (
         src_dir if not existing else src_dir + os.pathsep + existing
     )
+    # Workers inherit the runner's observability state so their spans and
+    # metric snapshots come back across the JSON-over-stdio protocol.
+    if obs.enabled():
+        env[obs.ENV_VAR] = "1"
+    else:
+        env.pop(obs.ENV_VAR, None)
     return env
 
 
@@ -112,7 +147,7 @@ def _attempt_subprocess(
     attempt: int,
     sabotage: dict | None,
     timeout: float,
-) -> dict:
+) -> tuple[dict, dict | None]:
     request = {
         "shard": shard.to_json(),
         "attempt": attempt,
@@ -156,7 +191,8 @@ def _attempt_subprocess(
             f"worker answered for shard {result.get('shard')!r}, "
             f"expected {shard.index}", retryable=False,
         )
-    return result
+    worker_obs = payload.get("obs")
+    return result, worker_obs if isinstance(worker_obs, dict) else None
 
 
 def _backoff_delay(config: RunnerConfig, shard: ShardSpec, attempt: int) -> float:
@@ -182,6 +218,10 @@ class _Dispatcher:
         self.progress = progress
         self.results: dict[int, dict] = {}
         self.quarantined: dict[int, dict] = {}
+        self.shard_obs: dict[int, dict] = {}
+        #: id of the enclosing ``campaign.run`` span; shard spans run on
+        #: dispatcher threads, so nesting must be passed explicitly.
+        self.run_span_id: int | None = None
         self.attempts_made = 0
         self.stop = threading.Event()
         self.breaker_reason: str | None = None
@@ -205,6 +245,7 @@ class _Dispatcher:
                     f"failed attempts (last: {message})"
                 )
                 self.stop.set()
+                _BREAKER_TRIPS.add()
 
     def _note_success(self) -> None:
         with self._lock:
@@ -212,56 +253,121 @@ class _Dispatcher:
             self._consecutive = 0
 
     def run_one(self, shard: ShardSpec) -> None:
-        failures: list[str] = []
-        attempt = 0
-        while attempt <= self.config.max_retries:
-            if self.stop.is_set():
-                return
-            try:
-                if self.config.workers == 0:
-                    try:
-                        result = run_shard(shard)
-                    except ReproError as exc:
-                        raise _AttemptFailure(
-                            f"{type(exc).__name__}: {exc}", retryable=False
-                        ) from exc
-                else:
-                    result = _attempt_subprocess(
-                        shard,
-                        attempt,
-                        self.sabotage.get(shard.index),
-                        self.config.task_timeout,
+        with _TRACER.span(
+            "campaign.shard",
+            parent_id=self.run_span_id,
+            shard=shard.index,
+            circuit=shard.circuit,
+            mode=shard.mode_key,
+        ) as shard_span:
+            started = time.perf_counter()
+            failures: list[str] = []
+            attempt = 0
+            worker_obs: dict | None = None
+            while attempt <= self.config.max_retries:
+                if self.stop.is_set():
+                    shard_span.set(outcome="stopped")
+                    return
+                _ATTEMPTS.add()
+                try:
+                    with _TRACER.span(
+                        "campaign.attempt", shard=shard.index, attempt=attempt
+                    ):
+                        if self.config.workers == 0:
+                            try:
+                                result = run_shard(shard)
+                            except ReproError as exc:
+                                raise _AttemptFailure(
+                                    f"{type(exc).__name__}: {exc}",
+                                    retryable=False,
+                                ) from exc
+                            worker_obs = None
+                        else:
+                            result, worker_obs = _attempt_subprocess(
+                                shard,
+                                attempt,
+                                self.sabotage.get(shard.index),
+                                self.config.task_timeout,
+                            )
+                except _AttemptFailure as exc:
+                    failures.append(str(exc))
+                    self._note_failure(str(exc))
+                    _ATTEMPT_FAILURES.add(
+                        1, retryable="true" if exc.retryable else "false"
                     )
-            except _AttemptFailure as exc:
-                failures.append(str(exc))
-                self._note_failure(str(exc))
-                self._emit(
-                    "attempt-failed", shard.index,
-                    f"attempt {attempt + 1}: {exc}",
+                    self._emit(
+                        "attempt-failed", shard.index,
+                        f"attempt {attempt + 1}: {exc}",
+                    )
+                    if not exc.retryable:
+                        break
+                    attempt += 1
+                    if attempt <= self.config.max_retries and not self.stop.is_set():
+                        _RETRIES.add()
+                        time.sleep(_backoff_delay(self.config, shard, attempt - 1))
+                    continue
+                self._note_success()
+                obs_record = self._shard_obs_record(
+                    attempt + 1, time.perf_counter() - started, worker_obs
                 )
-                if not exc.retryable:
-                    break
-                attempt += 1
-                if attempt <= self.config.max_retries and not self.stop.is_set():
-                    time.sleep(_backoff_delay(self.config, shard, attempt - 1))
-                continue
-            self._note_success()
+                with self._lock:
+                    self.results[shard.index] = result
+                    if obs_record is not None:
+                        self.shard_obs[shard.index] = obs_record
+                self.writer.shard_done(
+                    shard.index, attempt + 1, result, obs_record=obs_record
+                )
+                self._emit("shard-done", shard.index, f"attempts={attempt + 1}")
+                if _METER.enabled:
+                    _SHARDS_COMPLETED.add()
+                    _SHARD_SECONDS.observe(time.perf_counter() - started)
+                    shard_span.set(outcome="done", attempts=attempt + 1)
+                return
+            error = failures[-1] if failures else "no attempt made"
+            record = {
+                "kind": "quarantine",
+                "shard": shard.index,
+                "attempts": len(failures),
+                "error": error,
+            }
             with self._lock:
-                self.results[shard.index] = result
-            self.writer.shard_done(shard.index, attempt + 1, result)
-            self._emit("shard-done", shard.index, f"attempts={attempt + 1}")
-            return
-        error = failures[-1] if failures else "no attempt made"
-        record = {
-            "kind": "quarantine",
-            "shard": shard.index,
-            "attempts": len(failures),
-            "error": error,
-        }
-        with self._lock:
-            self.quarantined[shard.index] = record
-        self.writer.quarantine(shard.index, len(failures), error)
-        self._emit("quarantined", shard.index, error)
+                self.quarantined[shard.index] = record
+            self.writer.quarantine(shard.index, len(failures), error)
+            _QUARANTINED.add()
+            shard_span.set(outcome="quarantined", attempts=len(failures))
+            self._emit("quarantined", shard.index, error)
+
+    def _shard_obs_record(
+        self, attempts: int, wall: float, worker_obs: dict | None
+    ) -> dict | None:
+        """Journalable telemetry for one completed shard.
+
+        Worker spans are adopted into the runner's collector (remapped ids,
+        same epoch timeline); the worker's metric snapshot is merged into
+        the runner's registry *and* kept in the journal record so a resumed
+        campaign can rebuild the aggregate's telemetry section without
+        re-running the shard.
+        """
+        if not _METER.enabled:
+            return None
+        record: dict = {"wall_seconds": round(wall, 6), "attempts": attempts}
+        if worker_obs:
+            try:
+                spans = worker_obs.get("spans")
+                if spans:
+                    obs.ingest_spans(spans)
+                metrics = worker_obs.get("metrics")
+                if metrics:
+                    obs.merge_metrics(metrics)
+                    record["metrics"] = metrics
+            except ObsError:
+                # Telemetry must never fail a shard that computed fine.
+                pass
+            if isinstance(worker_obs.get("wall_seconds"), (int, float)):
+                record["worker_wall_seconds"] = round(
+                    worker_obs["wall_seconds"], 6
+                )
+        return record
 
 
 def _execute(
@@ -271,6 +377,7 @@ def _execute(
     config: RunnerConfig,
     sabotage: Mapping[int, dict] | None,
     progress: ProgressFn | None,
+    prior_obs: dict[int, dict] | None = None,
 ) -> CampaignOutcome:
     if config.workers == 0 and sabotage:
         raise CampaignError(
@@ -288,37 +395,49 @@ def _execute(
     dispatcher = _Dispatcher(config, writer, sabotage, progress)
 
     started = time.monotonic()
-    if config.workers == 0 or len(pending) <= 1:
-        for shard in pending:
-            if dispatcher.stop.is_set():
-                break
-            dispatcher.run_one(shard)
-    else:
-        work: queue.SimpleQueue[ShardSpec] = queue.SimpleQueue()
-        for shard in pending:
-            work.put(shard)
-
-        def loop() -> None:
-            while not dispatcher.stop.is_set():
-                try:
-                    shard = work.get_nowait()
-                except queue.Empty:
-                    return
+    with _TRACER.span(
+        "campaign.run",
+        fingerprint=spec.fingerprint()[:12],
+        shards=len(plan),
+        pending=len(pending),
+        workers=config.workers,
+    ) as run_span:
+        dispatcher.run_span_id = getattr(run_span, "id", None)
+        if config.workers == 0 or len(pending) <= 1:
+            for shard in pending:
+                if dispatcher.stop.is_set():
+                    break
                 dispatcher.run_one(shard)
+        else:
+            work: queue.SimpleQueue[ShardSpec] = queue.SimpleQueue()
+            for shard in pending:
+                work.put(shard)
 
-        threads = [
-            threading.Thread(target=loop, name=f"campaign-worker-{i}")
-            for i in range(min(config.workers, len(pending)))
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+            def loop() -> None:
+                while not dispatcher.stop.is_set():
+                    try:
+                        shard = work.get_nowait()
+                    except queue.Empty:
+                        return
+                    dispatcher.run_one(shard)
+
+            threads = [
+                threading.Thread(target=loop, name=f"campaign-worker-{i}")
+                for i in range(min(config.workers, len(pending)))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
     wall = time.monotonic() - started
 
     merged = dict(prior_results)
     merged.update(dispatcher.results)
-    aggregate = aggregate_results(spec, plan, merged, dispatcher.quarantined)
+    shard_obs = dict(prior_obs or {})
+    shard_obs.update(dispatcher.shard_obs)
+    aggregate = aggregate_results(
+        spec, plan, merged, dispatcher.quarantined, shard_obs=shard_obs
+    )
     stats = {
         "shards_total": len(plan),
         "shards_previously_done": len(prior_results),
@@ -368,5 +487,13 @@ def resume_campaign(
     config = config or RunnerConfig()
     state = load_journal(checkpoint)
     prior = {index: record["result"] for index, record in state.results.items()}
+    prior_obs = {
+        index: record["obs"]
+        for index, record in state.results.items()
+        if isinstance(record.get("obs"), dict)
+    }
     writer = CheckpointWriter(checkpoint)
-    return _execute(state.spec, writer, prior, config, sabotage, progress)
+    return _execute(
+        state.spec, writer, prior, config, sabotage, progress,
+        prior_obs=prior_obs,
+    )

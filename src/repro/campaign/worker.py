@@ -21,6 +21,7 @@ import signal
 import sys
 import time
 
+from repro import obs
 from repro.campaign.shard import run_shard
 from repro.campaign.spec import SCHEMA_VERSION, ShardSpec
 from repro.errors import ReproError
@@ -58,14 +59,32 @@ def main() -> int:
     apply_sabotage(request.get("sabotage"), attempt)
     try:
         shard = ShardSpec.from_json(request["shard"])
-        result = run_shard(shard)
+        started = time.perf_counter()
+        with obs.get_tracer("campaign").span(
+            "campaign.worker_shard",
+            shard=shard.index,
+            circuit=shard.circuit,
+            mode=shard.mode_key,
+            attempt=attempt,
+        ):
+            result = run_shard(shard)
+        wall = time.perf_counter() - started
     except (ReproError, KeyError, TypeError, ValueError) as exc:
         # A deterministic shard failure: report it as data so the runner
         # can quarantine immediately instead of burning retries.
         print(json.dumps({"schema": SCHEMA_VERSION,
                           "error": f"{type(exc).__name__}: {exc}"}))
         return 1
-    print(json.dumps({"schema": SCHEMA_VERSION, "result": result}))
+    response: dict = {"schema": SCHEMA_VERSION, "result": result}
+    if obs.enabled():
+        # Ship this process's telemetry back across the stdio protocol so
+        # the runner can stitch worker spans into one campaign timeline.
+        response["obs"] = {
+            "wall_seconds": round(wall, 6),
+            "spans": obs.span_records(),
+            "metrics": obs.metrics_snapshot(),
+        }
+    print(json.dumps(response))
     return 0
 
 

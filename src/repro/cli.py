@@ -19,6 +19,14 @@ Usage (installed as ``python -m repro``)::
     python -m repro campaign report camp.ckpt.jsonl --format json
     python -m repro campaign smoke
     python -m repro mask path/to/design.blif --library lsi10k_like
+    python -m repro info
+    python -m repro mask cmb --trace mask.trace.json --metrics mask.prom
+    python -m repro obs report mask.trace.json
+
+Every subcommand accepts ``--trace FILE`` / ``--metrics FILE`` to switch
+on :mod:`repro.obs` recording for the run and write the span trace
+(Chrome ``trace_event`` JSON, or JSONL for ``.jsonl`` paths) and metrics
+snapshot (Prometheus text for ``.prom``/``.txt``, else JSON) on exit.
 
 Circuits are named benchmarks from :mod:`repro.benchcircuits` or paths to
 BLIF files (``.gate`` netlists are read against the chosen library).
@@ -33,10 +41,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import traceback
 from pathlib import Path
 
+from repro import obs
 from repro.benchcircuits import PAPER_SPECS, TABLE1_NAMES, all_circuit_names, circuit_by_name
 from repro.campaign import (
     FAULT_KINDS,
@@ -70,6 +80,7 @@ from repro.analysis import (
 )
 from repro.analysis.absint import AbsintConfig, analyze_circuit, analyze_suite
 from repro.core import build_masked_design, mask_circuit, synthesize_masking
+from repro.engine import available_backends, numpy_available, validated_backend_name
 from repro.errors import BlifError, CampaignError, ReproError
 from repro.netlist import (
     Circuit,
@@ -473,8 +484,19 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
 def cmd_campaign_report(args: argparse.Namespace) -> int:
     state = load_journal(args.checkpoint)
     results = {i: record["result"] for i, record in state.results.items()}
+    # Telemetry records journaled by an obs-enabled run survive in the
+    # checkpoint, so reporting offline still shows the telemetry section.
+    shard_obs = {
+        i: record["obs"]
+        for i, record in state.results.items()
+        if isinstance(record.get("obs"), dict)
+    }
     aggregate = aggregate_results(
-        state.spec, plan_campaign(state.spec), results, state.quarantined
+        state.spec,
+        plan_campaign(state.spec),
+        results,
+        state.quarantined,
+        shard_obs=shard_obs,
     )
     _emit_campaign(aggregate, args)
     return 0 if aggregate["complete"] else 1
@@ -482,6 +504,35 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
 
 def cmd_campaign_smoke(args: argparse.Namespace) -> int:
     return run_smoke(args.workdir)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro import __version__
+
+    obs_state = "enabled" if obs.enabled() else "disabled"
+    sources = []
+    if obs.ENV_VAR in os.environ:
+        sources.append(f"{obs.ENV_VAR}={os.environ[obs.ENV_VAR]!r}")
+    if getattr(args, "trace", None):
+        sources.append("--trace")
+    if getattr(args, "metrics", None):
+        sources.append("--metrics")
+    print(f"repro version     : {__version__}")
+    print(f"python            : {sys.version.split()[0]} ({sys.platform})")
+    print(f"engine backends   : {', '.join(available_backends())}")
+    print(f"default backend   : {validated_backend_name()}")
+    print(f"numpy             : {'available' if numpy_available() else 'not available'}")
+    print(f"observability     : {obs_state}"
+          + (f" (via {', '.join(sources)})" if sources else ""))
+    print(f"library (selected): {args.library}")
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    records = obs.load_trace(args.tracefile)
+    print(f"trace: {args.tracefile}  ({len(records)} spans)")
+    print(obs.render_trace_summary(records, top=args.top))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -498,16 +549,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available circuits").set_defaults(
-        func=cmd_list
+    # Shared observability flags.  argparse only accepts main-parser options
+    # *before* the subcommand, so these ride on every leaf subparser via a
+    # ``parents=`` parent; either flag switches recording on for the run.
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_group = obs_parent.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record spans; .jsonl streams span records, anything else "
+        "writes Chrome trace JSON (load in Perfetto)",
+    )
+    obs_group.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a metrics snapshot; .prom/.txt renders Prometheus "
+        "text exposition, anything else JSON",
     )
 
-    p = sub.add_parser("report", help="static timing summary")
+    p = sub.add_parser(
+        "list", help="list available circuits", parents=[obs_parent]
+    )
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser(
+        "report", help="static timing summary", parents=[obs_parent]
+    )
     p.add_argument("circuit", help="benchmark name or .blif path")
     p.add_argument("--threshold", type=float, default=0.9)
     p.set_defaults(func=cmd_report)
 
-    p = sub.add_parser("spcf", help="speed-path characteristic function")
+    p = sub.add_parser(
+        "spcf", help="speed-path characteristic function", parents=[obs_parent]
+    )
     p.add_argument("circuit")
     p.add_argument(
         "--algorithm", default="short", choices=("short", "path", "node", "all")
@@ -515,7 +589,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=0.9)
     p.set_defaults(func=cmd_spcf)
 
-    p = sub.add_parser("mask", help="synthesize the error-masking circuit")
+    p = sub.add_parser(
+        "mask", help="synthesize the error-masking circuit", parents=[obs_parent]
+    )
     p.add_argument("circuit")
     p.add_argument("--threshold", type=float, default=0.9)
     p.add_argument("--max-support", type=int, default=12)
@@ -541,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="rule-based netlist lint (LINT001-LINT007)",
         epilog=_EXIT_CODE_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[obs_parent],
     )
     p.add_argument("circuit", help="benchmark name, .blif path, or 'all'")
     p.add_argument("--format", default="text", choices=("text", "json"))
@@ -563,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(ABS001-ABS008)",
         epilog=_EXIT_CODE_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[obs_parent],
     )
     p.add_argument("circuit", help="benchmark name, .blif path, or 'all'")
     p.add_argument("--format", default="text", choices=("text", "json", "sarif"))
@@ -598,6 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "verify-mask",
         help="formally verify masking soundness/coverage/equivalence (BDD)",
+        parents=[obs_parent],
     )
     p.add_argument("circuit", help="benchmark name or .blif path")
     p.add_argument("--threshold", type=float, default=0.9)
@@ -605,13 +684,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", default="text", choices=("text", "json"))
     p.set_defaults(func=cmd_verify_mask)
 
-    sub.add_parser("table1", help="regenerate Table 1").set_defaults(
-        func=cmd_table1
-    )
+    p = sub.add_parser("table1", help="regenerate Table 1", parents=[obs_parent])
+    p.set_defaults(func=cmd_table1)
 
-    p = sub.add_parser("table2", help="regenerate Table 2 rows")
+    p = sub.add_parser(
+        "table2", help="regenerate Table 2 rows", parents=[obs_parent]
+    )
     p.add_argument("--circuits", nargs="*", help="subset of circuit names")
     p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser(
+        "info",
+        help="toolkit version, engine backends, observability status",
+        parents=[obs_parent],
+    )
+    p.set_defaults(func=cmd_info)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="observability utilities (trace inspection)"
+    )
+    osub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    p = osub.add_parser(
+        "report", help="summarize a trace file (per-span-name wall/CPU table)"
+    )
+    p.add_argument("tracefile", help="Chrome trace JSON or span JSONL file")
+    p.add_argument("--top", type=int, default=0,
+                   help="show only the N hottest span names (0 = all)")
+    p.set_defaults(func=cmd_obs_report)
 
     camp = sub.add_parser(
         "campaign",
@@ -657,11 +756,17 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("--format", default="text", choices=("text", "json"))
         cp.add_argument("--out", help="write the report to a file")
 
-    p = csub.add_parser("plan", help="show the deterministic shard plan")
+    p = csub.add_parser(
+        "plan", help="show the deterministic shard plan", parents=[obs_parent]
+    )
     add_spec_options(p)
     p.set_defaults(func=cmd_campaign_plan)
 
-    p = csub.add_parser("run", help="run a campaign against a new checkpoint")
+    p = csub.add_parser(
+        "run",
+        help="run a campaign against a new checkpoint",
+        parents=[obs_parent],
+    )
     p.add_argument("checkpoint", help="checkpoint journal path (must not exist)")
     add_spec_options(p)
     add_runner_options(p)
@@ -675,30 +780,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_campaign_run)
 
-    p = csub.add_parser("resume", help="resume an interrupted checkpoint")
+    p = csub.add_parser(
+        "resume",
+        help="resume an interrupted checkpoint",
+        parents=[obs_parent],
+    )
     p.add_argument("checkpoint", help="existing checkpoint journal path")
     add_runner_options(p)
     add_output_options(p)
     p.set_defaults(func=cmd_campaign_resume)
 
     p = csub.add_parser(
-        "report", help="aggregate an existing checkpoint without running"
+        "report",
+        help="aggregate an existing checkpoint without running",
+        parents=[obs_parent],
     )
     p.add_argument("checkpoint", help="existing checkpoint journal path")
     add_output_options(p)
     p.set_defaults(func=cmd_campaign_report)
 
     p = csub.add_parser(
-        "smoke", help="end-to-end crash/quarantine/resume drill (CI gate)"
+        "smoke",
+        help="end-to-end crash/quarantine/resume drill (CI gate)",
+        parents=[obs_parent],
     )
     p.add_argument("--workdir", help="keep checkpoints here instead of a tmpdir")
     p.set_defaults(func=cmd_campaign_smoke)
     return parser
 
 
+def _flush_obs_outputs(args: argparse.Namespace) -> None:
+    """Write the requested trace/metrics files; never mask the exit path."""
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    try:
+        if trace:
+            obs.write_trace(trace, obs.span_records())
+            print(f"trace written to {trace}", file=sys.stderr)
+        if metrics:
+            obs.write_metrics(metrics, obs.metrics_snapshot())
+            print(f"metrics written to {metrics}", file=sys.stderr)
+    except (OSError, ReproError) as exc:
+        print(f"error: could not write telemetry: {exc}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "trace", None) or getattr(args, "metrics", None):
+        obs.configure(enabled=True)
     try:
         return args.func(args)
     except ReproError as exc:
@@ -710,6 +840,10 @@ def main(argv: list[str] | None = None) -> int:
         # every other tool failure (the traceback still goes to stderr).
         traceback.print_exc()
         return EXIT_ERROR
+    finally:
+        # Even a failed run leaves its telemetry behind — that is when a
+        # trace is most wanted.
+        _flush_obs_outputs(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro import obs
 from repro.bdd.manager import BddManager, Function
 from repro.bdd.isop import isop, isop_function
 from repro.errors import MaskingError
@@ -45,6 +46,20 @@ from repro.synth.technet import TechNetwork, TechNode
 #: Name prefixes for prediction and indicator nodes in the masking network.
 PRED_PREFIX = "p$"
 IND_PREFIX = "e$"
+
+_TRACER = obs.get_tracer("synth")
+_METER = obs.get_meter()
+_NODES_MASKED = _METER.counter(
+    "repro_synth_nodes_masked_total", "technology nodes run through cube selection"
+)
+_CUBES_DROPPED = _METER.counter(
+    "repro_synth_cubes_dropped_total",
+    "cubes pruned by essential-weight selection across all masked nodes",
+)
+_TRIVIAL_INDICATORS = _METER.counter(
+    "repro_synth_trivial_indicators_total",
+    "masked nodes whose indicator collapsed to constant 1",
+)
 
 
 @dataclass(frozen=True)
@@ -125,52 +140,72 @@ class MaskingSynthesizer:
 
     def run(self) -> MaskingResult:
         ctx = self.context
-        spcf = compute_spcf(self.circuit, context=ctx)
-        technet = collapse(
-            circuit_to_technet(self.circuit),
-            max_support=self.max_support,
-            max_cubes=self.max_cubes,
-            library=self.library,
-        )
-        tfns = technet.global_functions(ctx.manager)
+        with _TRACER.span(
+            "synth.mask_circuit", circuit=self.circuit.name
+        ) as run_span:
+            spcf = compute_spcf(self.circuit, context=ctx)
+            with _TRACER.span("synth.collapse") as collapse_span:
+                technet = collapse(
+                    circuit_to_technet(self.circuit),
+                    max_support=self.max_support,
+                    max_cubes=self.max_cubes,
+                    library=self.library,
+                )
+                tfns = technet.global_functions(ctx.manager)
+                if _METER.enabled:
+                    collapse_span.set(nodes=sum(1 for _ in technet.topo_order()))
 
-        # Sigma per node: union of the SPCFs of the critical outputs whose
-        # fanin cone contains the node ("all outputs simultaneously").
-        node_sigma: dict[str, Function] = {}
-        cones: dict[str, set[str]] = {}
-        for y, sigma in spcf.per_output.items():
-            if sigma.is_false:
-                continue
-            cone = technet.fanin_cone(y)
-            cones[y] = cone
-            for n in cone:
-                if n in node_sigma:
-                    node_sigma[n] = node_sigma[n] | sigma
-                else:
-                    node_sigma[n] = sigma
+            # Sigma per node: union of the SPCFs of the critical outputs whose
+            # fanin cone contains the node ("all outputs simultaneously").
+            node_sigma: dict[str, Function] = {}
+            cones: dict[str, set[str]] = {}
+            for y, sigma in spcf.per_output.items():
+                if sigma.is_false:
+                    continue
+                cone = technet.fanin_cone(y)
+                cones[y] = cone
+                for n in cone:
+                    if n in node_sigma:
+                        node_sigma[n] = node_sigma[n] | sigma
+                    else:
+                        node_sigma[n] = sigma
 
-        maskings: dict[str, NodeMasking] = {}
-        for name in technet.topo_order():
-            if name not in node_sigma:
-                continue
-            maskings[name] = self._mask_node(
-                technet.node(name), node_sigma[name], tfns
-            )
+            maskings: dict[str, NodeMasking] = {}
+            for name in technet.topo_order():
+                if name not in node_sigma:
+                    continue
+                with _TRACER.span("synth.mask_node", node=name) as node_span:
+                    masking = self._mask_node(
+                        technet.node(name), node_sigma[name], tfns
+                    )
+                    maskings[name] = masking
+                    if _METER.enabled:
+                        _NODES_MASKED.add()
+                        _CUBES_DROPPED.add(masking.cubes_dropped)
+                        if masking.indicator_trivial:
+                            _TRIVIAL_INDICATORS.add()
+                        node_span.set(
+                            cubes_dropped=masking.cubes_dropped,
+                            prediction=masking.prediction_source,
+                            trivial=masking.indicator_trivial,
+                        )
 
-        network, indicator_nets = self._build_masking_network(
-            technet, cones, maskings
-        )
-        mapped = remove_buffers(
-            map_technet(
-                network,
-                self.library,
-                name=f"{self.circuit.name}_mask",
-                prefix="mk_",
-            )
-        )
-        outputs = {
-            y: (PRED_PREFIX + y, indicator_nets[y]) for y in cones
-        }
+            with _TRACER.span("synth.map"):
+                network, indicator_nets = self._build_masking_network(
+                    technet, cones, maskings
+                )
+                mapped = remove_buffers(
+                    map_technet(
+                        network,
+                        self.library,
+                        name=f"{self.circuit.name}_mask",
+                        prefix="mk_",
+                    )
+                )
+            outputs = {
+                y: (PRED_PREFIX + y, indicator_nets[y]) for y in cones
+            }
+            run_span.set(masked_nodes=len(maskings), outputs=len(outputs))
         return MaskingResult(
             circuit=self.circuit,
             library=self.library,

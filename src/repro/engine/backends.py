@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.engine.ir import (
     BACKEND_ENV_VAR,
     CompiledCircuit,
@@ -46,6 +47,26 @@ from repro.engine.ir import (
     validated_backend_name,
 )
 from repro.errors import EngineError
+
+_METER = obs.get_meter()
+_EVAL_CALLS = _METER.counter(
+    "repro_engine_eval_calls_total", "word-batch evaluation calls"
+)
+_EVAL_PATTERNS = _METER.counter(
+    "repro_engine_eval_patterns_total", "patterns evaluated by word-batch calls"
+)
+_EVAL_BATCH = _METER.histogram(
+    "repro_engine_eval_batch_patterns",
+    "patterns per word-batch evaluation call",
+    obs.BATCH_BUCKETS,
+)
+
+
+def _record_eval(backend: str, kind: str, patterns: int) -> None:
+    """One guarded recording helper so hot paths pay a single branch."""
+    _EVAL_CALLS.add(1, backend=backend, kind=kind)
+    _EVAL_PATTERNS.add(patterns, backend=backend, kind=kind)
+    _EVAL_BATCH.observe(patterns, backend=backend, kind=kind)
 
 try:  # NumPy is optional; everything degrades to the pure-Python backend.
     import numpy as _np
@@ -140,6 +161,8 @@ class PythonWordBackend:
                 args.append(hi[f])
                 args.append(lo[f])
             hi[out], lo[out] = func(mask, *args)
+        if _METER.enabled:
+            _record_eval("python", "ternary", width)
         return hi, lo
 
     def eval_words(
@@ -157,6 +180,8 @@ class PythonWordBackend:
             values[i] = word & mask
         for func, out, fanins in compiled.plan:
             values[out] = func(mask, *[values[f] for f in fanins])
+        if _METER.enabled:
+            _record_eval("python", "binary", width)
         return values
 
 
@@ -260,6 +285,8 @@ class NumpyWordBackend:
         else:
             for func, out, fanins in compiled.plan:
                 values[out] = func(m, *(values[f] for f in fanins))
+        if _METER.enabled:
+            _record_eval("numpy", "binary", n_lanes * 64)
         return values
 
     def eval_words(
@@ -322,6 +349,8 @@ class NumpyWordBackend:
                     args.append(hi[f])
                     args.append(lo[f])
                 hi[out], lo[out] = func(m, *args)
+        if _METER.enabled:
+            _record_eval("numpy", "ternary", n_lanes * 64)
         return hi, lo
 
     def eval_ternary_words(

@@ -33,10 +33,28 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.errors import EngineError, SimulationError
 from repro.logic.expr import BoolExpr
 from repro.netlist.cell import Cell
 from repro.netlist.circuit import Circuit
+
+_TRACER = obs.get_tracer("engine")
+_METER = obs.get_meter()
+_COMPILE_HITS = _METER.counter(
+    "repro_engine_compile_cache_hits_total",
+    "compile_circuit calls served from the Circuit.version cache",
+)
+_COMPILE_MISSES = _METER.counter(
+    "repro_engine_compile_cache_misses_total",
+    "compile_circuit calls that ran a fresh lowering",
+)
+_IR_GATES = _METER.gauge(
+    "repro_engine_ir_gates", "gate count of the most recently lowered circuit"
+)
+_IR_NETS = _METER.gauge(
+    "repro_engine_ir_nets", "net count of the most recently lowered circuit"
+)
 
 #: Environment variable overriding automatic backend selection.
 BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
@@ -582,8 +600,14 @@ def compile_circuit(circuit: "Circuit | CompiledCircuit") -> CompiledCircuit:
         return circuit
     cached: CompiledCircuit | None = getattr(circuit, "_compiled_ir", None)
     if cached is not None and cached.source_version == circuit.version:
+        _COMPILE_HITS.add()
         return cached
-    compiled = _lower(circuit)
+    _COMPILE_MISSES.add()
+    with _TRACER.span("engine.compile", circuit=circuit.name) as span:
+        compiled = _lower(circuit)
+        span.set(gates=compiled.n_gates, nets=compiled.n_nets)
+    _IR_GATES.set(compiled.n_gates)
+    _IR_NETS.set(compiled.n_nets)
     circuit._compiled_ir = compiled
     return compiled
 

@@ -48,6 +48,10 @@ class EngineError(ReproError):
     """Raised by :mod:`repro.engine` (unknown backend, malformed word batch)."""
 
 
+class ObsError(ReproError):
+    """Raised by :mod:`repro.obs` (bad metric names, malformed trace files)."""
+
+
 class CampaignError(ReproError):
     """Raised by :mod:`repro.campaign` (bad specs, runner misconfiguration)."""
 

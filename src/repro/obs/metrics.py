@@ -1,0 +1,322 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Design constraints (see DESIGN.md §12):
+
+* **Zero dependencies** — stdlib only.
+* **Near-zero disabled overhead** — every recording method starts with a
+  single attribute load and branch on ``registry.enabled``; when the
+  registry is disabled the call returns before touching any lock.
+* **Deterministic snapshots** — :meth:`MetricsRegistry.snapshot` emits a
+  plain dict with sorted series keys, and :meth:`merge_snapshot` is
+  commutative and associative (counters/histograms sum, gauges take the
+  max), so per-shard snapshots from campaign workers aggregate to the
+  same result regardless of completion order.
+
+Naming convention: ``repro_<subsystem>_<name>_<unit>`` with label sets
+kept small and low-cardinality (backend name, campaign mode — never a
+net or shard index).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+from repro.errors import ObsError
+
+SNAPSHOT_SCHEMA = 1
+
+_NAME_RE = re.compile(r"^repro_[a-z0-9_]+$")
+
+#: Default latency buckets (seconds): 100 µs .. 30 s, roughly log-spaced.
+TIME_BUCKETS_S = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+#: Default batch-size buckets (patterns per call), powers of four.
+BATCH_BUCKETS = (1, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576)
+
+
+def label_key(labels: dict) -> str:
+    """Canonical series key for a label dict: ``"a=1,b=x"`` (sorted by name)."""
+    if not labels:
+        return ""
+    for k, v in labels.items():
+        if "=" in str(k) or "," in str(k) or "=" in str(v) or "," in str(v):
+            raise ObsError(f"label {k!r}={v!r} may not contain '=' or ','")
+    return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+def parse_label_key(key: str) -> dict:
+    """Inverse of :func:`label_key` (values come back as strings)."""
+    if not key:
+        return {}
+    out = {}
+    for part in key.split(","):
+        name, _, value = part.partition("=")
+        out[name] = value
+    return out
+
+
+class _Instrument:
+    """Base class: name validation plus the shared series dict."""
+
+    kind = "?"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str = ""):
+        if not _NAME_RE.match(name):
+            raise ObsError(
+                f"metric name {name!r} violates the repro_<subsystem>_<name>_<unit> "
+                "convention (lowercase, digits, underscores, 'repro_' prefix)"
+            )
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self._series: dict = {}
+
+
+class Counter(_Instrument):
+    """Monotonically increasing counter.  Merge semantics: sum."""
+
+    kind = "counter"
+
+    def add(self, value: int | float = 1, **labels) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        if value < 0:
+            raise ObsError(f"counter {self.name} cannot decrease (got {value})")
+        key = label_key(labels)
+        with registry._lock:
+            self._series[key] = self._series.get(key, 0) + value
+
+
+class Gauge(_Instrument):
+    """Last-observed value.  Merge semantics: max (high-water mark)."""
+
+    kind = "gauge"
+
+    def set(self, value: int | float, **labels) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        key = label_key(labels)
+        with registry._lock:
+            self._series[key] = value
+
+    def set_max(self, value: int | float, **labels) -> None:
+        """Keep the high-water mark of *value* for this series."""
+        registry = self._registry
+        if not registry.enabled:
+            return
+        key = label_key(labels)
+        with registry._lock:
+            prior = self._series.get(key)
+            if prior is None or value > prior:
+                self._series[key] = value
+
+
+class Histogram(_Instrument):
+    """Fixed-boundary histogram.  Merge semantics: bucket-wise sum.
+
+    Boundaries are upper-inclusive (Prometheus ``le`` semantics); an
+    implicit ``+Inf`` bucket collects the overflow.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str = "",
+        buckets: tuple = TIME_BUCKETS_S,
+    ):
+        super().__init__(registry, name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ObsError(
+                f"histogram {name} buckets must be non-empty, sorted, unique"
+            )
+        self.boundaries = bounds
+
+    def observe(self, value: int | float, **labels) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        key = label_key(labels)
+        with registry._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = {
+                    "buckets": [0] * (len(self.boundaries) + 1),
+                    "sum": 0,
+                    "count": 0,
+                }
+            series["buckets"][_bucket_index(self.boundaries, value)] += 1
+            series["sum"] += value
+            series["count"] += 1
+
+
+def _bucket_index(boundaries: tuple, value: float) -> int:
+    """Index of the ``le`` bucket for *value* (len(boundaries) == +Inf)."""
+    lo, hi = 0, len(boundaries)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if value <= boundaries[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+class MetricsRegistry:
+    """Thread-safe instrument registry with deterministic snapshot/merge."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    # -- instrument factories (idempotent by name) ------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple = TIME_BUCKETS_S
+    ) -> Histogram:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if existing.kind != "histogram":
+                    raise ObsError(
+                        f"metric {name} already registered as {existing.kind}"
+                    )
+                return existing  # type: ignore[return-value]
+            inst = Histogram(self, name, help, buckets)
+            self._instruments[name] = inst
+            return inst
+
+    def _register(self, cls, name: str, help: str):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if existing.kind != cls.kind:
+                    raise ObsError(
+                        f"metric {name} already registered as {existing.kind}"
+                    )
+                return existing
+            inst = cls(self, name, help)
+            self._instruments[name] = inst
+            return inst
+
+    # -- snapshot / merge -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deterministic, JSON-serialisable view of every non-empty series."""
+        with self._lock:
+            metrics = {}
+            for name in sorted(self._instruments):
+                inst = self._instruments[name]
+                if not inst._series:
+                    continue
+                entry = {"kind": inst.kind, "help": inst.help}
+                if isinstance(inst, Histogram):
+                    entry["boundaries"] = list(inst.boundaries)
+                    entry["series"] = {
+                        key: {
+                            "buckets": list(s["buckets"]),
+                            "sum": s["sum"],
+                            "count": s["count"],
+                        }
+                        for key, s in sorted(inst._series.items())
+                    }
+                else:
+                    entry["series"] = dict(sorted(inst._series.items()))
+                metrics[name] = entry
+            return {"schema": SNAPSHOT_SCHEMA, "metrics": metrics}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a snapshot into this registry (works even while disabled).
+
+        Counters and histogram buckets sum; gauges keep the max.  The
+        operation is commutative, so shard snapshots can be merged in any
+        completion order and produce identical aggregates.
+        """
+        if not isinstance(snap, dict) or "metrics" not in snap:
+            raise ObsError("malformed metrics snapshot: missing 'metrics' key")
+        for name, entry in snap["metrics"].items():
+            kind = entry.get("kind")
+            series = entry.get("series", {})
+            if kind == "counter":
+                inst = self.counter(name, entry.get("help", ""))
+                with self._lock:
+                    for key, value in series.items():
+                        inst._series[key] = inst._series.get(key, 0) + value
+            elif kind == "gauge":
+                inst = self.gauge(name, entry.get("help", ""))
+                with self._lock:
+                    for key, value in series.items():
+                        prior = inst._series.get(key)
+                        if prior is None or value > prior:
+                            inst._series[key] = value
+            elif kind == "histogram":
+                bounds = tuple(entry.get("boundaries", TIME_BUCKETS_S))
+                inst = self.histogram(name, entry.get("help", ""), bounds)
+                if inst.boundaries != bounds:
+                    raise ObsError(
+                        f"histogram {name} boundary mismatch during merge"
+                    )
+                with self._lock:
+                    for key, s in series.items():
+                        mine = inst._series.get(key)
+                        if mine is None:
+                            mine = inst._series[key] = {
+                                "buckets": [0] * (len(bounds) + 1),
+                                "sum": 0,
+                                "count": 0,
+                            }
+                        if len(s["buckets"]) != len(mine["buckets"]):
+                            raise ObsError(
+                                f"histogram {name} bucket-count mismatch during merge"
+                            )
+                        for i, b in enumerate(s["buckets"]):
+                            mine["buckets"][i] += b
+                        mine["sum"] += s["sum"]
+                        mine["count"] += s["count"]
+            else:
+                raise ObsError(f"metric {name}: unknown kind {kind!r} in snapshot")
+
+    def reset(self) -> None:
+        """Clear all recorded series; registered instruments stay valid."""
+        with self._lock:
+            for inst in self._instruments.values():
+                inst._series.clear()
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Pure helper: merge an iterable of snapshots into a fresh snapshot."""
+    registry = MetricsRegistry()
+    for snap in snapshots:
+        registry.merge_snapshot(snap)
+    return registry.snapshot()

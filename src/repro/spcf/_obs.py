@@ -1,0 +1,46 @@
+"""Shared observability handles for the three SPCF algorithms.
+
+One module owns the tracer and the instruments so the per-algorithm
+modules register each metric exactly once and agree on names/labels
+(``algorithm=shortpath|pathbased|nodebased``).
+"""
+
+from __future__ import annotations
+
+from repro import obs
+
+TRACER = obs.get_tracer("spcf")
+METER = obs.get_meter()
+
+OUTPUTS = METER.counter(
+    "repro_spcf_outputs_total", "critical outputs processed by SPCF passes"
+)
+OUTPUT_NODES = METER.histogram(
+    "repro_spcf_output_bdd_nodes",
+    "BDD dag size of each per-output SPCF",
+    obs.BATCH_BUCKETS,
+)
+BDD_NODES = METER.gauge(
+    "repro_bdd_manager_nodes",
+    "high-water BDD manager node count observed after an SPCF pass",
+)
+
+
+def note_output(span, algorithm: str, function) -> None:
+    """Record the per-output span attrs + counters (enabled path only)."""
+    size = function.dag_size()
+    span.set(bdd_nodes=size)
+    OUTPUTS.add(1, algorithm=algorithm)
+    OUTPUT_NODES.observe(size, algorithm=algorithm)
+
+
+def note_pass(span, ctx, n_outputs: int) -> None:
+    """Record whole-pass attrs: manager growth and memo/cache stats."""
+    stats = ctx.manager.stats()
+    BDD_NODES.set_max(stats["nodes"])
+    span.set(
+        outputs=n_outputs,
+        bdd_nodes=stats["nodes"],
+        unique_entries=stats["unique_entries"],
+        target=ctx.target,
+    )

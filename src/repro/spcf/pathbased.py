@@ -25,6 +25,7 @@ import time
 
 from repro.bdd.manager import Function, conjunction
 from repro.netlist.circuit import Circuit
+from repro.spcf import _obs
 from repro.spcf.result import SpcfResult
 from repro.spcf.timedfunc import SpcfContext
 
@@ -75,10 +76,21 @@ def compute_spcf(
 ) -> SpcfResult:
     """Exact SPCF via the path-based long-path activation recursion."""
     start = time.perf_counter()
-    ctx = context or SpcfContext(circuit, threshold=threshold, target=target)
-    per_output = {
-        y: _late(ctx, y, ctx.target) for y in ctx.critical_outputs
-    }
+    with _obs.TRACER.span(
+        "spcf.compute", algorithm="pathbased", circuit=circuit.name
+    ) as span:
+        ctx = context or SpcfContext(circuit, threshold=threshold, target=target)
+        per_output = {}
+        for y in ctx.critical_outputs:
+            with _obs.TRACER.span(
+                "spcf.output", algorithm="pathbased", output=y
+            ) as out_span:
+                per_output[y] = _late(ctx, y, ctx.target)
+                if _obs.METER.enabled:
+                    _obs.note_output(out_span, "pathbased", per_output[y])
+                    out_span.set(memo_entries=len(ctx._late_memo))
+        if _obs.METER.enabled:
+            _obs.note_pass(span, ctx, len(per_output))
     runtime = time.perf_counter() - start
     return SpcfResult(
         algorithm="path-based extension of [22] (exact)",

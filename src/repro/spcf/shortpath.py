@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 
 from repro.netlist.circuit import Circuit
+from repro.spcf import _obs
 from repro.spcf.result import SpcfResult
 from repro.spcf.timedfunc import SpcfContext
 
@@ -32,10 +33,20 @@ def compute_spcf(
 ) -> SpcfResult:
     """Exact SPCF of every critical output via the short-path recursion."""
     start = time.perf_counter()
-    ctx = context or SpcfContext(circuit, threshold=threshold, target=target)
-    per_output = {
-        y: ctx.late(y, ctx.target) for y in ctx.critical_outputs
-    }
+    with _obs.TRACER.span(
+        "spcf.compute", algorithm="shortpath", circuit=circuit.name
+    ) as span:
+        ctx = context or SpcfContext(circuit, threshold=threshold, target=target)
+        per_output = {}
+        for y in ctx.critical_outputs:
+            with _obs.TRACER.span(
+                "spcf.output", algorithm="shortpath", output=y
+            ) as out_span:
+                per_output[y] = ctx.late(y, ctx.target)
+                if _obs.METER.enabled:
+                    _obs.note_output(out_span, "shortpath", per_output[y])
+        if _obs.METER.enabled:
+            _obs.note_pass(span, ctx, len(per_output))
     runtime = time.perf_counter() - start
     return SpcfResult(
         algorithm="short-path-based (proposed)",

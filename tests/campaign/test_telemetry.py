@@ -1,0 +1,169 @@
+"""Campaign telemetry: journaled obs records, the aggregate's telemetry
+section, and the byte-identity guarantee with observability on and off.
+
+The headline case mirrors the resilience suite's kill/resume drill but
+with recording enabled: real SIGKILLed workers must surface as retry and
+quarantine events in the metrics snapshot, and the journaled per-shard
+telemetry must survive a resume.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.campaign import (
+    CampaignSpec,
+    RunnerConfig,
+    aggregate_results,
+    load_journal,
+    plan_campaign,
+    render_campaign_json,
+    render_campaign_text,
+    resume_campaign,
+    run_campaign,
+)
+
+FAST = RunnerConfig(
+    workers=1,
+    task_timeout=60.0,
+    max_retries=2,
+    backoff_base=0.01,
+    backoff_cap=0.05,
+)
+INLINE = RunnerConfig(workers=0, max_retries=0)
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    kwargs = dict(
+        circuits=("comparator2",),
+        modes=({"kind": "seu"},),
+        shards_per_cell=2,
+        vectors_per_shard=6,
+        seed=13,
+        clock_fraction=0.9,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def _journal_obs(path) -> dict[int, dict]:
+    state = load_journal(path)
+    return {
+        i: r["obs"] for i, r in state.results.items()
+        if isinstance(r.get("obs"), dict)
+    }
+
+
+def test_obs_off_journal_and_aggregate_have_no_telemetry(tmp_path):
+    outcome = run_campaign(tiny_spec(), tmp_path / "c.jsonl", INLINE)
+    assert "telemetry" not in outcome.aggregate
+    assert _journal_obs(tmp_path / "c.jsonl") == {}
+    for line in (tmp_path / "c.jsonl").read_text().splitlines():
+        assert "obs" not in json.loads(line)
+
+
+def test_obs_on_aggregate_matches_obs_off_minus_telemetry(tmp_path):
+    spec = tiny_spec()
+    baseline = run_campaign(spec, tmp_path / "off.jsonl", INLINE)
+    obs.configure(enabled=True)
+    traced = run_campaign(spec, tmp_path / "on.jsonl", INLINE)
+    assert traced.complete
+    telemetry = traced.aggregate.pop("telemetry")
+    assert telemetry["shards_with_telemetry"] == 2
+    assert render_campaign_json(traced.aggregate) == render_campaign_json(
+        baseline.aggregate
+    )
+
+
+def test_inline_run_journals_telemetry_and_percentiles(tmp_path):
+    obs.configure(enabled=True)
+    outcome = run_campaign(tiny_spec(), tmp_path / "c.jsonl", INLINE)
+    telemetry = outcome.aggregate["telemetry"]
+    wall = telemetry["wall_seconds"]
+    assert wall["count"] == 2
+    assert 0 < wall["p50"] <= wall["p90"] <= wall["p99"] <= wall["max"]
+    assert wall["total"] >= wall["max"]
+    assert telemetry["retries"] == 0 and telemetry["quarantined"] == 0
+    # the text renderer shows the footer
+    assert "telemetry: 2 shards" in render_campaign_text(outcome.aggregate)
+    # and the journal carries a per-shard record for each shard
+    journal_obs = _journal_obs(tmp_path / "c.jsonl")
+    assert sorted(journal_obs) == [0, 1]
+    for record in journal_obs.values():
+        assert record["attempts"] == 1 and record["wall_seconds"] > 0
+
+
+def test_kill_and_resume_surfaces_retry_and_quarantine_in_metrics(tmp_path):
+    """ISSUE acceptance: SIGKILL drills with recording on must show up as
+    retry and quarantine events in the metrics snapshot, and the resumed
+    campaign completes with its journaled telemetry intact."""
+    obs.configure(enabled=True)
+    spec = tiny_spec()
+    wounded = run_campaign(
+        spec, tmp_path / "c.jsonl",
+        RunnerConfig(workers=1, max_retries=1, backoff_base=0.01,
+                     backoff_cap=0.02),
+        # shard 0: killed once, then succeeds (a retry); shard 1: killed
+        # until the budget is gone (a quarantine)
+        sabotage={0: {"mode": "kill", "attempts": 1}, 1: {"mode": "kill"}},
+    )
+    assert not wounded.complete
+
+    snap = obs.metrics_snapshot()["metrics"]
+    assert snap["repro_campaign_retries_total"]["series"][""] >= 1
+    assert snap["repro_campaign_quarantined_total"]["series"][""] == 1
+    failures = snap["repro_campaign_attempt_failures_total"]["series"]
+    assert failures.get("retryable=true", 0) >= 3  # 1 on shard 0 + 2 on shard 1
+
+    telemetry = wounded.aggregate["telemetry"]
+    assert telemetry["retries"] >= 1
+    assert telemetry["quarantined"] == 1
+    # the surviving shard journaled its retry count
+    journal_obs = _journal_obs(tmp_path / "c.jsonl")
+    assert journal_obs[0]["attempts"] == 2
+
+    healed = resume_campaign(tmp_path / "c.jsonl", FAST)
+    assert healed.complete
+    telemetry = healed.aggregate["telemetry"]
+    assert telemetry["shards_with_telemetry"] == 2
+    assert telemetry["quarantined"] == 0
+    # shard 0 was not re-run: its journaled telemetry (2 attempts) survived
+    assert telemetry["retries"] >= 1
+
+
+def test_worker_metrics_merge_into_telemetry_counters(tmp_path):
+    obs.configure(enabled=True)
+    outcome = run_campaign(tiny_spec(), tmp_path / "c.jsonl", FAST)
+    assert outcome.complete
+    counters = outcome.aggregate["telemetry"]["counters"]
+    # the workers' engine counters crossed the stdio protocol and merged
+    assert sum(counters["repro_engine_compile_cache_misses_total"].values()) > 0
+    assert sum(counters["repro_spcf_outputs_total"].values()) > 0
+
+
+def test_report_from_same_journal_is_byte_identical(tmp_path):
+    obs.configure(enabled=True)
+    run_campaign(tiny_spec(), tmp_path / "c.jsonl", INLINE)
+    obs.configure(enabled=False)
+
+    def report() -> str:
+        state = load_journal(tmp_path / "c.jsonl")
+        results = {i: r["result"] for i, r in state.results.items()}
+        aggregate = aggregate_results(
+            state.spec, plan_campaign(state.spec), results,
+            state.quarantined, shard_obs=_journal_obs(tmp_path / "c.jsonl"),
+        )
+        return render_campaign_json(aggregate)
+
+    assert report() == report()  # telemetry is a pure function of the journal
+
+
+def test_resume_of_complete_campaign_keeps_telemetry(tmp_path):
+    obs.configure(enabled=True)
+    first = run_campaign(tiny_spec(), tmp_path / "c.jsonl", INLINE)
+    again = resume_campaign(tmp_path / "c.jsonl", INLINE)
+    assert again.stats["shards_run"] == 0
+    assert render_campaign_json(again.aggregate) == render_campaign_json(
+        first.aggregate
+    )

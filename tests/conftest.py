@@ -6,7 +6,20 @@ import random
 
 import pytest
 
+from repro import obs
 from repro.netlist import Circuit, Library, lsi10k_like_library, unit_library
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    """Leave the process-global observability layer off and empty.
+
+    Tests that enable recording (or merge worker snapshots) must not leak
+    series or spans into whichever test runs next.
+    """
+    yield
+    obs.configure(enabled=False, trace_jsonl="")
+    obs.reset()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,175 @@
+"""Metrics registry: instruments, snapshots, and merge determinism."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.metrics import (
+    BATCH_BUCKETS,
+    MetricsRegistry,
+    label_key,
+    merge_snapshots,
+    parse_label_key,
+)
+
+
+def reg() -> MetricsRegistry:
+    return MetricsRegistry(enabled=True)
+
+
+def test_disabled_registry_records_nothing():
+    registry = MetricsRegistry()  # disabled by default
+    registry.counter("repro_t_calls_total").add(5)
+    registry.gauge("repro_t_depth").set(3)
+    registry.histogram("repro_t_seconds").observe(0.1)
+    assert registry.snapshot()["metrics"] == {}
+
+
+def test_counter_accumulates_per_label_set():
+    registry = reg()
+    c = registry.counter("repro_t_calls_total", "calls")
+    c.add()
+    c.add(4, backend="numpy")
+    c.add(2, backend="numpy")
+    snap = registry.snapshot()
+    assert snap["metrics"]["repro_t_calls_total"]["series"] == {
+        "": 1,
+        "backend=numpy": 6,
+    }
+
+
+def test_counter_rejects_negative():
+    registry = reg()
+    with pytest.raises(ObsError, match="cannot decrease"):
+        registry.counter("repro_t_calls_total").add(-1)
+
+
+def test_bad_metric_name_rejected():
+    registry = reg()
+    for bad in ("calls_total", "repro_Calls", "repro_x-y", ""):
+        with pytest.raises(ObsError, match="convention"):
+            registry.counter(bad)
+
+
+def test_instrument_factories_are_idempotent_but_kind_checked():
+    registry = reg()
+    a = registry.counter("repro_t_calls_total")
+    assert registry.counter("repro_t_calls_total") is a
+    with pytest.raises(ObsError, match="already registered"):
+        registry.gauge("repro_t_calls_total")
+
+
+def test_gauge_set_and_high_water():
+    registry = reg()
+    g = registry.gauge("repro_t_nodes")
+    g.set(10)
+    g.set(4)
+    assert registry.snapshot()["metrics"]["repro_t_nodes"]["series"][""] == 4
+    g.set_max(2)
+    assert registry.snapshot()["metrics"]["repro_t_nodes"]["series"][""] == 4
+    g.set_max(9)
+    assert registry.snapshot()["metrics"]["repro_t_nodes"]["series"][""] == 9
+
+
+def test_histogram_upper_inclusive_buckets_and_overflow():
+    registry = reg()
+    h = registry.histogram("repro_t_batch", buckets=(1, 16, 64))
+    for v in (1, 2, 16, 17, 64, 65, 10**9):
+        h.observe(v)
+    series = registry.snapshot()["metrics"]["repro_t_batch"]["series"][""]
+    assert series["buckets"] == [1, 2, 2, 2]  # le=1, le=16, le=64, +Inf
+    assert series["count"] == 7
+    assert series["sum"] == 1 + 2 + 16 + 17 + 64 + 65 + 10**9
+
+
+def test_histogram_bad_buckets_rejected():
+    registry = reg()
+    for bad in ((), (3, 1), (1, 1)):
+        with pytest.raises(ObsError, match="sorted"):
+            registry.histogram("repro_t_h", buckets=bad)
+
+
+def test_label_key_roundtrip_and_validation():
+    assert label_key({}) == ""
+    key = label_key({"b": "x", "a": 1})
+    assert key == "a=1,b=x"
+    assert parse_label_key(key) == {"a": "1", "b": "x"}
+    with pytest.raises(ObsError, match="may not contain"):
+        label_key({"a": "x,y"})
+
+
+def test_merge_is_commutative_and_kind_aware():
+    a = reg()
+    a.counter("repro_t_calls_total").add(3, backend="python")
+    a.gauge("repro_t_nodes").set(10)
+    a.histogram("repro_t_batch", buckets=BATCH_BUCKETS).observe(64)
+    b = reg()
+    b.counter("repro_t_calls_total").add(2, backend="python")
+    b.counter("repro_t_calls_total").add(1, backend="numpy")
+    b.gauge("repro_t_nodes").set(7)
+    b.histogram("repro_t_batch", buckets=BATCH_BUCKETS).observe(100000)
+
+    ab = merge_snapshots([a.snapshot(), b.snapshot()])
+    ba = merge_snapshots([b.snapshot(), a.snapshot()])
+    assert ab == ba
+    m = ab["metrics"]
+    assert m["repro_t_calls_total"]["series"] == {
+        "backend=numpy": 1,
+        "backend=python": 5,
+    }
+    assert m["repro_t_nodes"]["series"][""] == 10  # max wins
+    hist = m["repro_t_batch"]["series"][""]
+    assert hist["count"] == 2 and hist["sum"] == 100064
+
+
+def test_merge_into_disabled_registry_still_works():
+    src = reg()
+    src.counter("repro_t_calls_total").add(5)
+    dst = MetricsRegistry()  # disabled
+    dst.merge_snapshot(src.snapshot())
+    assert dst.snapshot()["metrics"]["repro_t_calls_total"]["series"][""] == 5
+
+
+def test_merge_rejects_boundary_mismatch():
+    src = reg()
+    src.histogram("repro_t_h", buckets=(1, 2)).observe(1)
+    dst = reg()
+    dst.histogram("repro_t_h", buckets=(1, 2, 3)).observe(1)
+    with pytest.raises(ObsError, match="boundary mismatch"):
+        dst.merge_snapshot(src.snapshot())
+
+
+def test_reset_clears_series_keeps_instruments():
+    registry = reg()
+    c = registry.counter("repro_t_calls_total")
+    c.add(3)
+    registry.reset()
+    assert registry.snapshot()["metrics"] == {}
+    c.add(1)  # same instrument object still records
+    assert registry.snapshot()["metrics"]["repro_t_calls_total"]["series"][""] == 1
+
+
+def test_two_threads_do_not_corrupt_the_registry():
+    registry = reg()
+    c = registry.counter("repro_t_calls_total")
+    h = registry.histogram("repro_t_batch", buckets=(10, 100))
+    n = 2000
+
+    def pound(tid: int) -> None:
+        for i in range(n):
+            c.add(1, thread=tid)
+            h.observe(i % 150)
+
+    threads = [threading.Thread(target=pound, args=(t,)) for t in (0, 1)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snap = registry.snapshot()["metrics"]
+    assert snap["repro_t_calls_total"]["series"] == {"thread=0": n, "thread=1": n}
+    hist = snap["repro_t_batch"]["series"][""]
+    assert hist["count"] == 2 * n
+    assert sum(hist["buckets"]) == 2 * n

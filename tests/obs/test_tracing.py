@@ -1,0 +1,163 @@
+"""Span tracing: nesting, thread isolation, ingest, and the no-op path."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs.tracing import NOOP_SPAN, SPAN_FIELDS, TraceCollector, Tracer
+
+
+def fake_clocks():
+    """Deterministic ns clocks: wall anchored at an epoch, perf/cpu at 0."""
+    wall = itertools.count(1_700_000_000_000_000_000, 1_000_000)
+    perf = itertools.count(0, 500_000)
+    cpu = itertools.count(0, 200_000)
+    return (lambda: next(wall)), (lambda: next(perf)), (lambda: next(cpu))
+
+
+def collector(enabled: bool = True, pid: int = 4242) -> TraceCollector:
+    wall, perf, cpu = fake_clocks()
+    return TraceCollector(
+        enabled=enabled, wall_ns=wall, perf_ns=perf, cpu_ns=cpu, pid=pid
+    )
+
+
+def test_disabled_tracer_returns_the_shared_noop_span():
+    tracer = Tracer("t", collector(enabled=False))
+    span = tracer.span("x", a=1)
+    assert span is NOOP_SPAN
+    with span as s:
+        s.set(b=2)  # must be a silent no-op
+
+
+def test_span_records_have_canonical_fields_and_timing():
+    coll = collector()
+    tracer = Tracer("engine", coll)
+    with tracer.span("compile", circuit="cmb") as span:
+        span.set(gates=40)
+    (rec,) = coll.records()
+    assert tuple(rec) == SPAN_FIELDS
+    assert rec["name"] == "compile" and rec["cat"] == "engine"
+    assert rec["args"] == {"circuit": "cmb", "gates": 40}
+    assert rec["pid"] == 4242
+    assert rec["dur_us"] == 500 and rec["cpu_us"] == 200
+    assert rec["parent"] is None
+
+
+def test_nested_spans_parent_correctly():
+    coll = collector()
+    tracer = Tracer("t", coll)
+    with tracer.span("outer"):
+        with tracer.span("mid"):
+            with tracer.span("inner"):
+                pass
+        with tracer.span("mid2"):
+            pass
+    recs = {r["name"]: r for r in coll.records()}
+    assert recs["inner"]["parent"] == recs["mid"]["id"]
+    assert recs["mid"]["parent"] == recs["outer"]["id"]
+    assert recs["mid2"]["parent"] == recs["outer"]["id"]
+    assert recs["outer"]["parent"] is None
+
+
+def test_exception_marks_span_and_propagates():
+    coll = collector()
+    tracer = Tracer("t", coll)
+    with pytest.raises(ValueError):
+        with tracer.span("work"):
+            raise ValueError("boom")
+    (rec,) = coll.records()
+    assert rec["args"]["error"] == "ValueError"
+
+
+def test_two_threads_build_independent_span_trees():
+    coll = collector()
+    tracer = Tracer("t", coll)
+    barrier = threading.Barrier(2)
+
+    def work(label: str) -> None:
+        with tracer.span("outer", who=label):
+            barrier.wait(timeout=10)  # both outers open concurrently
+            with tracer.span("inner", who=label):
+                pass
+
+    threads = [threading.Thread(target=work, args=(w,)) for w in ("a", "b")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    recs = coll.records()
+    assert len(recs) == 4
+    outers = {r["args"]["who"]: r for r in recs if r["name"] == "outer"}
+    inners = [r for r in recs if r["name"] == "inner"]
+    ids = [r["id"] for r in recs]
+    assert len(set(ids)) == 4  # unique ids under concurrency
+    for inner in inners:
+        # each inner is parented to its *own thread's* outer, never the
+        # other thread's (the regression a shared stack would cause)
+        assert inner["parent"] == outers[inner["args"]["who"]]["id"]
+        assert inner["tid"] == outers[inner["args"]["who"]]["tid"]
+
+
+def test_ingest_remaps_foreign_ids_preserving_structure():
+    worker = collector(pid=7)
+    wt = Tracer("campaign", worker)
+    with wt.span("worker_shard"):
+        with wt.span("child"):
+            pass
+    runner = collector(pid=1)
+    with Tracer("campaign", runner).span("shard"):
+        pass
+    runner.ingest(worker.records())
+    recs = runner.records()
+    by_name = {r["name"]: r for r in recs}
+    assert len({r["id"] for r in recs}) == 3
+    assert by_name["child"]["parent"] == by_name["worker_shard"]["id"]
+    assert by_name["worker_shard"]["pid"] == 7  # provenance survives ingest
+
+
+def test_ingest_rejects_malformed_records():
+    with pytest.raises(ObsError, match="malformed"):
+        collector().ingest([{"nope": 1}])
+
+
+def test_jsonl_sink_streams_records(tmp_path):
+    import json
+
+    path = tmp_path / "spans.jsonl"
+    coll = collector()
+    coll.set_jsonl(str(path))
+    with Tracer("t", coll).span("a"):
+        pass
+    with Tracer("t", coll).span("b"):
+        pass
+    coll.set_jsonl(None)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["name"] for r in lines] == ["a", "b"]
+
+
+def test_module_configure_round_trip():
+    assert not obs.enabled()
+    obs.configure(enabled=True)
+    try:
+        assert obs.enabled()
+        with obs.get_tracer("t").span("x"):
+            pass
+        assert [r["name"] for r in obs.span_records()] == ["x"]
+    finally:
+        obs.configure(enabled=False)
+        obs.reset()
+    assert obs.span_records() == []
+
+
+def test_env_var_parsing():
+    assert obs.enabled_from_env({"REPRO_OBS": "1"})
+    assert obs.enabled_from_env({"REPRO_OBS": "trace"})
+    assert not obs.enabled_from_env({"REPRO_OBS": "0"})
+    assert not obs.enabled_from_env({"REPRO_OBS": "off"})
+    assert not obs.enabled_from_env({})
