@@ -6,9 +6,9 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test lint-circuits analyze campaign-smoke verify-mask lint-py typecheck bench bench-obs
+.PHONY: check test lint-circuits analyze campaign-smoke verify-mask lint-py typecheck bench bench-obs bench-spcf
 
-check: test lint-circuits analyze campaign-smoke
+check: test lint-circuits analyze campaign-smoke bench-spcf
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -52,3 +52,9 @@ bench:
 # must run within 2% of a pristine (never-instrumented) copy.
 bench-obs:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_obs_overhead.py --check
+
+# Pre-certification acceptance gate: the 5-threshold exact short-path sweep
+# must be bit-identical with certificates on and >= 2x faster (median) via
+# precertify + the multi-root compile.
+bench-spcf:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_spcf.py --check

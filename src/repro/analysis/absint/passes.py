@@ -23,6 +23,11 @@ ABS007    interval-inconsistency    error     interval fixpoint disagrees with
                                               independent STA (internal bug)
 ABS008    spcf-unsound              error     hazard/oracle pattern outside
                                               Sigma_y (Eqn. 1 soundness bug)
+ABS009    precert-contradiction     error     pre-certification certificate
+                                              refused (tampered) or contradicted
+                                              by the exact BDD cross-check
+ABS010    precert-summary           info      per-output obligation discharge
+                                              rates (opt-in, off by default)
 ========  ========================  ========  ==================================
 
 ``ABS005`` severity is per finding: a witness on a *critical* output whose
@@ -34,7 +39,7 @@ sampled correctly at the clock edge and is informational.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.analysis.absint.intervals import (
     arrival_intervals,
@@ -65,6 +70,9 @@ from repro.spcf.result import SpcfResult
 from repro.spcf.shortpath import compute_spcf
 from repro.sta.timing import TimingReport, analyze
 
+if TYPE_CHECKING:  # pragma: no cover - avoids the precert <-> absint cycle
+    from repro.analysis.precert.certificate import CertificateSet
+
 
 @dataclass(frozen=True)
 class AbsintConfig:
@@ -92,8 +100,10 @@ class AbsintConfig:
     replay_budget: int = 512
     max_injection_nets: int = 512
     report_potential: bool = False
+    report_precert: bool = False
     spcf_max_inputs: int = 12
     spcf_samples: int = 64
+    precert_max_inputs: int = 12
     backend: str | None = None
     select: frozenset[str] | None = None
     ignore: frozenset[str] = field(default_factory=frozenset)
@@ -115,6 +125,7 @@ class AbsintConfig:
             "max_injection_nets",
             "spcf_max_inputs",
             "spcf_samples",
+            "precert_max_inputs",
         ):
             if getattr(self, name) < 0:
                 raise AbsintError(f"{name} must be >= 0, got {getattr(self, name)}")
@@ -252,6 +263,33 @@ class AbsintContext:
                 except ReproError:
                     self._spcf = None
         return self._spcf
+
+    @property
+    def precert(self) -> "CertificateSet | None":
+        """Pre-certification certificates, or ``None`` when out of scope.
+
+        Imported lazily: :mod:`repro.analysis.precert` pulls in the ternary
+        domain of this package, so a module-level import would be circular.
+        """
+        if not hasattr(self, "_precert"):
+            self._precert = None
+            if self.compiled is not None:
+                from repro.analysis.precert.precertify import precertify
+
+                targets = (
+                    [self.config.target]
+                    if self.config.target is not None
+                    else None
+                )
+                try:
+                    self._precert = precertify(
+                        self.compiled,
+                        targets=targets,
+                        threshold=self.config.threshold,
+                    )
+                except ReproError:
+                    self._precert = None
+        return self._precert
 
     def critical_output_names(self) -> frozenset[str]:
         compiled = self.compiled
@@ -488,6 +526,86 @@ def check_spcf(ctx: AbsintContext, config: AbsintConfig) -> Iterator[AbsFinding]
             "built from this SPCF",
             None,
             data,
+        )
+
+
+@abs_pass(
+    "ABS009",
+    "precert-contradiction",
+    Severity.ERROR,
+    "pre-certification certificate refused or contradicted by exact BDDs",
+)
+def check_precert(
+    ctx: AbsintContext, config: AbsintConfig
+) -> Iterator[AbsFinding]:
+    """Cross-check every certificate against the exact BDD result.
+
+    Size-gated like ABS008: the audit recomputes each claim with BDDs over
+    all primary inputs.  Tampered certificates (failed integrity hash) are
+    *refused* with a distinct diagnostic and never cross-checked;
+    contradictions are soundness bugs in the static plane.
+    """
+    compiled = ctx.compiled
+    if compiled is None or compiled.n_inputs > config.precert_max_inputs:
+        return
+    certs = ctx.precert
+    if certs is None or not len(certs):
+        return
+    from repro.analysis.precert.audit import audit_certificates
+
+    for finding in audit_certificates(ctx.circuit, certs):
+        location = (
+            finding.node
+            if finding.time is None
+            else f"{finding.node}@t={finding.time}"
+        )
+        if finding.kind == "tampered":
+            hint = (
+                "certificate integrity failure: regenerate the set with "
+                "precertify(); never consult evidence that fails its hash"
+            )
+        else:
+            hint = (
+                "static-plane soundness bug: a certificate would have made "
+                "SPCF skip real BDD work; do not trust precert speedups "
+                "until this is fixed"
+            )
+        yield (
+            location,
+            finding.message,
+            hint,
+            None,
+            {"kind": finding.kind, **finding.data},
+        )
+
+
+@abs_pass(
+    "ABS010",
+    "precert-summary",
+    Severity.INFO,
+    "per-output obligation discharge rates from pre-certification",
+)
+def check_precert_summary(
+    ctx: AbsintContext, config: AbsintConfig
+) -> Iterator[AbsFinding]:
+    if not config.report_precert:
+        return
+    certs = ctx.precert
+    if certs is None or not len(certs):
+        return
+    from repro.analysis.precert.report import summarize
+
+    for s in summarize(ctx.circuit, certs):
+        rate = round(100 * s.discharge_rate)
+        yield (
+            s.output,
+            f"output {s.output!r} at t={s.target}: {s.discharged} of "
+            f"{s.obligations} obligation(s) discharged statically ({rate}%), "
+            f"{s.refuted} refuted, {s.required} left for BDDs "
+            f"[{s.verdict}]",
+            "discharged/refuted obligations skip their S0/S1 BDD builds",
+            None,
+            s.to_data(),
         )
 
 

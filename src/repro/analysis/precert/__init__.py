@@ -1,0 +1,51 @@
+"""Certificate-emitting SPCF pre-certification (static discharge of
+``(node, t)`` timing obligations before any BDD work).
+
+Public surface:
+
+* :func:`precertify` — classify every obligation of one or more
+  ``(output, target)`` SPCF queries as discharged / refuted / required,
+  each with machine-checkable evidence;
+* :class:`CertificateSet` / :class:`Certificate` — the evidence model, with
+  content-addressed fingerprints and lossless, tamper-detecting JSON IO;
+* :func:`audit_certificates` — the ABS009 back end re-deriving every claim
+  in an independent plane;
+* :func:`summarize` / :func:`render_summary` — per-output discharge rates
+  for reports and benchmarks.
+
+See DESIGN.md §13 for the architecture and the soundness argument.
+"""
+
+from repro.analysis.precert.audit import AuditFinding, audit_certificates
+from repro.analysis.precert.certificate import (
+    Certificate,
+    CertificateSet,
+    circuit_fingerprint,
+)
+from repro.analysis.precert.obligations import Obligation, enumerate_obligations
+from repro.analysis.precert.precertify import (
+    PrecertConfig,
+    precertify,
+    resolve_targets,
+)
+from repro.analysis.precert.report import (
+    OutputSummary,
+    render_summary,
+    summarize,
+)
+
+__all__ = [
+    "AuditFinding",
+    "Certificate",
+    "CertificateSet",
+    "Obligation",
+    "OutputSummary",
+    "PrecertConfig",
+    "audit_certificates",
+    "circuit_fingerprint",
+    "enumerate_obligations",
+    "precertify",
+    "render_summary",
+    "resolve_targets",
+    "summarize",
+]

@@ -1,0 +1,213 @@
+"""ABS009 back end: cross-check certificates against exact BDD results.
+
+Trust chain: the discharge facts come from the *static* plane (STA arrays,
+ternary words); the audit recomputes each claim in an independent plane —
+
+* ``on-time`` / ``all-late`` claims are checked against the **path-based**
+  exact late-activation recursion, which never consults the arrival or
+  min-stable bounds the certificate cites (its only cutoffs are the global
+  critical delay and ``t < 0`` at primary inputs), so a corrupted STA array
+  cannot vouch for itself;
+* ``constant`` claims are checked against the BDD global function (built by
+  Boolean composition, independent of the Kleene ternary domain);
+* ``refuted`` claims replay their witness through the event simulator and
+  additionally require the final vector to lie in the exact late set.
+
+Tampered certificates — stored fingerprint no longer re-derivable from the
+content, or a circuit-binding mismatch — are *refused*: reported with the
+distinct ``tampered`` kind and never cross-checked, because a checker must
+not spend trust on evidence that fails its own integrity hash.
+
+Any ``contradicted`` finding is a soundness bug (ERROR severity in ABS009):
+a certificate that would have made the SPCF plane skip real BDD work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.precert.certificate import Certificate, CertificateSet
+from repro.engine import compile_circuit
+from repro.netlist.circuit import Circuit
+from repro.sim.eventsim import two_vector_waveforms
+from repro.spcf.pathbased import late_activation
+from repro.spcf.timedfunc import SpcfContext
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One refused or contradicted certificate."""
+
+    node: str
+    time: int | None
+    #: ``tampered`` (integrity refusal) or ``contradicted`` (soundness bug)
+    kind: str
+    message: str
+    data: dict[str, Any]
+
+
+def _contradiction(
+    cert: Certificate, detail: str, **extra: Any
+) -> AuditFinding:
+    return AuditFinding(
+        node=cert.node,
+        time=cert.time,
+        kind="contradicted",
+        message=(
+            f"certificate for ({cert.node!r}, t={cert.time}) "
+            f"[{cert.kind}, {cert.domain}] contradicts the exact BDD "
+            f"result: {detail}"
+        ),
+        data={
+            "node": cert.node,
+            "time": cert.time,
+            "verdict": cert.verdict,
+            "domain": cert.domain,
+            "certificate_kind": cert.kind,
+            **extra,
+        },
+    )
+
+
+def audit_certificates(
+    circuit: Circuit, certs: CertificateSet
+) -> list[AuditFinding]:
+    """Every refused (tampered) and contradicted certificate of ``certs``.
+
+    Intended for auditable-size cones (the exact recomputation builds BDDs
+    over all primary inputs); callers gate by input count the way ABS008
+    gates its SPCF equivalence check.  An empty list is the pass verdict:
+    every certificate's claim was re-derived independently.
+    """
+    findings: list[AuditFinding] = []
+    compiled = compile_circuit(circuit)
+    if not certs.matches(compiled):
+        findings.append(
+            AuditFinding(
+                node=compiled.name,
+                time=None,
+                kind="tampered",
+                message=(
+                    "certificate set is bound to a different circuit "
+                    f"(fingerprint {certs.circuit_fp[:12]}... does not match "
+                    f"{compiled.name!r}); refusing to audit its claims"
+                ),
+                data={"circuit_fingerprint": certs.circuit_fp},
+            )
+        )
+        return findings
+    tampered = set()
+    for cert in certs.tampered():
+        tampered.add(cert.key)
+        findings.append(
+            AuditFinding(
+                node=cert.node,
+                time=cert.time,
+                kind="tampered",
+                message=(
+                    f"certificate for ({cert.node!r}, t={cert.time}) fails "
+                    "fingerprint verification (content no longer matches "
+                    "its stored hash); refused without cross-checking"
+                ),
+                data={
+                    "node": cert.node,
+                    "time": cert.time,
+                    "verdict": cert.verdict,
+                    "domain": cert.domain,
+                },
+            )
+        )
+    # Exact recomputation context: no certificates attached, so the
+    # path-based recursion below cannot be steered by the evidence under
+    # audit.
+    ctx = SpcfContext(circuit)
+    mgr = ctx.manager
+    for cert in sorted(certs, key=lambda c: (c.node, c.time is not None, c.time or 0)):
+        if cert.key in tampered:
+            continue
+        kind = cert.kind
+        if kind == "constant":
+            fn = ctx.functions[cert.node]
+            want = mgr.true if cert.facts.get("value") else mgr.false
+            if fn != want:
+                findings.append(
+                    _contradiction(
+                        cert,
+                        "global function is not the claimed constant",
+                        claimed_value=bool(cert.facts.get("value")),
+                    )
+                )
+        elif kind == "on-time":
+            late = late_activation(ctx, cert.node, int(cert.time or 0))
+            if not late.is_false:
+                witness = late.pick_one()
+                findings.append(
+                    _contradiction(
+                        cert,
+                        "a pattern settles after t although the certificate "
+                        "claims every pattern is on time",
+                        late_count=ctx.count(late),
+                        witness=witness,
+                    )
+                )
+        elif kind == "all-late":
+            late = late_activation(ctx, cert.node, int(cert.time or 0))
+            if not late.is_true:
+                witness = (~late).pick_one()
+                findings.append(
+                    _contradiction(
+                        cert,
+                        "a pattern settles by t although the certificate "
+                        "claims no pattern can",
+                        witness=witness,
+                    )
+                )
+        elif kind == "refuted":
+            findings.extend(_audit_refuted(ctx, compiled, cert))
+        # "required" carries no claim: nothing to contradict.
+    return findings
+
+
+def _audit_refuted(
+    ctx: SpcfContext, compiled: Any, cert: Certificate
+) -> list[AuditFinding]:
+    """Replay a refutation witness and re-derive its membership claim."""
+    facts = cert.facts
+    t = int(cert.time or 0)
+    try:
+        v1 = [int(b) for b in facts["v1"]]
+        v2 = [int(b) for b in facts["v2"]]
+    except (KeyError, TypeError, ValueError):
+        return [_contradiction(cert, "witness vectors are malformed")]
+    if len(v1) != compiled.n_inputs or len(v2) != compiled.n_inputs:
+        return [_contradiction(cert, "witness vector width mismatch")]
+    waves = two_vector_waveforms(
+        compiled,
+        dict(zip(compiled.inputs, map(bool, v1))),
+        dict(zip(compiled.inputs, map(bool, v2))),
+    )
+    wave = waves[cert.node]
+    if wave.settle_time <= t:
+        return [
+            _contradiction(
+                cert,
+                "replayed witness settles on time "
+                f"(t={wave.settle_time} <= {t})",
+                replayed_settle_time=wave.settle_time,
+            )
+        ]
+    late = late_activation(ctx, cert.node, t)
+    pattern = dict(zip(compiled.inputs, map(bool, v2)))
+    if not late.evaluate(pattern):
+        return [
+            _contradiction(
+                cert,
+                "witness final vector is outside the exact late set",
+                witness_v2=v2,
+            )
+        ]
+    return []
+
+
+__all__ = ["AuditFinding", "audit_certificates"]

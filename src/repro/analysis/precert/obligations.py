@@ -1,0 +1,111 @@
+"""Static enumeration of the ``(node, t)`` obligations of an SPCF query.
+
+Walks exactly the recursion tree of Eqn. 1 (``SpcfContext.stable``) but over
+integers only — latest-arrival and earliest-stabilization bounds from STA,
+prime-implicant pin delays from the compiled IR — and never touches a BDD.
+Each obligation is classified the way the recursion would resolve it:
+
+* ``t >= arrival[node]`` — leaf, discharged *on-time* (the recursion would
+  return ``(~F, F)`` without descending);
+* ``t < min_stable[node]`` — leaf, discharged *all-late* (``(0, 0)``);
+* otherwise — *required*: the recursion must expand through the node's prime
+  implicants, spawning one child obligation per (fanin, pin-delay) literal.
+
+The walk is deduplicated on absolute ``(node, t)`` exactly like the
+recursion's memo table, so the enumerated set is precisely the set of memo
+entries plus the pruned leaves — the complete BDD workload of the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.engine import CompiledCircuit
+from repro.errors import PrecertError
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One classified ``(node, t)`` pair of the recursion tree."""
+
+    node: str
+    time: int
+    #: ``on-time`` | ``all-late`` | ``required``
+    kind: str
+
+
+def _pin_delay_fanins(
+    compiled: CompiledCircuit, pos: int
+) -> tuple[tuple[int, int], ...]:
+    """Distinct ``(fanin_index, delay)`` arcs referenced by some prime.
+
+    Every prime literal of a cell references one input pin; the recursion
+    spawns one child obligation per literal.  Distinct (fanin, delay) pairs
+    over the pins that occur in at least one prime reproduce the child set
+    exactly (duplicate literals dedupe in the memo anyway; a vacuous pin
+    never spawns a child).
+    """
+    cell = compiled.gate_cells[pos]
+    fanins = compiled.gate_fanins[pos]
+    delays = compiled.gate_delays[pos]
+    on_primes, off_primes = cell.primes()
+    pins_used: set[str] = set()
+    for prime in (*on_primes, *off_primes):
+        pins_used.update(prime.to_dict(cell.inputs))
+    return tuple(
+        sorted(
+            {
+                (fanin, delay)
+                for pin, fanin, delay in zip(cell.inputs, fanins, delays)
+                if pin in pins_used
+            }
+        )
+    )
+
+
+def enumerate_obligations(
+    compiled: CompiledCircuit,
+    roots: Iterable[tuple[str, int]],
+    arrival: Sequence[int],
+    min_stable: Sequence[int],
+) -> dict[tuple[str, int], Obligation]:
+    """All ``(node, t)`` obligations reachable from the given root queries.
+
+    ``roots`` are the top-level ``(output, target)`` pairs; the result maps
+    every reachable obligation (roots included) to its static classification.
+    Root obligations for non-gate nets (primary inputs used directly as
+    outputs) classify like any other node: a PI has ``arrival == 0`` so any
+    ``t >= 0`` is on-time.
+    """
+    net_index = compiled.net_index
+    gate_position = compiled.gate_position
+    out: dict[tuple[str, int], Obligation] = {}
+    stack: list[tuple[str, int]] = []
+    for node, t in roots:
+        if node not in net_index:
+            raise PrecertError(
+                f"no net {node!r} in circuit {compiled.name!r}"
+            )
+        stack.append((node, int(t)))
+    while stack:
+        key = stack.pop()
+        if key in out:
+            continue
+        node, t = key
+        idx = net_index[node]
+        if t >= arrival[idx]:
+            out[key] = Obligation(node, t, "on-time")
+            continue
+        if t < min_stable[idx]:
+            out[key] = Obligation(node, t, "all-late")
+            continue
+        out[key] = Obligation(node, t, "required")
+        # arrival > 0 here, so the node is a gate (PIs arrive at 0).
+        pos = gate_position[node]
+        for fanin, delay in _pin_delay_fanins(compiled, pos):
+            stack.append((compiled.net_names[fanin], t - delay))
+    return out
+
+
+__all__ = ["Obligation", "enumerate_obligations"]

@@ -1,0 +1,102 @@
+"""Per-output discharge summaries of a certificate set.
+
+Feeds the ``repro analyze`` precert report (rule ABS010) and the benchmark:
+for each ``(output, target)`` query, how many of its obligations the static
+pass discharged, and what the top-level verdict was.  The per-output cone is
+re-walked with the same integer enumeration used during certification, so
+the summary is a pure function of (circuit, certificates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.precert.certificate import CertificateSet
+from repro.analysis.precert.obligations import enumerate_obligations
+from repro.engine import CompiledCircuit, compile_circuit
+from repro.netlist.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class OutputSummary:
+    """Discharge statistics of one ``(output, target)`` query."""
+
+    output: str
+    target: int
+    verdict: str  #: top-level verdict of the ``(output, target)`` obligation
+    obligations: int  #: obligations in this query's recursion cone
+    discharged: int
+    refuted: int
+    required: int
+
+    @property
+    def discharge_rate(self) -> float:
+        if self.obligations == 0:
+            return 1.0
+        return self.discharged / self.obligations
+
+    def to_data(self) -> dict[str, Any]:
+        return {
+            "output": self.output,
+            "target": self.target,
+            "verdict": self.verdict,
+            "obligations": self.obligations,
+            "discharged": self.discharged,
+            "refuted": self.refuted,
+            "required": self.required,
+            "discharge_rate": round(self.discharge_rate, 4),
+        }
+
+
+def summarize(
+    circuit: Circuit | CompiledCircuit, certs: CertificateSet
+) -> list[OutputSummary]:
+    """One :class:`OutputSummary` per ``(output, target)`` query, sorted."""
+    compiled = compile_circuit(circuit)
+    arrival = compiled.arrival()
+    min_stable = compiled.min_stable()
+    out: list[OutputSummary] = []
+    for target in certs.targets:
+        for output in compiled.outputs:
+            cone = enumerate_obligations(
+                compiled, [(output, target)], arrival, min_stable
+            )
+            counts = {"discharged": 0, "refuted": 0, "required": 0}
+            for node, t in cone:
+                cert = certs.lookup(node, t)
+                if cert is not None:
+                    counts[cert.verdict] += 1
+            top = certs.lookup(output, target)
+            out.append(
+                OutputSummary(
+                    output=output,
+                    target=target,
+                    verdict=top.verdict if top is not None else "required",
+                    obligations=len(cone),
+                    discharged=counts["discharged"],
+                    refuted=counts["refuted"],
+                    required=counts["required"],
+                )
+            )
+    return sorted(out, key=lambda s: (s.target, s.output))
+
+
+def render_summary(
+    circuit: Circuit | CompiledCircuit, certs: CertificateSet
+) -> str:
+    """Human-readable table of the per-output discharge rates."""
+    lines = [
+        f"precert {certs.circuit_name}: {len(certs)} certificate(s), "
+        f"targets {list(certs.targets)}"
+    ]
+    for s in summarize(circuit, certs):
+        lines.append(
+            f"  t={s.target:<5d} {s.output:16s} {s.verdict:10s} "
+            f"{s.discharged}/{s.obligations} discharged "
+            f"({100.0 * s.discharge_rate:.0f}%)"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["OutputSummary", "summarize", "render_summary"]

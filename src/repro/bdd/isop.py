@@ -51,7 +51,7 @@ def _isop(
     mgr: BddManager,
     lower: int,
     upper: int,
-    _memo_unused: dict,
+    _memo_unused: dict[tuple[int, int], int],
     out: list[dict[int, bool]],
 ) -> int:
     """Recursive core; returns the BDD node of the generated cover."""

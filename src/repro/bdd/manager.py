@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import sys
 from fractions import Fraction
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro import obs
 from repro.errors import BddError
@@ -58,11 +58,13 @@ class BddManager:
         self._and_cache: dict[tuple[int, int], int] = {}
         self._xor_cache: dict[tuple[int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
-        # Per-operation call counters.  Off by default: managers created
-        # while observability is disabled carry no wrappers at all, so the
-        # recursive hot paths keep their original cost.  Managers created
-        # while obs is enabled count automatically (see stats()).
+        # Per-operation call counters and exact computed-table hit/miss
+        # counters.  Off by default: managers created while observability is
+        # disabled carry no wrappers at all, so the recursive hot paths keep
+        # their original cost.  Managers created while obs is enabled count
+        # automatically (see stats()).
         self._op_counts: dict[str, int] | None = None
+        self._cache_counts: dict[str, list[int]] | None = None
         if obs.get_meter().enabled:
             self.enable_op_counting()
         for name in var_names:
@@ -132,40 +134,133 @@ class BddManager:
     # ----------------------------------------------------------- observability
 
     def enable_op_counting(self) -> None:
-        """Count ``_mk``/``_not``/``_and``/``_xor``/``_ite`` calls.
+        """Count calls *and* exact computed-table hits/misses per operation.
 
         Counting is implemented by binding wrapper closures as *instance*
         attributes: a manager that never enables counting dispatches the
         original class methods with zero extra work, while the recursive
         self-calls of a counting manager resolve to the wrappers.
+
+        Each wrapper replays its operation's terminal checks and key
+        normalization, probes the computed table itself to attribute an
+        exact hit or miss, and delegates the actual compute to the unbound
+        original — whose recursive ``self._*`` calls re-enter the wrappers,
+        so inner sub-calls are attributed too.  A "hit" is a probe that
+        found the key, a "miss" is one that had to compute; terminal-rule
+        short-circuits count as calls but touch neither bucket.
         """
         if self._op_counts is not None:
             return
         counts: dict[str, int] = {"mk": 0, "not": 0, "and": 0, "xor": 0, "ite": 0}
+        cache_counts: dict[str, list[int]] = {
+            "not": [0, 0],
+            "and": [0, 0],
+            "xor": [0, 0],
+            "ite": [0, 0],
+        }
         self._op_counts = counts
-        for attr, key in (
-            ("_mk", "mk"),
-            ("_not", "not"),
-            ("_and", "and"),
-            ("_xor", "xor"),
-            ("_ite", "ite"),
-        ):
-            unbound = getattr(type(self), attr)
+        self._cache_counts = cache_counts
 
-            def counted(*args, _unbound=unbound, _key=key, _self=self):
-                counts[_key] += 1
-                return _unbound(_self, *args)
+        mk_unbound = type(self)._mk
 
-            setattr(self, attr, counted)
+        def counted_mk(level: int, lo: int, hi: int) -> int:
+            counts["mk"] += 1
+            return mk_unbound(self, level, lo, hi)
 
-    def stats(self) -> dict:
+        not_unbound = type(self)._not
+        not_cc = cache_counts["not"]
+
+        def counted_not(u: int) -> int:
+            counts["not"] += 1
+            if u < 2:
+                return 1 - u
+            r = self._not_cache.get(u)
+            if r is not None:
+                not_cc[0] += 1
+                return r
+            not_cc[1] += 1
+            return not_unbound(self, u)
+
+        and_unbound = type(self)._and
+        and_cc = cache_counts["and"]
+
+        def counted_and(u: int, v: int) -> int:
+            counts["and"] += 1
+            if u == v:
+                return u
+            if u == 0 or v == 0:
+                return 0
+            if u == 1:
+                return v
+            if v == 1:
+                return u
+            if u > v:
+                u, v = v, u
+            r = self._and_cache.get((u, v))
+            if r is not None:
+                and_cc[0] += 1
+                return r
+            and_cc[1] += 1
+            return and_unbound(self, u, v)
+
+        xor_unbound = type(self)._xor
+        xor_cc = cache_counts["xor"]
+
+        def counted_xor(u: int, v: int) -> int:
+            counts["xor"] += 1
+            if u == v:
+                return 0
+            if u == 0:
+                return v
+            if v == 0:
+                return u
+            if u == 1 or v == 1:
+                return xor_unbound(self, u, v)  # resolves via a counted _not
+            if u > v:
+                u, v = v, u
+            r = self._xor_cache.get((u, v))
+            if r is not None:
+                xor_cc[0] += 1
+                return r
+            xor_cc[1] += 1
+            return xor_unbound(self, u, v)
+
+        ite_unbound = type(self)._ite
+        ite_cc = cache_counts["ite"]
+
+        def counted_ite(f: int, g: int, h: int) -> int:
+            counts["ite"] += 1
+            if f == 1:
+                return g
+            if f == 0:
+                return h
+            if g == h:
+                return g
+            if g == 1 and h == 0:
+                return f
+            if g == 0 and h == 1:
+                return ite_unbound(self, f, g, h)  # resolves via a counted _not
+            r = self._ite_cache.get((f, g, h))
+            if r is not None:
+                ite_cc[0] += 1
+                return r
+            ite_cc[1] += 1
+            return ite_unbound(self, f, g, h)
+
+        self._mk = counted_mk  # type: ignore[method-assign]
+        self._not = counted_not  # type: ignore[method-assign]
+        self._and = counted_and  # type: ignore[method-assign]
+        self._xor = counted_xor  # type: ignore[method-assign]
+        self._ite = counted_ite  # type: ignore[method-assign]
+
+    def stats(self) -> dict[str, Any]:
         """Structural and (when counting) operational statistics.
 
-        ``cache_hit_rate`` estimates per-operation compute-cache hit rates
-        as ``1 - distinct_cache_entries / calls`` — exact for ``and``/
-        ``xor``/``ite`` whose caches gain exactly one entry per miss.
+        With counting enabled (:meth:`enable_op_counting`), ``computed_table``
+        holds the **exact** per-operation computed-table hit/miss counts and
+        ``cache_hit_rate`` is derived from them; both are absent otherwise.
         """
-        out: dict = {
+        out: dict[str, Any] = {
             "nodes": self.num_nodes,
             "vars": self.num_vars,
             "unique_entries": len(self._unique),
@@ -178,13 +273,17 @@ class BddManager:
         }
         if self._op_counts is not None:
             out["op_calls"] = dict(self._op_counts)
-            hit_rates = {}
-            for op in ("and", "xor", "ite"):
-                calls = self._op_counts[op]
-                if calls:
-                    misses = min(calls, out["cache_entries"][op])
-                    hit_rates[op] = round(1.0 - misses / calls, 4)
-            out["cache_hit_rate"] = hit_rates
+        if self._cache_counts is not None:
+            table = {
+                op: {"hits": hits, "misses": misses}
+                for op, (hits, misses) in self._cache_counts.items()
+            }
+            out["computed_table"] = table
+            out["cache_hit_rate"] = {
+                op: round(c["hits"] / (c["hits"] + c["misses"]), 4)
+                for op, c in table.items()
+                if c["hits"] + c["misses"]
+            }
         return out
 
     # ------------------------------------------------------------- constants

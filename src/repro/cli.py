@@ -295,6 +295,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         samples=args.samples,
         replay_budget=args.replay_budget,
         report_potential=args.report_potential,
+        report_precert=args.precert,
         backend=args.backend,
         select=frozenset(args.select) if args.select else None,
         ignore=frozenset(args.ignore or ()),
@@ -637,7 +638,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "analyze",
         help="abstract-interpretation proofs over the compiled IR "
-        "(ABS001-ABS008)",
+        "(ABS001-ABS010)",
         epilog=_EXIT_CODE_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
         parents=[obs_parent],
@@ -663,6 +664,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report-potential", action="store_true",
                    help="also report X verdicts without a replayed witness "
                    "(ABS006)")
+    p.add_argument("--precert", action="store_true",
+                   help="also report per-output precert discharge rates "
+                   "(ABS010)")
     p.add_argument("--backend", default=None, choices=("python", "numpy"),
                    help="word backend for the ternary domain")
     p.add_argument("--select", nargs="*", metavar="PASS",

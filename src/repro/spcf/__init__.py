@@ -9,6 +9,13 @@ Three algorithms, matching Table 1 of the paper:
 :func:`compare_algorithms` runs all three on a shared context and reports
 counts and runtimes, reproducing one row of Table 1.
 
+All three accept a ``certificates=`` set from
+:func:`repro.analysis.precert.precertify`: statically discharged
+``(node, t)`` obligations skip their S0/S1 BDD builds with bit-identical
+results.  :func:`spcf_multiroot` compiles a whole threshold sweep over one
+shared context/manager, so the computed table carries sub-results across
+targets.
+
 :func:`monte_carlo_accuracy` cross-checks a computed SPCF against the exact
 floating-mode stabilization oracle on a random pattern batch (driven by the
 compiled circuit engine), classifying each sampled pattern as a true/false
@@ -25,6 +32,7 @@ from repro.netlist.circuit import Circuit
 from repro.sim.logicsim import random_patterns
 from repro.sim.timingsim import stabilization_times
 from repro.spcf import nodebased, pathbased, shortpath
+from repro.spcf.multiroot import compute_multi as spcf_multiroot
 from repro.spcf.result import SpcfResult
 from repro.spcf.timedfunc import SpcfContext, expr_to_function
 
@@ -146,6 +154,7 @@ __all__ = [
     "spcf_shortpath",
     "spcf_pathbased",
     "spcf_nodebased",
+    "spcf_multiroot",
     "AlgorithmComparison",
     "compare_algorithms",
     "SampledAccuracy",

@@ -4,8 +4,13 @@
 
 * a BDD manager with one variable per primary input (in topological PI order),
 * the *global function* ``F[net]`` of every net over the primary inputs,
+  built **lazily**: a net's BDD is composed on first access, so a query that
+  discharges most of a circuit statically never pays for the cold cones,
 * the STA report (latest arrivals, prime-based earliest-stabilization bounds,
-  required times for the target ``Delta_y``).
+  required times for the target ``Delta_y``),
+* optionally, a pre-certification
+  :class:`~repro.analysis.precert.certificate.CertificateSet` whose
+  discharged obligations short-circuit the recursion below.
 
 On top of it, :meth:`SpcfContext.stable` implements the paper's Eqn. 1 — the
 pair of timed characteristic functions
@@ -15,10 +20,20 @@ pair of timed characteristic functions
 * ``S1[net](t)`` — dito for final value 1,
 
 computed recursively through the prime implicants of each cell's on-set and
-off-set, with memoization on ``(net, t)`` and two pruning rules:
+off-set, with memoization on ``(net, t)``.  A ``(net, t)`` pair is resolved
+without recursion when
 
-* ``t >= arrival[net]`` — every pattern has stabilized: ``(¬F, F)``,
-* ``t < min_stable[net]`` — no pattern can have stabilized: ``(0, 0)``.
+* a certificate discharges it (``on-time`` -> ``(¬F, F)``, ``all-late`` ->
+  ``(0, 0)``) — the pre-certified fast path, or
+* the inline bounds fire: ``t >= arrival[net]`` / ``t < min_stable[net]`` —
+  the same facts the certificates carry, so results are bit-identical with
+  certificates on or off (ROBDD canonicity: equal functions over one
+  variable order are the same node).
+
+Constant-net certificates (all-X ternary proofs) substitute the *global
+function* map only: under floating-mode semantics a constant-function net
+can still settle late (the initial state is arbitrary), so ``stable()``
+never consults them.
 
 The *short-path-based* algorithm (the paper's contribution) is exactly this
 recursion; the *path-based* and *node-based* algorithms reuse the context but
@@ -27,13 +42,18 @@ walk the circuit differently.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.bdd.manager import BddManager, Function, conjunction, disjunction
 from repro.errors import SpcfError
+from repro.logic.cube import Cube
 from repro.logic.expr import BoolExpr
 from repro.netlist.circuit import Circuit
+from repro.spcf import _obs
 from repro.sta.timing import TimingReport, analyze
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.analysis.precert.certificate import CertificateSet
 
 
 def expr_to_function(
@@ -61,6 +81,43 @@ def expr_to_function(
     return acc
 
 
+class _LazyFunctions(dict[str, Function]):
+    """Global-function map building each net's BDD on first access.
+
+    Key-compatible with the eager dict of earlier revisions (plain
+    ``ctx.functions[net]`` everywhere); certified-constant nets resolve to a
+    BDD terminal without touching their fanin cones.
+    """
+
+    def __init__(self, ctx: "SpcfContext") -> None:
+        super().__init__()
+        self._ctx = ctx
+
+    def ensure(self, net: str) -> Function:
+        """Force the net's function to be built (eager-construction helper)."""
+        return self[net]
+
+    def __missing__(self, net: str) -> Function:
+        ctx = self._ctx
+        certs = ctx.certificates
+        if certs is not None:
+            value = certs.constant_value(net)
+            if value is not None:
+                fn = ctx.manager.true if value else ctx.manager.false
+                self[net] = fn
+                return fn
+        try:
+            gate = ctx.circuit.gates[net]
+        except KeyError:
+            raise SpcfError(
+                f"no net {net!r} in circuit {ctx.circuit.name!r}"
+            ) from None
+        env = {pin: self[f] for pin, f in zip(gate.cell.inputs, gate.fanins)}
+        fn = expr_to_function(gate.cell.expr, env, ctx.manager)
+        self[net] = fn
+        return fn
+
+
 class SpcfContext:
     """Circuit + threshold context shared by the three SPCF algorithms."""
 
@@ -70,40 +127,54 @@ class SpcfContext:
         threshold: float = 0.9,
         target: int | None = None,
         manager: BddManager | None = None,
+        certificates: "CertificateSet | None" = None,
+        eager: bool = False,
     ) -> None:
         circuit.validate()
+        if certificates is not None and not certificates.matches(circuit):
+            raise SpcfError(
+                "certificate set was produced for a different circuit "
+                f"(fingerprint mismatch on {circuit.name!r}); refusing to "
+                "consult it"
+            )
         self.circuit = circuit
+        self.certificates = certificates
         self.report: TimingReport = analyze(circuit, target=target, threshold=threshold)
         self.target = self.report.target
         self.manager = manager or BddManager(circuit.inputs)
         for net in circuit.inputs:
             if net not in self.manager.var_names:
                 self.manager.add_var(net)
-        self.functions: dict[str, Function] = {}
-        self._build_global_functions()
+        functions: _LazyFunctions = _LazyFunctions(self)
+        for net in circuit.inputs:
+            functions[net] = self.manager.var(net)
+        self.functions: dict[str, Function] = functions
+        if eager:
+            # Build every cone up front (the pre-lazy behaviour; kept for
+            # benchmarking the baseline and for callers that want the
+            # whole-circuit BDD cost paid at construction time).
+            for name in circuit.topo_order():
+                functions.ensure(name)
         # Memo tables for the timed characteristic functions.
         self._stable_memo: dict[tuple[str, int], tuple[Function, Function]] = {}
         self._late_memo: dict[tuple[str, int], Function] = {}
-
-    # --------------------------------------------------------- global functions
-
-    def _build_global_functions(self) -> None:
-        mgr = self.manager
-        for net in self.circuit.inputs:
-            self.functions[net] = mgr.var(net)
-        for name in self.circuit.topo_order():
-            gate = self.circuit.gates[name]
-            env = {
-                pin: self.functions[f]
-                for pin, f in zip(gate.cell.inputs, gate.fanins)
-            }
-            self.functions[name] = expr_to_function(gate.cell.expr, env, mgr)
 
     # ------------------------------------------------------------- Eqn. 1 core
 
     def stable(self, net: str, t: int) -> tuple[Function, Function]:
         """``(S0, S1)`` — stabilized-by-``t`` characteristic functions."""
         mgr = self.manager
+        certs = self.certificates
+        if certs is not None:
+            cert = certs.lookup(net, t)
+            if cert is not None and cert.verdict == "discharged":
+                if _obs.METER.enabled:
+                    _obs.OBLIGATIONS_SKIPPED.add(1, algorithm="shortpath")
+                if cert.kind == "on-time":
+                    f = self.functions[net]
+                    return (~f, f)
+                if cert.kind == "all-late":
+                    return (mgr.false, mgr.false)
         arrival = self.report.arrival
         min_stable = self.report.min_stable
         if t >= arrival[net]:
@@ -122,7 +193,7 @@ class SpcfContext:
         pin_to_delay = dict(zip(cell.inputs, delays))
         on_primes, off_primes = cell.primes()
 
-        def prime_term(prime) -> Function:
+        def prime_term(prime: Cube) -> Function:
             terms = []
             for pin, polarity in prime.to_dict(cell.inputs).items():
                 s0, s1 = self.stable(pin_to_fanin[pin], t - pin_to_delay[pin])
@@ -146,6 +217,13 @@ class SpcfContext:
     def critical_outputs(self) -> tuple[str, ...]:
         """Outputs where at least one speed-path terminates."""
         return self.report.critical_outputs(self.circuit)
+
+    def critical_outputs_at(self, target: int) -> tuple[str, ...]:
+        """Outputs whose latest arrival exceeds an arbitrary target."""
+        arrival = self.report.arrival
+        return tuple(
+            net for net in self.circuit.outputs if arrival[net] > target
+        )
 
     def count(self, fn: Function) -> int:
         """Model count of an SPCF over the circuit's primary inputs."""

@@ -26,7 +26,9 @@ def findings(report, rule_id):
 
 
 def test_registry_is_complete_and_stable():
-    assert sorted(PASS_REGISTRY) == [f"ABS00{k}" for k in range(1, 9)]
+    assert sorted(PASS_REGISTRY) == [
+        f"ABS00{k}" for k in range(1, 10)
+    ] + ["ABS010"]
     for pid, p in PASS_REGISTRY.items():
         assert p.rule_id == pid
         assert p.name and p.description

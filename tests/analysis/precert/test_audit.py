@@ -1,0 +1,214 @@
+"""ABS009 audit: refuse tampered evidence, contradict unsound claims."""
+
+import json
+
+import pytest
+
+from repro.analysis.absint import (
+    PASS_REGISTRY,
+    AbsintConfig,
+    AbsintContext,
+    analyze_circuit,
+)
+from repro.analysis.precert import (
+    Certificate,
+    CertificateSet,
+    audit_certificates,
+    circuit_fingerprint,
+    precertify,
+)
+from repro.benchcircuits import circuit_by_name, comparator2, comparator_nbit
+from repro.engine import compile_circuit
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return comparator2()
+
+
+@pytest.fixture(scope="module")
+def compiled(circuit):
+    return compile_circuit(circuit)
+
+
+def _bogus_set(compiled, certs):
+    """A *fresh* in-memory set (no stored fingerprints, so it passes the
+    integrity check) whose claims are wrong — exercising the cross-check."""
+    return CertificateSet(
+        circuit_name=compiled.name,
+        circuit_fp=circuit_fingerprint(compiled),
+        targets=(0,),
+        certificates={c.key: c for c in certs},
+    )
+
+
+@pytest.mark.parametrize(
+    "name", ["comparator2", "comparator4", "full_adder", "cla4", "parity8"]
+)
+def test_genuine_certificates_audit_clean(name, lsi_lib):
+    circuit = circuit_by_name(name, lsi_lib)
+    certs = precertify(circuit)
+    assert audit_certificates(circuit, certs) == []
+
+
+def test_multi_target_certificates_audit_clean(circuit, compiled):
+    delta = compiled.critical_delay()
+    certs = precertify(circuit, targets=[delta // 2, delta - 1])
+    assert audit_certificates(circuit, certs) == []
+
+
+def test_bogus_on_time_is_contradicted(circuit, compiled):
+    # The output is NOT stable by t=0 for every pattern; an on-time claim
+    # there is a lie the exact plane must catch, with a witness pattern.
+    y = compiled.outputs[0]
+    cert = Certificate(
+        y, 0, "discharged", "arrival-interval", {"kind": "on-time", "arrival": 0}
+    )
+    findings = audit_certificates(circuit, _bogus_set(compiled, [cert]))
+    assert len(findings) == 1
+    f = findings[0]
+    assert f.kind == "contradicted"
+    assert f.node == y and f.time == 0
+    assert "settles after t" in f.message
+    assert "witness" in f.data and f.data["late_count"] > 0
+
+
+def test_bogus_all_late_is_contradicted(circuit, compiled):
+    # At t = critical delay everything has settled; "no pattern can have
+    # stabilized" is refutable by any pattern at all.
+    y = compiled.outputs[0]
+    t = compiled.critical_delay()
+    cert = Certificate(
+        y, t, "discharged", "min-stable", {"kind": "all-late", "min_stable": t + 1}
+    )
+    findings = audit_certificates(circuit, _bogus_set(compiled, [cert]))
+    assert [f.kind for f in findings] == ["contradicted"]
+    assert "settles by t" in findings[0].message
+
+
+def test_bogus_constant_is_contradicted(circuit, compiled):
+    y = compiled.outputs[0]  # the comparator output depends on its inputs
+    cert = Certificate(
+        y, None, "discharged", "ternary-allx", {"kind": "constant", "value": True}
+    )
+    findings = audit_certificates(circuit, _bogus_set(compiled, [cert]))
+    assert [f.kind for f in findings] == ["contradicted"]
+    assert "not the claimed constant" in findings[0].message
+
+
+def test_malformed_refutation_witness_is_contradicted(circuit, compiled):
+    y = compiled.outputs[0]
+    cert = Certificate(
+        y, 1, "refuted", "event-sim", {"kind": "refuted", "v1": "zz", "v2": None}
+    )
+    findings = audit_certificates(circuit, _bogus_set(compiled, [cert]))
+    assert [f.kind for f in findings] == ["contradicted"]
+    assert "malformed" in findings[0].message
+
+
+def test_on_time_refutation_witness_is_contradicted(circuit, compiled):
+    # v1 == v2 means no transition: the waveform settles immediately, so it
+    # cannot witness lateness at the critical delay.
+    y = compiled.outputs[0]
+    n = compiled.n_inputs
+    t = compiled.critical_delay()
+    cert = Certificate(
+        y,
+        t,
+        "refuted",
+        "event-sim",
+        {"kind": "refuted", "v1": [0] * n, "v2": [0] * n, "settle_time": t + 1},
+    )
+    findings = audit_certificates(circuit, _bogus_set(compiled, [cert]))
+    assert [f.kind for f in findings] == ["contradicted"]
+    assert "settles on time" in findings[0].message
+
+
+def test_required_carries_no_claim(circuit, compiled):
+    cert = Certificate(compiled.outputs[0], 0, "required", "none")
+    assert audit_certificates(circuit, _bogus_set(compiled, [cert])) == []
+
+
+def test_tampered_certificate_is_refused_not_crosschecked(circuit):
+    certs = precertify(circuit)
+    data = json.loads(certs.to_json())
+    entry = next(
+        e for e in data["certificates"] if e["facts"]["kind"] == "on-time"
+    )
+    # Rewrite the fact into an outright lie; with verify=False the set loads,
+    # and the audit must refuse (not contradict) the edited entry.
+    entry["facts"]["arrival"] = entry["facts"]["arrival"] + 100
+    loaded = CertificateSet.from_json(json.dumps(data), verify=False)
+    findings = audit_certificates(circuit, loaded)
+    assert [f.kind for f in findings] == ["tampered"]
+    assert findings[0].node == entry["node"]
+    assert "fingerprint verification" in findings[0].message
+
+
+def test_circuit_binding_mismatch_is_one_tampered_finding(circuit):
+    other = comparator_nbit(4)
+    certs = precertify(other)
+    findings = audit_certificates(circuit, certs)
+    assert [f.kind for f in findings] == ["tampered"]
+    assert "different circuit" in findings[0].message
+
+
+# ----------------------------------------------------------- pass integration
+
+
+def _run_abs009(circuit, certs, config=None):
+    cfg = config or AbsintConfig()
+    ctx = AbsintContext(circuit, cfg)
+    ctx._precert = certs  # pre-seed the lazy property with the set under test
+    return list(PASS_REGISTRY["ABS009"].check(ctx, cfg))
+
+
+def test_abs009_clean_on_genuine_certificates(circuit):
+    assert _run_abs009(circuit, precertify(circuit)) == []
+
+
+def test_abs009_distinct_diagnostics(circuit, compiled):
+    certs = precertify(circuit)
+    data = json.loads(certs.to_json())
+    entry = next(
+        e for e in data["certificates"] if e["facts"]["kind"] == "on-time"
+    )
+    entry["facts"]["arrival"] = entry["facts"]["arrival"] + 100
+    tampered = CertificateSet.from_json(json.dumps(data), verify=False)
+    findings = _run_abs009(circuit, tampered)
+    assert len(findings) == 1
+    location, message, hint, _severity, fdata = findings[0]
+    assert location == f"{entry['node']}@t={entry['time']}"
+    assert fdata["kind"] == "tampered"
+    assert "integrity failure" in hint
+
+    y = compiled.outputs[0]
+    bogus = _bogus_set(
+        compiled,
+        [Certificate(y, 0, "discharged", "arrival-interval",
+                     {"kind": "on-time", "arrival": 0})],
+    )
+    findings = _run_abs009(circuit, bogus)
+    assert len(findings) == 1
+    _, _, hint, _, fdata = findings[0]
+    assert fdata["kind"] == "contradicted"
+    assert "soundness bug" in hint
+
+
+def test_abs009_gates_on_input_count(circuit):
+    cfg = AbsintConfig(precert_max_inputs=2)  # comparator2 has 4 inputs
+    bogus = _bogus_set(
+        compile_circuit(circuit),
+        [Certificate("y", 0, "discharged", "arrival-interval",
+                     {"kind": "on-time", "arrival": 0})],
+    )
+    assert _run_abs009(circuit, bogus, cfg) == []
+
+
+def test_abs010_summary_is_opt_in(circuit):
+    default = analyze_circuit(circuit)
+    assert not [d for d in default.diagnostics if d.rule_id == "ABS010"]
+    report = analyze_circuit(circuit, AbsintConfig(report_precert=True))
+    summaries = [d for d in report.diagnostics if d.rule_id == "ABS010"]
+    assert summaries  # one line per analyzed output
+    assert any("discharged statically" in d.message for d in summaries)

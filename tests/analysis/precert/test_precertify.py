@@ -1,0 +1,120 @@
+"""Pre-certification classification: domains, facts, witnesses, budgets."""
+
+import pytest
+
+from repro.analysis.precert import PrecertConfig, precertify
+from repro.analysis.precert.precertify import resolve_targets
+from repro.benchcircuits import comparator2
+from repro.engine import compile_circuit
+from repro.errors import PrecertError
+from repro.sim.eventsim import two_vector_waveforms
+from repro.sta.timing import threshold_target
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_circuit(comparator2())
+
+
+@pytest.fixture(scope="module")
+def certs(compiled):
+    return precertify(compiled)
+
+
+def test_comparator_classification_counts(certs):
+    # The paper's Fig. 2 comparator at the default 90% target: 9 obligations,
+    # 5 statically discharged, 1 refuted by a replayed witness, 3 left for
+    # the BDD plane.
+    counts = certs.counts()
+    assert len(certs) == 9
+    assert counts == {"discharged": 5, "refuted": 1, "required": 3}
+    assert certs.discharge_rate() == pytest.approx(5 / 9)
+
+
+def test_every_obligation_is_covered(certs):
+    assert all(c.verdict in ("discharged", "refuted", "required") for c in certs)
+    assert all(c.kind in ("on-time", "all-late", "constant", "refuted", "required")
+               for c in certs)
+
+
+def test_on_time_facts_match_arrival(compiled, certs):
+    arrival = compiled.arrival()
+    seen = 0
+    for cert in certs:
+        if cert.kind != "on-time":
+            continue
+        seen += 1
+        a = arrival[compiled.net_index[cert.node]]
+        assert cert.facts["arrival"] == a
+        # The discharge condition the SPCF prune relies on.
+        assert cert.time >= a
+        assert cert.domain == "arrival-interval"
+    assert seen > 0
+
+
+def test_all_late_facts_match_min_stable(compiled, certs):
+    min_stable = compiled.min_stable()
+    for cert in certs:
+        if cert.kind != "all-late":
+            continue
+        m = min_stable[compiled.net_index[cert.node]]
+        assert cert.facts["min_stable"] == m
+        assert cert.time < m
+        assert cert.domain == "min-stable"
+
+
+def test_refuted_witness_replays_late(compiled, certs):
+    refuted = [c for c in certs if c.verdict == "refuted"]
+    assert len(refuted) == 1
+    cert = refuted[0]
+    assert cert.domain == "event-sim"
+    waves = two_vector_waveforms(
+        compiled,
+        dict(zip(compiled.inputs, map(bool, cert.facts["v1"]))),
+        dict(zip(compiled.inputs, map(bool, cert.facts["v2"]))),
+    )
+    wave = waves[cert.node]
+    assert wave.settle_time == cert.facts["settle_time"]
+    assert wave.settle_time > cert.time
+
+
+def test_zero_refute_budget_disables_refutation(compiled):
+    certs = precertify(compiled, config=PrecertConfig(refute_budget=0))
+    counts = certs.counts()
+    assert counts["refuted"] == 0
+    # The would-be-refuted root falls back to required; nothing is lost from
+    # the BDD plane's perspective (refuted and required both go there).
+    assert counts["required"] == 4
+    assert counts["discharged"] == 5
+
+
+def test_constant_scan_finds_tied_nets(compiled, certs):
+    # comparator2 has no constant nets; a circuit with one gets a
+    # ternary-allx certificate keyed (net, None).
+    assert all(c.kind != "constant" for c in certs)
+
+
+def test_multi_target_set_shares_obligations(compiled):
+    delta = compiled.critical_delay()
+    targets = [threshold_target(delta, f) for f in (0.5, 0.9)]
+    certs = precertify(compiled, targets=targets)
+    assert certs.targets == tuple(sorted(set(targets)))
+    single = precertify(compiled, targets=[targets[-1]])
+    # Every single-target obligation reappears, same verdict, in the sweep.
+    for cert in single:
+        merged = certs.lookup(cert.node, cert.time)
+        assert merged is not None
+        assert merged.verdict == cert.verdict
+
+
+def test_resolve_targets(compiled):
+    assert resolve_targets(compiled, [7, 3, 7, 5], 0.9) == (3, 5, 7)
+    default = resolve_targets(compiled, None, 0.9)
+    assert default == (threshold_target(compiled.critical_delay(), 0.9),)
+    with pytest.raises(PrecertError, match="at least one target"):
+        resolve_targets(compiled, [], 0.9)
+
+
+def test_config_validation():
+    with pytest.raises(PrecertError, match="refute_budget"):
+        PrecertConfig(refute_budget=-1)

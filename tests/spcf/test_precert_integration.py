@@ -1,0 +1,137 @@
+"""Certificates through the SPCF plane: bit-identity, multiroot, guards."""
+
+import pytest
+
+from repro import obs
+from repro.analysis.precert import PrecertConfig, precertify
+from repro.benchcircuits import circuit_by_name
+from repro.engine import compile_circuit
+from repro.errors import SpcfError
+from repro.spcf import (
+    SpcfContext,
+    spcf_multiroot,
+    spcf_nodebased,
+    spcf_pathbased,
+    spcf_shortpath,
+)
+from repro.sta.timing import threshold_target
+from tests.conftest import random_dag_circuit
+
+ALGORITHMS = (spcf_shortpath, spcf_pathbased, spcf_nodebased)
+
+
+def _canonical(result):
+    """Cross-manager comparable form: output -> ROBDD cube sequence."""
+    return {y: list(fn.cubes()) for y, fn in sorted(result.per_output.items())}
+
+
+def _assert_certs_change_nothing(circuit, threshold=0.9):
+    certs = precertify(circuit, threshold=threshold)
+    for algorithm in ALGORITHMS:
+        plain = algorithm(circuit, threshold=threshold)
+        certified = algorithm(circuit, threshold=threshold, certificates=certs)
+        assert _canonical(certified) == _canonical(plain), algorithm.__name__
+        assert certified.target == plain.target
+
+
+@pytest.mark.parametrize(
+    "name", ["comparator2", "comparator4", "full_adder", "cla4", "cmb", "mux_tree3"]
+)
+def test_builtin_bit_identity(name, lsi_lib):
+    _assert_certs_change_nothing(circuit_by_name(name, lsi_lib))
+
+
+@pytest.mark.parametrize("seed", [3, 17, 29, 51])
+def test_random_dag_bit_identity(seed):
+    c = random_dag_circuit(seed, num_inputs=5, num_gates=14, num_outputs=3)
+    _assert_certs_change_nothing(c)
+
+
+@pytest.mark.parametrize("threshold", [0.5, 0.7])
+def test_bit_identity_across_thresholds(threshold, lsi_lib):
+    _assert_certs_change_nothing(
+        circuit_by_name("comparator2", lsi_lib), threshold=threshold
+    )
+
+
+def test_refutations_preserve_bit_identity(lsi_lib):
+    # Refuted roots still go to the BDD plane; results match with and
+    # without the refutation budget.
+    circuit = circuit_by_name("comparator2", lsi_lib)
+    with_refute = precertify(circuit)
+    without = precertify(circuit, config=PrecertConfig(refute_budget=0))
+    a = spcf_shortpath(circuit, certificates=with_refute)
+    b = spcf_shortpath(circuit, certificates=without)
+    assert _canonical(a) == _canonical(b)
+
+
+def test_multiroot_matches_per_target_sweep(lsi_lib):
+    circuit = circuit_by_name("comparator4", lsi_lib)
+    delta = compile_circuit(circuit).critical_delay()
+    targets = sorted({threshold_target(delta, f) for f in (0.5, 0.7, 0.9)})
+
+    certs = precertify(circuit, targets=targets)
+    multi = spcf_multiroot(circuit, targets=targets, certificates=certs)
+    assert sorted(multi) == targets
+    for tgt in targets:
+        single = spcf_shortpath(circuit, target=tgt)
+        assert multi[tgt].target == tgt  # target_override, not the context's
+        assert _canonical(multi[tgt]) == _canonical(single)
+
+
+def test_multiroot_threshold_spelling(lsi_lib):
+    circuit = circuit_by_name("comparator2", lsi_lib)
+    delta = compile_circuit(circuit).critical_delay()
+    by_threshold = spcf_multiroot(circuit, thresholds=(0.5, 0.9))
+    expected = sorted({threshold_target(delta, f) for f in (0.5, 0.9)})
+    assert sorted(by_threshold) == expected
+
+
+def test_context_rejects_mismatched_certificates(lsi_lib):
+    circuit = circuit_by_name("comparator2", lsi_lib)
+    other_certs = precertify(circuit_by_name("full_adder", lsi_lib))
+    with pytest.raises(SpcfError, match="fingerprint"):
+        SpcfContext(circuit, certificates=other_certs)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_context_and_certificates_conflict(algorithm, lsi_lib):
+    circuit = circuit_by_name("comparator2", lsi_lib)
+    certs = precertify(circuit)
+    ctx = SpcfContext(circuit)
+    with pytest.raises(SpcfError, match="either"):
+        algorithm(circuit, context=ctx, certificates=certs)
+
+
+def test_obligations_skipped_counters(lsi_lib):
+    circuit = circuit_by_name("comparator2", lsi_lib)
+    certs = precertify(circuit)
+    obs.configure(enabled=True)
+    try:
+        spcf_shortpath(circuit, certificates=certs)
+        spcf_pathbased(circuit, certificates=certs)
+        series = obs.metrics_snapshot()["metrics"][
+            "repro_spcf_obligations_skipped_total"
+        ]["series"]
+    finally:
+        obs.configure(enabled=False)
+        obs.reset()
+    assert series.get("algorithm=shortpath", 0) > 0
+    assert series.get("algorithm=pathbased", 0) > 0
+
+
+def test_obligation_totals_published_by_precertify(lsi_lib):
+    circuit = circuit_by_name("comparator2", lsi_lib)
+    obs.configure(enabled=True)
+    try:
+        certs = precertify(circuit)
+        series = obs.metrics_snapshot()["metrics"][
+            "repro_spcf_obligations_total"
+        ]["series"]
+    finally:
+        obs.configure(enabled=False)
+        obs.reset()
+    counts = certs.counts()
+    assert series == {
+        f"verdict={v}": n for v, n in counts.items() if n
+    }
