@@ -1,0 +1,99 @@
+"""JSON round-trip for BDD functions, linear in DAG size.
+
+The wire form is the reduced DAG itself — a postorder list of
+``[var_name, lo_ref, hi_ref]`` nodes (children strictly before parents)
+plus a root reference.  References ``0``/``1`` are the terminals; ``n >= 2``
+points at ``nodes[n - 2]``.
+
+Rebuilding goes through ``var.ite(hi, lo)`` on the target manager, so the
+result is hash-consed and reduced *by construction*: deserializing into a
+manager with the same variable order yields the identical node id the
+source manager held, which is what makes cross-process BDD results
+bit-comparable.  (Path/cube enumeration was rejected for this job — it is
+exponential in the worst case; the DAG is not.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.bdd.manager import BddManager, Function
+from repro.errors import BddError
+
+#: Schema version of the serialized function documents.
+BDD_SCHEMA = 1
+
+
+def _ref(node: int, index: Mapping[int, int]) -> int:
+    return node if node < 2 else index[node]
+
+
+def function_to_json(fn: Function) -> dict[str, Any]:
+    """Serialize a function to a JSON-ready dict (postorder node list)."""
+    mgr = fn.manager
+    index: dict[int, int] = {}
+    nodes: list[list[Any]] = []
+    stack: list[tuple[int, bool]] = [(fn.node, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node < 2 or node in index:
+            continue
+        if expanded:
+            index[node] = len(nodes) + 2
+            nodes.append(
+                [
+                    mgr.name_of(mgr._level[node]),
+                    _ref(mgr._lo[node], index),
+                    _ref(mgr._hi[node], index),
+                ]
+            )
+        else:
+            stack.append((node, True))
+            stack.append((mgr._hi[node], False))
+            stack.append((mgr._lo[node], False))
+    return {"schema": BDD_SCHEMA, "root": _ref(fn.node, index), "nodes": nodes}
+
+
+def function_from_json(mgr: BddManager, data: Mapping[str, Any]) -> Function:
+    """Rebuild a serialized function inside ``mgr``.
+
+    Every variable in the document's support must already be registered in
+    ``mgr``; a missing one raises :class:`~repro.errors.BddError` rather
+    than silently extending the order (the caller owns variable order —
+    it is the canonicity contract).
+    """
+    if data.get("schema") != BDD_SCHEMA:
+        raise BddError(
+            f"unsupported BDD document schema {data.get('schema')!r} "
+            f"(this build reads {BDD_SCHEMA})"
+        )
+    raw_nodes = data.get("nodes")
+    if not isinstance(raw_nodes, list):
+        raise BddError("BDD document has no node list")
+    built: list[Function] = []
+
+    def fn_of(ref: Any) -> Function:
+        if not isinstance(ref, int) or ref < 0:
+            raise BddError(f"malformed BDD node reference {ref!r}")
+        if ref == 0:
+            return mgr.false
+        if ref == 1:
+            return mgr.true
+        if ref - 2 >= len(built):
+            raise BddError(
+                f"BDD node reference {ref} points past the built prefix "
+                "(document is not in postorder)"
+            )
+        return built[ref - 2]
+
+    for entry in raw_nodes:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise BddError(f"malformed BDD node entry {entry!r}")
+        var, lo_ref, hi_ref = entry
+        if not isinstance(var, str):
+            raise BddError(f"BDD node variable {var!r} is not a name")
+        built.append(mgr.var(var).ite(fn_of(hi_ref), fn_of(lo_ref)))
+    return fn_of(data.get("root"))
+
+
+__all__ = ["BDD_SCHEMA", "function_to_json", "function_from_json"]

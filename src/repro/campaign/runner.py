@@ -1,53 +1,52 @@
-"""The resilient campaign runner: isolation, retry, backoff, quarantine.
+"""The resilient campaign runner, re-plumbed onto :mod:`repro.exec`.
 
-Execution model:
+Execution model (unchanged semantics, new substrate):
 
-* Each pending shard is handed to an **isolated worker subprocess**
-  (``repro.campaign.worker``).  A segfault, OOM kill, or hang costs one
-  shard attempt, never the campaign.
+* Each pending shard becomes a ``campaign.shard`` :class:`~repro.exec.Task`
+  dispatched through an executor — :class:`~repro.exec.InlineExecutor`
+  for ``workers=0`` (no isolation, fastest; unit tests and tiny sweeps),
+  or a :class:`~repro.exec.ProcessPoolExecutor` of persistent worker
+  subprocesses otherwise.  A segfault, OOM kill, or hang costs one shard
+  attempt, never the campaign.
 * Every attempt runs under a **per-task timeout**; an expired worker is
   killed and the attempt counted as a failure.
-* Failures that look *environmental* (crash, signal, timeout, garbled
-  pipe) are retried with **exponential backoff plus deterministic
-  jitter**, up to ``max_retries``.  Failures the worker itself reports as
-  deterministic (a :class:`~repro.errors.ReproError` inside the shard)
-  skip the retry budget — re-running the same pure function would spin.
-* A shard that exhausts its budget is **quarantined**: journaled as such,
-  reported under ``incomplete_shards``, and never allowed to wedge the
-  run.  A campaign-level **circuit breaker** aborts dispatch when too many
-  consecutive attempts fail — the signature of a broken environment, not
-  a bad shard.
+* Environmental failures (crash, signal, timeout, garbled pipe) are
+  retried with **exponential backoff plus deterministic jitter**
+  (:class:`~repro.exec.RetryPolicy`); deterministic shard failures skip
+  the retry budget.
+* A shard that exhausts its budget is **quarantined**; a run-wide
+  **circuit breaker** (:class:`~repro.exec.BreakerPolicy`) aborts
+  dispatch when too many consecutive attempts fail.
 * Completed shards are journaled (fsync'd) to the **checkpoint** before
   they count; :func:`resume_campaign` replays the journal and re-runs only
-  what is missing.  Because shards are deterministic and aggregation is
-  order-independent, a resumed campaign's aggregate is bit-identical to an
-  uninterrupted one.
+  what is missing, producing a bit-identical aggregate.
 
-``workers=0`` selects the in-process inline mode (no isolation, fastest;
-used by unit tests and tiny sweeps).
+This module keeps the campaign-facing surface (RunnerConfig,
+CampaignOutcome, run_campaign, resume_campaign, progress events, metric
+series, journal format) exactly as before; the retry loop, subprocess
+management, and breaker now live in :mod:`repro.exec.executors`.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import queue
-import random
-import subprocess
-import sys
-import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping
 
-import repro
 from repro import obs
 from repro.campaign.aggregate import aggregate_results
 from repro.campaign.checkpoint import CheckpointWriter, load_journal
-from repro.campaign.shard import run_shard
-from repro.campaign.spec import CampaignSpec, ShardSpec, derive_seed, plan_campaign
-from repro.errors import CampaignError, ObsError, ReproError
+from repro.campaign.spec import CampaignSpec, ShardSpec, plan_campaign
+from repro.errors import CampaignError
+from repro.exec import (
+    BreakerPolicy,
+    RetryPolicy,
+    Task,
+    TaskResult,
+    make_executor,
+)
 
 #: Callback signature: ``progress(event, shard_index, message)``.
 ProgressFn = Callable[[str, int, str], None]
@@ -103,6 +102,19 @@ class RunnerConfig:
         if self.max_consecutive_failures <= 0:
             raise CampaignError("max_consecutive_failures must be positive")
 
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap,
+            backoff_jitter=self.backoff_jitter,
+        )
+
+    def breaker_policy(self) -> BreakerPolicy:
+        return BreakerPolicy(
+            max_consecutive_failures=self.max_consecutive_failures
+        )
+
 
 @dataclass
 class CampaignOutcome:
@@ -117,257 +129,107 @@ class CampaignOutcome:
         return bool(self.aggregate.get("complete"))
 
 
-class _AttemptFailure(Exception):
-    """One worker attempt failed. ``retryable`` marks environmental causes."""
-
-    def __init__(self, message: str, retryable: bool = True):
-        super().__init__(message)
-        self.retryable = retryable
-
-
-def _child_env() -> dict[str, str]:
-    """Environment for worker subprocesses; guarantees ``repro`` imports."""
-    env = dict(os.environ)
-    src_dir = str(Path(repro.__file__).resolve().parent.parent)
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = (
-        src_dir if not existing else src_dir + os.pathsep + existing
+def _shard_task(shard: ShardSpec) -> Task:
+    """A campaign shard as a content-addressed executor task."""
+    return Task(
+        kind="campaign.shard",
+        payload={"shard": shard.to_json()},
+        key=shard.index,
+        span_name="campaign.shard",
+        span_category="campaign",
+        span_attrs={
+            "shard": shard.index,
+            "circuit": shard.circuit,
+            "mode": shard.mode_key,
+        },
+        attempt_attrs={"shard": shard.index},
     )
-    # Workers inherit the runner's observability state so their spans and
-    # metric snapshots come back across the JSON-over-stdio protocol.
-    if obs.enabled():
-        env[obs.ENV_VAR] = "1"
-    else:
-        env.pop(obs.ENV_VAR, None)
-    return env
 
 
-def _attempt_subprocess(
-    shard: ShardSpec,
-    attempt: int,
-    sabotage: dict | None,
-    timeout: float,
-) -> tuple[dict, dict | None]:
-    request = {
-        "shard": shard.to_json(),
-        "attempt": attempt,
-        "sabotage": sabotage,
+def _shard_obs_record(result: TaskResult) -> dict | None:
+    """Journalable telemetry for one completed shard.
+
+    Worker spans/metrics were already ingested into the parent registry by
+    the executor at attempt completion; here we only keep the journalable
+    copy so a resumed campaign can rebuild the aggregate's telemetry
+    section without re-running the shard.
+    """
+    if not _METER.enabled:
+        return None
+    record: dict = {
+        "wall_seconds": round(result.wall_seconds, 6),
+        "attempts": result.attempts,
     }
-    proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.campaign.worker"],
-        stdin=subprocess.PIPE,
-        stdout=subprocess.PIPE,
-        stderr=subprocess.PIPE,
-        text=True,
-        env=_child_env(),
-    )
-    try:
-        out, err = proc.communicate(json.dumps(request), timeout=timeout)
-    except subprocess.TimeoutExpired:
-        proc.kill()
-        proc.communicate()
-        raise _AttemptFailure(f"worker timed out after {timeout:g}s") from None
-    payload: dict | None = None
-    try:
-        payload = json.loads(out) if out.strip() else None
-    except ValueError:
-        payload = None
-    if proc.returncode != 0:
-        if payload and "error" in payload:
-            # The worker ran the shard and reported a deterministic error.
-            raise _AttemptFailure(payload["error"], retryable=False)
-        cause = (
-            f"killed by signal {-proc.returncode}"
-            if proc.returncode < 0
-            else f"exited {proc.returncode}"
-        )
-        tail = err.strip().splitlines()[-1] if err and err.strip() else ""
-        raise _AttemptFailure(f"worker {cause}" + (f" ({tail})" if tail else ""))
-    if not payload or "result" not in payload:
-        raise _AttemptFailure("worker produced no parseable result")
-    result = payload["result"]
-    if result.get("shard") != shard.index:
-        raise _AttemptFailure(
-            f"worker answered for shard {result.get('shard')!r}, "
-            f"expected {shard.index}", retryable=False,
-        )
-    worker_obs = payload.get("obs")
-    return result, worker_obs if isinstance(worker_obs, dict) else None
+    worker_obs = result.worker_obs
+    if worker_obs:
+        metrics = worker_obs.get("metrics")
+        if metrics:
+            record["metrics"] = metrics
+        if isinstance(worker_obs.get("wall_seconds"), (int, float)):
+            record["worker_wall_seconds"] = round(
+                worker_obs["wall_seconds"], 6
+            )
+    return record
 
 
-def _backoff_delay(config: RunnerConfig, shard: ShardSpec, attempt: int) -> float:
-    """Exponential backoff with deterministic per-(shard, attempt) jitter."""
-    delay = min(config.backoff_cap, config.backoff_base * (2.0 ** attempt))
-    rng = random.Random(derive_seed(shard.seed, "backoff", attempt))
-    return delay * (1.0 + config.backoff_jitter * rng.random())
+class _Bookkeeper:
+    """Bridges executor callbacks to journal, metrics, and progress."""
 
-
-class _Dispatcher:
-    """Shared mutable state of one campaign execution."""
-
-    def __init__(
-        self,
-        config: RunnerConfig,
-        writer: CheckpointWriter,
-        sabotage: Mapping[int, dict] | None,
-        progress: ProgressFn | None,
-    ):
-        self.config = config
+    def __init__(self, writer: CheckpointWriter, progress: ProgressFn | None):
         self.writer = writer
-        self.sabotage = dict(sabotage or {})
         self.progress = progress
         self.results: dict[int, dict] = {}
         self.quarantined: dict[int, dict] = {}
         self.shard_obs: dict[int, dict] = {}
-        #: id of the enclosing ``campaign.run`` span; shard spans run on
-        #: dispatcher threads, so nesting must be passed explicitly.
-        self.run_span_id: int | None = None
-        self.attempts_made = 0
-        self.stop = threading.Event()
-        self.breaker_reason: str | None = None
-        self._lock = threading.Lock()
-        self._consecutive = 0
 
     def _emit(self, event: str, index: int, message: str) -> None:
         if self.progress is not None:
             self.progress(event, index, message)
 
-    def _note_failure(self, message: str) -> None:
-        with self._lock:
-            self.attempts_made += 1
-            self._consecutive += 1
-            if (
-                self._consecutive >= self.config.max_consecutive_failures
-                and not self.stop.is_set()
-            ):
-                self.breaker_reason = (
-                    f"circuit breaker: {self._consecutive} consecutive "
-                    f"failed attempts (last: {message})"
-                )
-                self.stop.set()
-                _BREAKER_TRIPS.add()
+    def on_event(self, event: str, task: Task, message: str, info: dict) -> None:
+        index = int(task.key)
+        if event == "attempt-started":
+            _ATTEMPTS.add()
+        elif event == "attempt-failed":
+            _ATTEMPT_FAILURES.add(
+                1, retryable="true" if info.get("retryable") else "false"
+            )
+            self._emit("attempt-failed", index, message)
+        elif event == "retry":
+            _RETRIES.add()
+        elif event == "breaker":
+            _BREAKER_TRIPS.add()
+        elif event == "task-done":
+            if _METER.enabled:
+                _SHARDS_COMPLETED.add()
+                _SHARD_SECONDS.observe(info.get("wall_seconds", 0.0))
+            self._emit(
+                "shard-done", index, f"attempts={info.get('attempts', 0)}"
+            )
+        elif event == "quarantined":
+            _QUARANTINED.add()
+            self._emit("quarantined", index, message)
 
-    def _note_success(self) -> None:
-        with self._lock:
-            self.attempts_made += 1
-            self._consecutive = 0
-
-    def run_one(self, shard: ShardSpec) -> None:
-        with _TRACER.span(
-            "campaign.shard",
-            parent_id=self.run_span_id,
-            shard=shard.index,
-            circuit=shard.circuit,
-            mode=shard.mode_key,
-        ) as shard_span:
-            started = time.perf_counter()
-            failures: list[str] = []
-            attempt = 0
-            worker_obs: dict | None = None
-            while attempt <= self.config.max_retries:
-                if self.stop.is_set():
-                    shard_span.set(outcome="stopped")
-                    return
-                _ATTEMPTS.add()
-                try:
-                    with _TRACER.span(
-                        "campaign.attempt", shard=shard.index, attempt=attempt
-                    ):
-                        if self.config.workers == 0:
-                            try:
-                                result = run_shard(shard)
-                            except ReproError as exc:
-                                raise _AttemptFailure(
-                                    f"{type(exc).__name__}: {exc}",
-                                    retryable=False,
-                                ) from exc
-                            worker_obs = None
-                        else:
-                            result, worker_obs = _attempt_subprocess(
-                                shard,
-                                attempt,
-                                self.sabotage.get(shard.index),
-                                self.config.task_timeout,
-                            )
-                except _AttemptFailure as exc:
-                    failures.append(str(exc))
-                    self._note_failure(str(exc))
-                    _ATTEMPT_FAILURES.add(
-                        1, retryable="true" if exc.retryable else "false"
-                    )
-                    self._emit(
-                        "attempt-failed", shard.index,
-                        f"attempt {attempt + 1}: {exc}",
-                    )
-                    if not exc.retryable:
-                        break
-                    attempt += 1
-                    if attempt <= self.config.max_retries and not self.stop.is_set():
-                        _RETRIES.add()
-                        time.sleep(_backoff_delay(self.config, shard, attempt - 1))
-                    continue
-                self._note_success()
-                obs_record = self._shard_obs_record(
-                    attempt + 1, time.perf_counter() - started, worker_obs
-                )
-                with self._lock:
-                    self.results[shard.index] = result
-                    if obs_record is not None:
-                        self.shard_obs[shard.index] = obs_record
-                self.writer.shard_done(
-                    shard.index, attempt + 1, result, obs_record=obs_record
-                )
-                self._emit("shard-done", shard.index, f"attempts={attempt + 1}")
-                if _METER.enabled:
-                    _SHARDS_COMPLETED.add()
-                    _SHARD_SECONDS.observe(time.perf_counter() - started)
-                    shard_span.set(outcome="done", attempts=attempt + 1)
-                return
-            error = failures[-1] if failures else "no attempt made"
-            record = {
+    def on_result(self, result: TaskResult) -> None:
+        """Journal a settled shard (done or quarantined) durably."""
+        index = int(result.task.key)
+        if result.outcome == "done":
+            obs_record = _shard_obs_record(result)
+            self.results[index] = result.value
+            if obs_record is not None:
+                self.shard_obs[index] = obs_record
+            self.writer.shard_done(
+                index, result.attempts, result.value, obs_record=obs_record
+            )
+        elif result.outcome == "quarantined":
+            error = result.error or "no attempt made"
+            self.quarantined[index] = {
                 "kind": "quarantine",
-                "shard": shard.index,
-                "attempts": len(failures),
+                "shard": index,
+                "attempts": result.attempts,
                 "error": error,
             }
-            with self._lock:
-                self.quarantined[shard.index] = record
-            self.writer.quarantine(shard.index, len(failures), error)
-            _QUARANTINED.add()
-            shard_span.set(outcome="quarantined", attempts=len(failures))
-            self._emit("quarantined", shard.index, error)
-
-    def _shard_obs_record(
-        self, attempts: int, wall: float, worker_obs: dict | None
-    ) -> dict | None:
-        """Journalable telemetry for one completed shard.
-
-        Worker spans are adopted into the runner's collector (remapped ids,
-        same epoch timeline); the worker's metric snapshot is merged into
-        the runner's registry *and* kept in the journal record so a resumed
-        campaign can rebuild the aggregate's telemetry section without
-        re-running the shard.
-        """
-        if not _METER.enabled:
-            return None
-        record: dict = {"wall_seconds": round(wall, 6), "attempts": attempts}
-        if worker_obs:
-            try:
-                spans = worker_obs.get("spans")
-                if spans:
-                    obs.ingest_spans(spans)
-                metrics = worker_obs.get("metrics")
-                if metrics:
-                    obs.merge_metrics(metrics)
-                    record["metrics"] = metrics
-            except ObsError:
-                # Telemetry must never fail a shard that computed fine.
-                pass
-            if isinstance(worker_obs.get("wall_seconds"), (int, float)):
-                record["worker_wall_seconds"] = round(
-                    worker_obs["wall_seconds"], 6
-                )
-        return record
+            self.writer.quarantine(index, result.attempts, error)
 
 
 def _execute(
@@ -392,7 +254,7 @@ def _execute(
                 f"{len(plan)} shards"
             )
     pending = [shard for shard in plan if shard.index not in prior_results]
-    dispatcher = _Dispatcher(config, writer, sabotage, progress)
+    books = _Bookkeeper(writer, progress)
 
     started = time.monotonic()
     with _TRACER.span(
@@ -402,50 +264,36 @@ def _execute(
         pending=len(pending),
         workers=config.workers,
     ) as run_span:
-        dispatcher.run_span_id = getattr(run_span, "id", None)
-        if config.workers == 0 or len(pending) <= 1:
-            for shard in pending:
-                if dispatcher.stop.is_set():
-                    break
-                dispatcher.run_one(shard)
-        else:
-            work: queue.SimpleQueue[ShardSpec] = queue.SimpleQueue()
-            for shard in pending:
-                work.put(shard)
-
-            def loop() -> None:
-                while not dispatcher.stop.is_set():
-                    try:
-                        shard = work.get_nowait()
-                    except queue.Empty:
-                        return
-                    dispatcher.run_one(shard)
-
-            threads = [
-                threading.Thread(target=loop, name=f"campaign-worker-{i}")
-                for i in range(min(config.workers, len(pending)))
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
+        with make_executor(
+            config.workers,
+            retry=config.retry_policy(),
+            breaker=config.breaker_policy(),
+            task_timeout=config.task_timeout,
+            events=books.on_event,
+        ) as executor:
+            executor.parent_span_id = getattr(run_span, "id", None)
+            report = executor.run(
+                [_shard_task(shard) for shard in pending],
+                on_result=books.on_result,
+                sabotage=sabotage,
+            )
     wall = time.monotonic() - started
 
     merged = dict(prior_results)
-    merged.update(dispatcher.results)
+    merged.update(books.results)
     shard_obs = dict(prior_obs or {})
-    shard_obs.update(dispatcher.shard_obs)
+    shard_obs.update(books.shard_obs)
     aggregate = aggregate_results(
-        spec, plan, merged, dispatcher.quarantined, shard_obs=shard_obs
+        spec, plan, merged, books.quarantined, shard_obs=shard_obs
     )
     stats = {
         "shards_total": len(plan),
         "shards_previously_done": len(prior_results),
-        "shards_run": len(dispatcher.results),
-        "shards_quarantined": len(dispatcher.quarantined),
-        "attempts": dispatcher.attempts_made,
+        "shards_run": len(books.results),
+        "shards_quarantined": len(books.quarantined),
+        "attempts": report.attempts,
         "wall_seconds": wall,
-        "aborted": dispatcher.breaker_reason,
+        "aborted": report.breaker_reason,
     }
     return CampaignOutcome(
         aggregate=aggregate, checkpoint=writer.path, stats=stats

@@ -1,52 +1,62 @@
-"""Single-shot campaign worker: one shard spec in, one result out.
+"""Campaign shard task: the ``campaign.shard`` runner for repro.exec.
 
-Runs as ``python -m repro.campaign.worker``.  The parent writes a JSON
-request on stdin and reads a JSON response on stdout; anything that goes
-wrong — a crash, an OOM kill, a hang past the runner's timeout — costs
-exactly this process and therefore exactly one shard attempt.
+:func:`run_shard_task` / :func:`shard_task_span` are the registry entries
+the generic execution substrate resolves — the persistent worker pool
+(:mod:`repro.exec.worker`) calls them for every ``campaign.shard`` task,
+wrapping the run in the same ``campaign.worker_shard`` span the original
+single-shot worker opened.
 
-The request may carry a ``sabotage`` directive.  That is the campaign's
-built-in fault drill: CI and the kill-and-resume tests use it to make a
-worker SIGKILL itself, hang, or exit nonzero on demand, proving the
-runner's isolation/retry/quarantine story against *real* process death
-rather than mocks.  Sabotage is a runner option, never part of the shard
-spec, so checkpoints and fingerprints are untouched by drills.
+The single-shot protocol (``python -m repro.campaign.worker``: one JSON
+request on stdin, one response on stdout, exit nonzero on deterministic
+failure) is kept as a compatibility shim for drills and ad-hoc debugging;
+the campaign runner itself now dispatches through the pool.
+
+Sabotage directives (SIGKILL self, hang, exit nonzero) live in
+:mod:`repro.exec.worker` now; the names are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import signal
 import sys
 import time
+from typing import Any, Mapping
 
 from repro import obs
 from repro.campaign.shard import run_shard
 from repro.campaign.spec import SCHEMA_VERSION, ShardSpec
 from repro.errors import ReproError
+from repro.exec.protocol import SABOTAGE_MODES, apply_sabotage
 
-#: Sabotage directives the drill understands.
-SABOTAGE_MODES = ("kill", "hang", "exit")
+__all__ = [
+    "SABOTAGE_MODES",
+    "apply_sabotage",
+    "run_shard_task",
+    "shard_task_span",
+    "main",
+]
 
 
-def apply_sabotage(directive: dict | None, attempt: int) -> None:
-    """Carry out a fault drill if it applies to this attempt."""
-    if not directive:
-        return
-    if attempt >= int(directive.get("attempts", 1 << 30)):
-        return
-    mode = directive.get("mode")
-    if mode == "kill":
-        os.kill(os.getpid(), signal.SIGKILL)
-    elif mode == "hang":
-        time.sleep(float(directive.get("seconds", 3600.0)))
-    elif mode == "exit":
-        sys.exit(int(directive.get("code", 3)))
-    else:
-        raise ValueError(
-            f"unknown sabotage mode {mode!r}; choose from {SABOTAGE_MODES}"
-        )
+def run_shard_task(payload: dict) -> dict:
+    """Registry runner for ``campaign.shard``: payload holds the shard JSON."""
+    return run_shard(ShardSpec.from_json(payload["shard"]))
+
+
+def shard_task_span(
+    payload: dict, attempt: int
+) -> tuple[str, str, Mapping[str, Any]]:
+    """Worker-span factory for ``campaign.shard`` tasks."""
+    shard = payload.get("shard") or {}
+    attrs: dict[str, Any] = {
+        "shard": shard.get("index"),
+        "circuit": shard.get("circuit"),
+        "attempt": attempt,
+    }
+    try:
+        attrs["mode"] = ShardSpec.from_json(shard).mode_key
+    except ReproError:
+        pass
+    return ("campaign", "campaign.worker_shard", attrs)
 
 
 def main() -> int:

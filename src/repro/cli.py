@@ -5,6 +5,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro list
     python -m repro report C432
     python -m repro spcf C432 --algorithm all
+    python -m repro spcf comparator2 --precert --jobs 4
     python -m repro mask C432 --out masked.blif --mask-out mask.blif
     python -m repro lint C432 --format json
     python -m repro lint all --fail-on warning --baseline lint.baseline.json
@@ -81,7 +82,8 @@ from repro.analysis import (
 from repro.analysis.absint import AbsintConfig, analyze_circuit, analyze_suite
 from repro.core import build_masked_design, mask_circuit, synthesize_masking
 from repro.engine import available_backends, numpy_available, validated_backend_name
-from repro.errors import BlifError, CampaignError, ReproError
+from repro.errors import BlifError, CampaignError, ExecError, ReproError
+from repro.exec import available_backends as exec_backends, default_worker_count
 from repro.netlist import (
     Circuit,
     Library,
@@ -90,7 +92,13 @@ from repro.netlist import (
     write_blif_file,
     write_verilog_file,
 )
-from repro.spcf import compare_algorithms, spcf_nodebased, spcf_pathbased, spcf_shortpath
+from repro.spcf import (
+    compare_algorithms,
+    spcf_nodebased,
+    spcf_parallel,
+    spcf_pathbased,
+    spcf_shortpath,
+)
 from repro.sta import analyze
 
 
@@ -116,6 +124,25 @@ def _load_circuit(spec: str, library: Library, validate: bool = True) -> Circuit
     if path.exists():
         return read_blif(path, library=library, validate=validate)
     return circuit_by_name(spec, library)
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type for worker/job counts: ``0`` = inline, ``< 0`` rejected.
+
+    Validating here keeps a bad ``--jobs -1`` an argument error (usage +
+    exit 2) instead of a failure deep inside pool startup.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"worker count {value} must be >= 0 (0 = inline)"
+        )
+    return value
 
 
 def _fmt_count(n: int) -> str:
@@ -155,6 +182,11 @@ def cmd_spcf(args: argparse.Namespace) -> int:
     library = builtin_library(args.library)
     circuit = _load_circuit(args.circuit, library)
     if args.algorithm == "all":
+        if args.jobs is not None or args.precert:
+            raise ExecError(
+                "--jobs/--precert do not apply to --algorithm all "
+                "(the comparison times each serial algorithm)"
+            )
         row = compare_algorithms(circuit, threshold=args.threshold)
         print(f"node-based : {_fmt_count(row.node_based_count):>12s}  "
               f"({row.node_based_runtime:.3f}s)")
@@ -164,19 +196,43 @@ def cmd_spcf(args: argparse.Namespace) -> int:
               f"({row.short_path_runtime:.3f}s)")
         print(f"over-approximation factor: {row.over_approximation_factor:.2f}x")
         return 0
-    algo = {
-        "short": spcf_shortpath,
-        "path": spcf_pathbased,
-        "node": spcf_nodebased,
-    }[args.algorithm]
-    result = algo(circuit, threshold=args.threshold)
+    certificates = None
+    if args.precert:
+        from repro.analysis.precert import precertify
+
+        certificates = precertify(circuit, threshold=args.threshold)
+    if args.jobs is not None:
+        if args.algorithm != "short":
+            raise ExecError(
+                "--jobs parallelizes the short-path algorithm; "
+                f"use --algorithm short, not {args.algorithm!r}"
+            )
+        result = spcf_parallel(
+            circuit,
+            threshold=args.threshold,
+            certificates=certificates,
+            jobs=args.jobs,
+        )
+        print(f"jobs      : {args.jobs} "
+              f"({'inline' if args.jobs == 0 else 'process pool'})")
+    else:
+        algo = {
+            "short": spcf_shortpath,
+            "path": spcf_pathbased,
+            "node": spcf_nodebased,
+        }[args.algorithm]
+        result = algo(
+            circuit, threshold=args.threshold, certificates=certificates
+        )
     print(f"algorithm : {result.algorithm}")
     print(f"target    : {result.target}")
     for y, count in sorted(result.counts_by_output().items()):
         print(f"  {y:16s} {_fmt_count(count):>14s} critical patterns")
+    for y, reason in sorted(result.incomplete.items()):
+        print(f"  {y:16s} {'INCOMPLETE':>14s} {reason}")
     print(f"union     : {_fmt_count(result.count()):>14s} "
           f"({result.runtime_seconds:.3f}s)")
-    return 0
+    return 0 if result.is_complete else 1
 
 
 def cmd_mask(args: argparse.Namespace) -> int:
@@ -523,6 +579,9 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"engine backends   : {', '.join(available_backends())}")
     print(f"default backend   : {validated_backend_name()}")
     print(f"numpy             : {'available' if numpy_available() else 'not available'}")
+    print(f"executor backends : {', '.join(exec_backends())}")
+    print(f"cpu count         : {os.cpu_count() or 'unknown'}")
+    print(f"default workers   : {default_worker_count()}")
     print(f"observability     : {obs_state}"
           + (f" (via {', '.join(sources)})" if sources else ""))
     print(f"library (selected): {args.library}")
@@ -588,6 +647,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="short", choices=("short", "path", "node", "all")
     )
     p.add_argument("--threshold", type=float, default=0.9)
+    p.add_argument(
+        "--jobs",
+        type=_nonneg_int,
+        default=None,
+        metavar="N",
+        help="fan per-output SPCF across N worker processes "
+        "(0 = inline through the executor; default: serial)",
+    )
+    p.add_argument(
+        "--precert",
+        action="store_true",
+        help="statically pre-certify obligations first and feed the "
+        "certificates into the SPCF compile",
+    )
     p.set_defaults(func=cmd_spcf)
 
     p = sub.add_parser(
@@ -747,7 +820,7 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("--threshold", type=float, default=0.9)
 
     def add_runner_options(cp: argparse.ArgumentParser) -> None:
-        cp.add_argument("--workers", type=int, default=2,
+        cp.add_argument("--workers", type=_nonneg_int, default=2,
                         help="worker subprocesses; 0 runs shards inline")
         cp.add_argument("--timeout", type=float, default=300.0,
                         help="per-shard attempt timeout in seconds")

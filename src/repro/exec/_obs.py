@@ -1,0 +1,30 @@
+"""Observability handles for the execution substrate.
+
+One module owns the tracer and instruments so every backend agrees on
+names and labels:
+
+* ``repro_exec_tasks_total{backend, outcome}`` — tasks finished, by
+  terminal outcome (``done`` / ``quarantined`` / ``stopped``),
+* ``repro_exec_task_wall_seconds{backend}`` — wall seconds per finished
+  task, including retries and backoff sleeps.
+
+Both are published by the executor on the parent side regardless of
+backend, so worker metric snapshots merge commutatively on top without
+double-counting (workers never run an executor themselves).
+"""
+
+from __future__ import annotations
+
+from repro import obs
+
+TRACER = obs.get_tracer("exec")
+METER = obs.get_meter()
+
+TASKS = METER.counter(
+    "repro_exec_tasks_total",
+    "tasks finished by the execution substrate (labels: backend, outcome)",
+)
+TASK_SECONDS = METER.histogram(
+    "repro_exec_task_wall_seconds",
+    "wall seconds per finished task, retries and backoff included",
+)

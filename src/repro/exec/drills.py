@@ -1,0 +1,37 @@
+"""Built-in drill tasks for exercising the substrate.
+
+``exec.probe`` is the test/CI workhorse: it can sleep, report its pid (so
+tests can prove process isolation or worker reuse), echo a value, or raise
+a deterministic error on demand.  Real failure injection — SIGKILL, hangs,
+nonzero exits — goes through the worker protocol's ``sabotage`` directive
+instead (see :mod:`repro.exec.worker`), because those must kill a *real*
+process, not simulate one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.errors import ExecError
+
+
+def run_probe(payload: dict) -> dict:
+    """Echo task: optional sleep, optional deterministic failure.
+
+    Payload keys (all optional):
+
+    * ``value`` — echoed back in the result,
+    * ``sleep`` — seconds to sleep before answering,
+    * ``raise`` — message; raises :class:`ExecError` (a deterministic,
+      non-retryable failure) instead of answering.
+    """
+    if payload.get("raise"):
+        raise ExecError(str(payload["raise"]))
+    sleep = float(payload.get("sleep", 0.0))
+    if sleep > 0:
+        time.sleep(sleep)
+    return {"value": payload.get("value"), "pid": os.getpid()}
+
+
+__all__ = ["run_probe"]

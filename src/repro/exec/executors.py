@@ -1,0 +1,723 @@
+"""Pluggable executors: one retry/quarantine/breaker loop, three backends.
+
+:class:`Executor` owns the whole resilience story that used to be welded
+into the campaign runner — per-task retry with deterministic backoff
+(:class:`~repro.exec.policy.RetryPolicy`), quarantine of tasks that
+exhaust their budget, and a run-wide circuit breaker
+(:class:`~repro.exec.policy.BreakerPolicy`).  Backends differ only in how
+one *attempt* runs:
+
+========== ===================== ========== ======== =================
+backend    attempt runs in       isolation  timeout  sabotage drills
+========== ===================== ========== ======== =================
+inline     the calling thread    none       no       no
+thread     a dispatch thread     none       no       no
+process    a persistent worker   full       yes      yes
+           subprocess
+========== ===================== ========== ======== =================
+
+The process backend generalizes the campaign's single-shot JSON-over-stdio
+worker into a **persistent pool**: each dispatch thread owns one
+``python -m repro.exec.worker`` subprocess and feeds it request lines,
+so interpreter startup is paid once per worker, not once per task, and
+worker-side caches survive across tasks.  A worker that crashes, hangs
+past ``task_timeout``, or is sabotaged is killed and respawned; the
+failure costs one attempt, never the run.
+
+Worker telemetry (spans + metric deltas) is ingested/merged into the
+parent's registry here, at attempt completion — consumers receive the raw
+payload on :attr:`TaskResult.worker_obs` for journaling but must not merge
+it again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import select
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+import repro
+from repro import obs
+from repro.errors import ExecError, ObsError
+from repro.exec import _obs
+from repro.exec.policy import BreakerPolicy, RetryPolicy
+from repro.exec.registry import resolve
+from repro.exec.protocol import DETERMINISTIC_ERRORS, EXEC_SCHEMA
+from repro.exec.task import Task, TaskResult
+
+#: Event callback: ``events(event, task, message, info)`` with events
+#: ``attempt-started`` / ``attempt-failed`` / ``retry`` / ``task-done`` /
+#: ``quarantined`` / ``breaker``.
+EventFn = Callable[[str, Task, str, dict], None]
+
+#: Result callback, invoked once per *settled* task (done or quarantined),
+#: in completion order, from dispatch threads.
+ResultFn = Callable[[TaskResult], None]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the executor backends this build offers."""
+    return ("inline", "thread", "process")
+
+
+def default_worker_count() -> int:
+    """Default process-pool size: the machine's cores, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def validated_jobs(jobs: int) -> int:
+    """Eager validation of a ``--jobs``/worker count.
+
+    Rejects negatives up front (instead of failing deep inside pool
+    startup); ``0`` uniformly selects the inline backend.
+    """
+    try:
+        jobs = int(jobs)
+    except (TypeError, ValueError):
+        raise ExecError(f"worker count {jobs!r} must be an integer") from None
+    if jobs < 0:
+        raise ExecError(f"worker count {jobs} must be >= 0 (0 = inline)")
+    return jobs
+
+
+class TaskAttemptError(Exception):
+    """One attempt failed.  ``retryable`` marks environmental causes."""
+
+    def __init__(self, message: str, retryable: bool = True):
+        super().__init__(message)
+        self.retryable = retryable
+
+
+@dataclass
+class ExecReport:
+    """What one :meth:`Executor.run` call produced."""
+
+    results: dict[Any, TaskResult] = field(default_factory=dict)
+    attempts: int = 0
+    wall_seconds: float = 0.0
+    breaker_reason: str | None = None
+
+    @property
+    def done(self) -> dict[Any, TaskResult]:
+        return {k: r for k, r in self.results.items() if r.outcome == "done"}
+
+    @property
+    def quarantined(self) -> dict[Any, TaskResult]:
+        return {
+            k: r for k, r in self.results.items()
+            if r.outcome == "quarantined"
+        }
+
+    @property
+    def complete(self) -> bool:
+        return all(r.outcome == "done" for r in self.results.values())
+
+
+class _RunState:
+    """Mutable state shared by the dispatch threads of one run."""
+
+    def __init__(self, breaker: BreakerPolicy):
+        self.breaker = breaker
+        self.stop = threading.Event()
+        self.breaker_reason: str | None = None
+        self.attempts = 0
+        self.results: dict[Any, TaskResult] = {}
+        self.lock = threading.Lock()
+        self._consecutive = 0
+
+    def note_failure(self, message: str) -> bool:
+        """Record a failed attempt; True if this one tripped the breaker."""
+        with self.lock:
+            self.attempts += 1
+            self._consecutive += 1
+            if not self.stop.is_set():
+                reason = self.breaker.trip_reason(self._consecutive, message)
+                if reason is not None:
+                    self.breaker_reason = reason
+                    self.stop.set()
+                    return True
+        return False
+
+    def note_success(self) -> None:
+        with self.lock:
+            self.attempts += 1
+            self._consecutive = 0
+
+
+class Executor:
+    """Base class: the retry/quarantine/breaker loop over abstract attempts.
+
+    Subclasses implement :meth:`_attempt` (run one attempt, return
+    ``(value, worker_obs)`` or raise :class:`TaskAttemptError`) and declare
+    their ``backend`` name and parallelism.
+    """
+
+    backend = "abstract"
+
+    def __init__(
+        self,
+        retry: RetryPolicy | None = None,
+        breaker: BreakerPolicy | None = None,
+        task_timeout: float = 300.0,
+        events: EventFn | None = None,
+        parent_span_id: int | None = None,
+    ):
+        if task_timeout <= 0:
+            raise ExecError(f"task_timeout {task_timeout} must be positive")
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker or BreakerPolicy()
+        self.task_timeout = task_timeout
+        self.events = events
+        #: Parent span id for per-task spans (dispatch threads cannot rely
+        #: on implicit nesting).  Settable between runs.
+        self.parent_span_id = parent_span_id
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Release backend resources (worker subprocesses)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def parallelism(self) -> int:
+        return 1
+
+    def _emit(self, event: str, task: Task, message: str, **info: Any) -> None:
+        if self.events is not None:
+            self.events(event, task, message, info)
+
+    def _sabotage_for(self, task: Task) -> dict | None:
+        return None
+
+    def _attempt(
+        self, slot: int, task: Task, attempt: int
+    ) -> tuple[Any, dict | None]:
+        raise NotImplementedError
+
+    def _run_inline_attempt(self, task: Task) -> Any:
+        """Shared inline/thread attempt: resolve and call the runner."""
+        runner = resolve(task.kind)
+        try:
+            return runner(dict(task.payload))
+        except DETERMINISTIC_ERRORS as exc:
+            raise TaskAttemptError(
+                f"{type(exc).__name__}: {exc}", retryable=False
+            ) from exc
+
+    # ------------------------------------------------------------- the loop
+
+    def _run_task(
+        self,
+        slot: int,
+        task: Task,
+        state: _RunState,
+        on_result: ResultFn | None,
+    ) -> None:
+        tracer = obs.get_tracer(task.span_category)
+        span_name = task.span_name or "exec.task"
+        with tracer.span(
+            span_name, parent_id=self.parent_span_id, **dict(task.span_attrs)
+        ) as task_span:
+            started = time.perf_counter()
+            failures: list[str] = []
+            attempt = 0
+            worker_obs: dict | None = None
+            while attempt <= self.retry.max_retries:
+                if state.stop.is_set():
+                    task_span.set(outcome="stopped")
+                    result = TaskResult(
+                        task=task,
+                        outcome="stopped",
+                        attempts=len(failures),
+                        failures=tuple(failures),
+                        wall_seconds=time.perf_counter() - started,
+                    )
+                    with state.lock:
+                        state.results[task.key] = result
+                    if _obs.METER.enabled:
+                        _obs.TASKS.add(1, backend=self.backend, outcome="stopped")
+                    return
+                self._emit("attempt-started", task, f"attempt {attempt + 1}")
+                try:
+                    with _obs.TRACER.span(
+                        "exec.attempt",
+                        kind=task.kind,
+                        attempt=attempt,
+                        **dict(task.attempt_attrs),
+                    ):
+                        value, worker_obs = self._attempt(slot, task, attempt)
+                except TaskAttemptError as exc:
+                    failures.append(str(exc))
+                    tripped = state.note_failure(str(exc))
+                    if tripped:
+                        self._emit(
+                            "breaker", task, state.breaker_reason or str(exc)
+                        )
+                    self._emit(
+                        "attempt-failed", task,
+                        f"attempt {attempt + 1}: {exc}",
+                        retryable=exc.retryable, attempt=attempt,
+                    )
+                    if not exc.retryable:
+                        break
+                    attempt += 1
+                    if attempt <= self.retry.max_retries and not state.stop.is_set():
+                        self._emit("retry", task, f"attempt {attempt + 1} next")
+                        time.sleep(self.retry.delay(task, attempt - 1))
+                    continue
+                state.note_success()
+                wall = time.perf_counter() - started
+                result = TaskResult(
+                    task=task,
+                    outcome="done",
+                    value=value,
+                    attempts=attempt + 1,
+                    failures=tuple(failures),
+                    wall_seconds=wall,
+                    worker_obs=worker_obs,
+                )
+                with state.lock:
+                    state.results[task.key] = result
+                if on_result is not None:
+                    on_result(result)
+                self._emit(
+                    "task-done", task, f"attempts={attempt + 1}",
+                    attempts=attempt + 1, wall_seconds=wall,
+                )
+                if _obs.METER.enabled:
+                    _obs.TASKS.add(1, backend=self.backend, outcome="done")
+                    _obs.TASK_SECONDS.observe(wall, backend=self.backend)
+                task_span.set(outcome="done", attempts=attempt + 1)
+                return
+            error = failures[-1] if failures else "no attempt made"
+            wall = time.perf_counter() - started
+            result = TaskResult(
+                task=task,
+                outcome="quarantined",
+                attempts=len(failures),
+                error=error,
+                failures=tuple(failures),
+                wall_seconds=wall,
+            )
+            with state.lock:
+                state.results[task.key] = result
+            if on_result is not None:
+                on_result(result)
+            self._emit("quarantined", task, error, attempts=len(failures))
+            if _obs.METER.enabled:
+                _obs.TASKS.add(1, backend=self.backend, outcome="quarantined")
+                _obs.TASK_SECONDS.observe(wall, backend=self.backend)
+            task_span.set(outcome="quarantined", attempts=len(failures))
+
+    def run(
+        self,
+        tasks: Sequence[Task],
+        on_result: ResultFn | None = None,
+        sabotage: Mapping[Any, dict] | None = None,
+    ) -> ExecReport:
+        """Run every task to a terminal outcome; never raises for task
+        failures (only for misuse/misconfiguration)."""
+        if sabotage:
+            raise ExecError(
+                f"sabotage drills require the process backend, "
+                f"not {self.backend!r}"
+            )
+        return self._run(list(tasks), on_result)
+
+    def _run(self, tasks: list[Task], on_result: ResultFn | None) -> ExecReport:
+        keys = [t.key for t in tasks]
+        if len(set(keys)) != len(keys):
+            raise ExecError("task keys must be unique within one run")
+        state = _RunState(self.breaker)
+        started = time.monotonic()
+        width = min(self.parallelism, len(tasks))
+        if width <= 1:
+            for task in tasks:
+                if state.stop.is_set():
+                    break
+                self._run_task(0, task, state, on_result)
+        else:
+            work: queue.SimpleQueue[Task] = queue.SimpleQueue()
+            for task in tasks:
+                work.put(task)
+
+            def loop(slot: int) -> None:
+                while not state.stop.is_set():
+                    try:
+                        task = work.get_nowait()
+                    except queue.Empty:
+                        return
+                    self._run_task(slot, task, state, on_result)
+
+            threads = [
+                threading.Thread(
+                    target=loop, args=(i,), name=f"exec-{self.backend}-{i}"
+                )
+                for i in range(width)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        return ExecReport(
+            results=state.results,
+            attempts=state.attempts,
+            wall_seconds=time.monotonic() - started,
+            breaker_reason=state.breaker_reason,
+        )
+
+
+class InlineExecutor(Executor):
+    """Run tasks in the calling thread: no isolation, no timeout, fastest.
+
+    The uniform meaning of ``workers=0``/``--jobs 0`` everywhere.
+    """
+
+    backend = "inline"
+
+    def _attempt(
+        self, slot: int, task: Task, attempt: int
+    ) -> tuple[Any, dict | None]:
+        return self._run_inline_attempt(task), None
+
+
+class ThreadExecutor(Executor):
+    """Run tasks on a small thread pool (in-process, GIL-bound).
+
+    Useful for I/O-heavy runners and for exercising the dispatch machinery
+    without subprocess cost; CPU-bound BDD work should use the process
+    backend.
+    """
+
+    backend = "thread"
+
+    def __init__(self, workers: int = 2, **kwargs: Any):
+        super().__init__(**kwargs)
+        if workers < 1:
+            raise ExecError(f"thread executor needs workers >= 1, got {workers}")
+        self.workers = workers
+
+    @property
+    def parallelism(self) -> int:
+        return self.workers
+
+    def _attempt(
+        self, slot: int, task: Task, attempt: int
+    ) -> tuple[Any, dict | None]:
+        return self._run_inline_attempt(task), None
+
+
+def _child_env() -> dict[str, str]:
+    """Environment for worker subprocesses; guarantees ``repro`` imports
+    and propagates the parent's observability state."""
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    if obs.enabled():
+        env[obs.ENV_VAR] = "1"
+    else:
+        env.pop(obs.ENV_VAR, None)
+    return env
+
+
+class _WorkerHandle:
+    """One persistent worker subprocess with line-based request/response."""
+
+    def __init__(self) -> None:
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.exec.worker"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=_child_env(),
+        )
+        self._buf = b""
+        self._stderr_tail: deque[str] = deque(maxlen=50)
+        self._drain = threading.Thread(
+            target=self._drain_stderr, daemon=True,
+            name=f"exec-stderr-{self.proc.pid}",
+        )
+        self._drain.start()
+
+    def _drain_stderr(self) -> None:
+        stream = self.proc.stderr
+        assert stream is not None
+        for raw in stream:
+            try:
+                self._stderr_tail.append(raw.decode("utf-8", "replace"))
+            except Exception:  # pragma: no cover - drain must never raise
+                return
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def stderr_tail(self) -> str:
+        for line in reversed(self._stderr_tail):
+            if line.strip():
+                return line.strip()
+        return ""
+
+    def send(self, request: dict) -> None:
+        self.send_line(json.dumps(request) + "\n")
+
+    def send_line(self, line: str) -> None:
+        assert self.proc.stdin is not None
+        self.proc.stdin.write(line.encode())
+        self.proc.stdin.flush()
+
+    def read_line(self, timeout: float) -> bytes | None:
+        """One response line within ``timeout`` seconds.
+
+        Returns ``None`` on EOF (worker died); raises
+        :class:`TimeoutError` when the deadline expires.
+        """
+        stdout = self.proc.stdout
+        assert stdout is not None
+        fd = stdout.fileno()
+        deadline = time.monotonic() + timeout
+        while True:
+            newline = self._buf.find(b"\n")
+            if newline >= 0:
+                line = self._buf[:newline]
+                self._buf = self._buf[newline + 1:]
+                return line
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError
+            ready, _, _ = select.select([fd], [], [], min(remaining, 0.5))
+            if not ready:
+                continue
+            chunk = os.read(fd, 1 << 16)
+            if not chunk:
+                return None
+            self._buf += chunk
+
+    def kill(self) -> int:
+        """Kill the worker (if alive) and reap it; returns the exit code."""
+        if self.proc.poll() is None:
+            self.proc.kill()
+        try:
+            self.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+            pass
+        self._close_pipes()
+        return self.proc.returncode if self.proc.returncode is not None else 0
+
+    def shutdown(self, grace: float = 1.0) -> None:
+        """Polite close: EOF on stdin, brief wait, then kill."""
+        try:
+            if self.proc.stdin is not None:
+                self.proc.stdin.close()
+        except OSError:
+            pass
+        try:
+            self.proc.wait(timeout=grace)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=30)
+        self._close_pipes()
+
+    def _close_pipes(self) -> None:
+        for stream in (self.proc.stdin, self.proc.stdout, self.proc.stderr):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+
+class ProcessPoolExecutor(Executor):
+    """A pool of persistent worker subprocesses, one per dispatch thread.
+
+    Full crash isolation with per-attempt timeouts: a worker that dies,
+    wedges, or answers garbage is killed and respawned, costing one
+    attempt.  Sabotage drills are supported (and only here — they must
+    kill a real process).
+    """
+
+    backend = "process"
+
+    def __init__(self, workers: int = 2, **kwargs: Any):
+        super().__init__(**kwargs)
+        if workers < 1:
+            raise ExecError(
+                f"process executor needs workers >= 1, got {workers}; "
+                "use InlineExecutor for in-process runs"
+            )
+        self.workers = workers
+        self._handles: list[_WorkerHandle | None] = [None] * workers
+        self._sabotage: dict[Any, dict] = {}
+        self._closed = False
+
+    @property
+    def parallelism(self) -> int:
+        return self.workers
+
+    def run(
+        self,
+        tasks: Sequence[Task],
+        on_result: ResultFn | None = None,
+        sabotage: Mapping[Any, dict] | None = None,
+    ) -> ExecReport:
+        if self._closed:
+            raise ExecError("executor is closed")
+        self._sabotage = dict(sabotage or {})
+        try:
+            return self._run(list(tasks), on_result)
+        finally:
+            self._sabotage = {}
+
+    def _sabotage_for(self, task: Task) -> dict | None:
+        return self._sabotage.get(task.key)
+
+    def _worker(self, slot: int) -> _WorkerHandle:
+        handle = self._handles[slot]
+        if handle is None or not handle.alive():
+            if handle is not None:
+                handle.kill()
+            handle = _WorkerHandle()
+            self._handles[slot] = handle
+        return handle
+
+    def _discard_worker(self, slot: int) -> int:
+        handle = self._handles[slot]
+        self._handles[slot] = None
+        return handle.kill() if handle is not None else 0
+
+    def _attempt(
+        self, slot: int, task: Task, attempt: int
+    ) -> tuple[Any, dict | None]:
+        handle = self._worker(slot)
+        envelope = json.dumps({
+            "schema": EXEC_SCHEMA,
+            "kind": task.kind,
+            "key": task.key,
+            "attempt": attempt,
+            "sabotage": self._sabotage_for(task),
+        })
+        # Splice the task's cached payload encoding into the request line:
+        # large payloads (circuit documents) are then serialized once per
+        # task instead of once per attempt.
+        line = f'{envelope[:-1]},"payload":{task.payload_json}}}\n'
+        try:
+            handle.send_line(line)
+        except (BrokenPipeError, OSError):
+            rc = self._discard_worker(slot)
+            raise TaskAttemptError(self._death_message(rc, handle)) from None
+        try:
+            line = handle.read_line(self.task_timeout)
+        except TimeoutError:
+            self._discard_worker(slot)
+            raise TaskAttemptError(
+                f"worker timed out after {self.task_timeout:g}s"
+            ) from None
+        if line is None:
+            rc = self._discard_worker(slot)
+            raise TaskAttemptError(self._death_message(rc, handle)) from None
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            payload = None
+        if not isinstance(payload, dict) or (
+            "result" not in payload and "error" not in payload
+        ):
+            # The worker's stdout is out of protocol; its state is unknown.
+            self._discard_worker(slot)
+            raise TaskAttemptError("worker produced no parseable result")
+        if "error" in payload:
+            # The worker ran the task and reported a deterministic error;
+            # it stays alive for the next task.
+            raise TaskAttemptError(str(payload["error"]), retryable=False)
+        if payload.get("key") != task.key:
+            self._discard_worker(slot)
+            raise TaskAttemptError(
+                f"worker answered for key {payload.get('key')!r}, "
+                f"expected {task.key!r}", retryable=False,
+            )
+        worker_obs = payload.get("obs")
+        worker_obs = worker_obs if isinstance(worker_obs, dict) else None
+        if worker_obs:
+            try:
+                spans = worker_obs.get("spans")
+                if spans:
+                    obs.ingest_spans(spans)
+                metrics = worker_obs.get("metrics")
+                if metrics:
+                    obs.merge_metrics(metrics)
+            except ObsError:
+                # Telemetry must never fail a task that computed fine.
+                pass
+        return payload["result"], worker_obs
+
+    @staticmethod
+    def _death_message(rc: int, handle: _WorkerHandle) -> str:
+        cause = f"killed by signal {-rc}" if rc < 0 else f"exited {rc}"
+        tail = handle.stderr_tail()
+        return f"worker {cause}" + (f" ({tail})" if tail else "")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for slot, handle in enumerate(self._handles):
+            if handle is not None:
+                handle.shutdown()
+            self._handles[slot] = None
+
+
+def make_executor(
+    workers: int,
+    retry: RetryPolicy | None = None,
+    breaker: BreakerPolicy | None = None,
+    task_timeout: float = 300.0,
+    events: EventFn | None = None,
+) -> Executor:
+    """The uniform ``workers`` convention: ``0`` -> inline, ``N >= 1`` ->
+    a process pool of N persistent workers.  Negative counts are rejected
+    eagerly."""
+    workers = validated_jobs(workers)
+    kwargs: dict[str, Any] = dict(
+        retry=retry, breaker=breaker, task_timeout=task_timeout, events=events
+    )
+    if workers == 0:
+        return InlineExecutor(**kwargs)
+    return ProcessPoolExecutor(workers=workers, **kwargs)
+
+
+__all__ = [
+    "EventFn",
+    "ResultFn",
+    "ExecReport",
+    "Executor",
+    "InlineExecutor",
+    "ThreadExecutor",
+    "ProcessPoolExecutor",
+    "TaskAttemptError",
+    "available_backends",
+    "default_worker_count",
+    "validated_jobs",
+    "make_executor",
+]

@@ -1,0 +1,132 @@
+"""Faithful JSON round-trip for circuits.
+
+BLIF export cannot do this job: it rewrites cells as truth tables and
+drops pin delays, areas, load capacitances, and aging scales — everything
+the timing model feeds on.  This codec preserves the *exact* in-memory
+circuit: cells with their delay/area/load parameters, gate insertion
+order (which fixes topological tie-breaking and therefore BDD variable
+order downstream), input/output declaration order, and per-gate
+``delay_scale``.  Round-tripping a circuit through
+:func:`circuit_to_json` / :func:`circuit_from_json` yields a circuit on
+which every deterministic analysis (SPCF, certificates, simulation)
+produces bit-identical results — the property the parallel SPCF driver
+relies on when shipping circuits to worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import NetlistError
+from repro.netlist.cell import Cell
+from repro.netlist.circuit import Circuit
+
+#: Schema version of circuit documents.
+CIRCUIT_SCHEMA = 1
+
+
+def cell_to_json(cell: Cell) -> dict[str, Any]:
+    """Serialize one library cell with all timing/power parameters."""
+    return {
+        "inputs": list(cell.inputs),
+        "expression": cell.expression,
+        "area": cell.area,
+        "pin_delays": list(cell.pin_delays),
+        "load_cap": cell.load_cap,
+    }
+
+
+def cell_from_json(name: str, data: Mapping[str, Any]) -> Cell:
+    try:
+        return Cell(
+            name=name,
+            inputs=tuple(data["inputs"]),
+            expression=data["expression"],
+            area=float(data["area"]),
+            pin_delays=tuple(int(d) for d in data["pin_delays"]),
+            load_cap=float(data.get("load_cap", 1.0)),
+        )
+    except KeyError as exc:
+        raise NetlistError(
+            f"cell {name!r} document missing field {exc.args[0]!r}"
+        ) from None
+
+
+def circuit_to_json(circuit: Circuit) -> dict[str, Any]:
+    """Serialize a circuit to a JSON-ready dict (lossless)."""
+    cells: dict[str, dict[str, Any]] = {}
+    cell_objects: dict[str, Cell] = {}
+    gates: list[dict[str, Any]] = []
+    for gate in circuit.gates.values():
+        cell = gate.cell
+        seen = cell_objects.get(cell.name)
+        if seen is None:
+            cell_objects[cell.name] = cell
+            cells[cell.name] = cell_to_json(cell)
+        elif seen != cell:
+            raise NetlistError(
+                f"circuit {circuit.name!r} uses two different cells both "
+                f"named {cell.name!r}; cannot serialize by name"
+            )
+        record: dict[str, Any] = {
+            "name": gate.name,
+            "cell": cell.name,
+            "fanins": list(gate.fanins),
+        }
+        if gate.delay_scale != 1.0:
+            record["delay_scale"] = gate.delay_scale
+        gates.append(record)
+    return {
+        "schema": CIRCUIT_SCHEMA,
+        "kind": "repro-circuit",
+        "name": circuit.name,
+        "inputs": list(circuit.inputs),
+        "outputs": list(circuit.outputs),
+        "cells": cells,
+        "gates": gates,
+    }
+
+
+def circuit_from_json(data: Mapping[str, Any]) -> Circuit:
+    """Rebuild a circuit from its document; validates the structure."""
+    if data.get("kind") != "repro-circuit":
+        raise NetlistError("document is not a repro-circuit")
+    if data.get("schema") != CIRCUIT_SCHEMA:
+        raise NetlistError(
+            f"unsupported circuit schema {data.get('schema')!r} "
+            f"(this build reads {CIRCUIT_SCHEMA})"
+        )
+    try:
+        circuit = Circuit(data["name"], data["inputs"], data["outputs"])
+        cells = {
+            name: cell_from_json(name, cell_data)
+            for name, cell_data in data["cells"].items()
+        }
+        for record in data["gates"]:
+            cell_name = record["cell"]
+            if cell_name not in cells:
+                raise NetlistError(
+                    f"gate {record.get('name')!r} references unknown cell "
+                    f"{cell_name!r}"
+                )
+            circuit.add_gate(
+                record["name"],
+                cells[cell_name],
+                record["fanins"],
+                delay_scale=float(record.get("delay_scale", 1.0)),
+            )
+    except KeyError as exc:
+        raise NetlistError(
+            f"circuit document missing field {exc.args[0]!r}"
+        ) from None
+    circuit.validate()
+    return circuit
+
+
+__all__ = [
+    "CIRCUIT_SCHEMA",
+    "cell_to_json",
+    "cell_from_json",
+    "circuit_to_json",
+    "circuit_from_json",
+]

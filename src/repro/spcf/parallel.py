@@ -1,0 +1,347 @@
+"""Parallel per-output SPCF on the :mod:`repro.exec` substrate.
+
+The short-path SPCF of one primary output is an independent computation:
+the Eqn. 1 recursion touches only that output's fanin cone.  This module
+fans the per-output roots of a (possibly multi-target) compile across an
+executor — persistent worker subprocesses by default — and merges the
+results deterministically:
+
+* Each task ships the **faithful circuit JSON** (gate order, pin delays,
+  aging scales — see :mod:`repro.netlist.codec`), the certificate set (if
+  any), and the output name; the worker rebuilds the exact context and
+  returns each ``Sigma_y(t)`` as a serialized BDD DAG.
+* Workers cache contexts per ``(circuit, certificates, targets)``, so one
+  worker computing several outputs of the same circuit shares its manager
+  and ``stable()`` memo across them, like the serial multi-root compile.
+* The parent rebuilds every returned function inside its own manager via
+  reduced ``ite`` composition — ROBDD canonicity over the shared variable
+  order (``circuit.inputs`` registration order) makes the merged result
+  **bit-identical** to a serial :func:`~repro.spcf.multiroot.compute_multi`
+  run, in any completion order.
+* An output whose worker wedges (BDD blowup, hang) or dies is killed,
+  retried, and finally quarantined by the executor; the run still returns,
+  reporting that output under :attr:`SpcfResult.incomplete` instead of
+  failing the sweep.
+
+``jobs`` follows the repo-wide convention: ``0`` means inline (compute in
+this process, still through the executor path), ``N >= 1`` a pool of N
+persistent workers, ``None`` the machine default.  Negative values are
+rejected eagerly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.bdd.manager import BddManager, Function
+from repro.bdd.serialize import function_from_json, function_to_json
+from repro.netlist.circuit import Circuit
+from repro.netlist.codec import circuit_from_json, circuit_to_json
+from repro.spcf import _obs
+from repro.spcf.multiroot import resolve_sweep_targets
+from repro.spcf.result import SpcfResult
+from repro.spcf.timedfunc import SpcfContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.analysis.precert.certificate import CertificateSet
+    from repro.exec import Executor
+
+_ALGORITHM = "short-path-based (proposed, parallel)"
+
+
+# --------------------------------------------------------------- worker side
+
+#: Per-process context cache: a pooled worker serving several outputs of
+#: the same compile rebuilds the circuit/certificates/timing once and
+#: shares the BDD manager and ``stable()`` memo across its tasks.
+_CTX_CACHE: "OrderedDict[str, SpcfContext]" = OrderedDict()
+_CTX_CACHE_LIMIT = 4
+
+
+def _context_key(payload: Mapping[str, Any]) -> str:
+    import json
+
+    blob = json.dumps(
+        [
+            payload.get("circuit"),
+            payload.get("certificates"),
+            payload.get("threshold"),
+            payload.get("target"),
+        ],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _cached_context(payload: Mapping[str, Any]) -> SpcfContext:
+    # The parent computes the key once per fan-out and ships it as a hint;
+    # hashing the (large) circuit + certificate documents per task would
+    # rival the compute for small outputs.
+    key = payload.get("context_key") or _context_key(payload)
+    ctx = _CTX_CACHE.get(key)
+    if ctx is not None:
+        _CTX_CACHE.move_to_end(key)
+        return ctx
+    circuit = circuit_from_json(payload["circuit"])
+    certificates: "CertificateSet | None" = None
+    if payload.get("certificates") is not None:
+        from repro.analysis.precert.certificate import CertificateSet
+
+        # The set was produced (and checked) by the parent's precertify in
+        # the same trust domain as the rest of the payload; structural
+        # validation still applies, adversarial re-verification belongs to
+        # the audit plane.
+        certificates = CertificateSet.from_dict(
+            payload["certificates"], verify=False
+        )
+    ctx = SpcfContext(
+        circuit,
+        threshold=float(payload.get("threshold", 0.9)),
+        target=int(payload["target"]),
+        certificates=certificates,
+    )
+    _CTX_CACHE[key] = ctx
+    while len(_CTX_CACHE) > _CTX_CACHE_LIMIT:
+        _CTX_CACHE.popitem(last=False)
+    return ctx
+
+
+def run_output_task(payload: dict[str, Any]) -> dict[str, Any]:
+    """Registry runner for ``spcf.output``: one output, every target.
+
+    Returns ``{"output": y, "functions": {str(target): <bdd doc>}}`` with
+    an entry for each target the output is actually late against.
+    """
+    ctx = _cached_context(payload)
+    output = str(payload["output"])
+    arrival = ctx.report.arrival
+    functions: dict[str, dict[str, Any]] = {}
+    for raw in payload["targets"]:
+        target = int(raw)
+        if arrival[output] > target:
+            functions[str(target)] = function_to_json(ctx.late(output, target))
+    return {"output": output, "functions": functions}
+
+
+def output_task_span(
+    payload: dict[str, Any], attempt: int
+) -> tuple[str, str, Mapping[str, Any]]:
+    """Worker-span factory for ``spcf.output`` tasks."""
+    return (
+        "spcf",
+        "spcf.output_task",
+        {
+            "output": payload.get("output"),
+            "targets": len(payload.get("targets", ())),
+            "attempt": attempt,
+        },
+    )
+
+
+# --------------------------------------------------------------- parent side
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    from repro.exec import default_worker_count, validated_jobs
+
+    if jobs is None:
+        return default_worker_count()
+    return validated_jobs(jobs)
+
+
+def _fan_out(
+    circuit: Circuit,
+    ctx: SpcfContext,
+    resolved: Sequence[int],
+    certificates: "CertificateSet | None",
+    threshold: float,
+    jobs: int | None,
+    executor: "Executor | None",
+    task_timeout: float,
+) -> tuple[dict[int, dict[str, Function]], dict[str, str]]:
+    """Dispatch one task per critical output; merge deterministically.
+
+    Returns ``(per_target_functions, incomplete)`` where the inner dicts
+    follow ``circuit.outputs`` declaration order — the same order the
+    serial algorithms produce.
+    """
+    from repro.exec import Task, make_executor
+
+    outputs = ctx.critical_outputs_at(resolved[0])
+    circuit_doc = circuit_to_json(circuit)
+    certs_doc = certificates.to_dict() if certificates is not None else None
+    context_key = _context_key(
+        {
+            "circuit": circuit_doc,
+            "certificates": certs_doc,
+            "threshold": threshold,
+            "target": int(resolved[-1]),
+        }
+    )
+    tasks = [
+        Task(
+            kind="spcf.output",
+            payload={
+                "circuit": circuit_doc,
+                "certificates": certs_doc,
+                "threshold": threshold,
+                "target": int(resolved[-1]),
+                "targets": [int(t) for t in resolved],
+                "output": y,
+                "context_key": context_key,
+            },
+            key=y,
+            span_name="spcf.output_dispatch",
+            span_category="spcf",
+            span_attrs={"output": y, "targets": len(resolved)},
+            attempt_attrs={"output": y},
+        )
+        for y in outputs
+    ]
+    owned = executor is None
+    ex = executor if executor is not None else make_executor(
+        _resolve_jobs(jobs), task_timeout=task_timeout
+    )
+    try:
+        report = ex.run(tasks)
+    finally:
+        if owned:
+            ex.close()
+
+    per_target: dict[int, dict[str, Function]] = {
+        int(t): {} for t in resolved
+    }
+    incomplete: dict[str, str] = {}
+    for y in outputs:
+        result = report.results.get(y)
+        if result is None or not result.ok:
+            if result is None:
+                reason = report.breaker_reason or "not scheduled"
+            elif result.outcome == "stopped":
+                reason = report.breaker_reason or "stopped"
+            else:
+                reason = result.error or "quarantined"
+            incomplete[y] = reason
+            continue
+        functions = result.value["functions"]
+        for target in per_target:
+            doc = functions.get(str(target))
+            if doc is not None:
+                per_target[target][y] = function_from_json(ctx.manager, doc)
+    return per_target, incomplete
+
+
+def spcf_parallel(
+    circuit: Circuit,
+    threshold: float = 0.9,
+    target: int | None = None,
+    certificates: "CertificateSet | None" = None,
+    manager: BddManager | None = None,
+    jobs: int | None = None,
+    executor: "Executor | None" = None,
+    task_timeout: float = 300.0,
+) -> SpcfResult:
+    """Exact short-path SPCF with per-output fan-out across an executor.
+
+    Bit-identical to :func:`repro.spcf.spcf_shortpath` on the same
+    circuit/threshold/target (equal BDD nodes in the returned context's
+    manager); outputs whose worker had to be quarantined are reported in
+    :attr:`SpcfResult.incomplete` rather than raising.  Pass ``executor``
+    to reuse a warm worker pool across calls.
+    """
+    started = time.perf_counter()
+    with _obs.TRACER.span(
+        "spcf.parallel", algorithm="shortpath", circuit=circuit.name
+    ) as span:
+        ctx = SpcfContext(
+            circuit,
+            threshold=threshold,
+            target=target,
+            manager=manager,
+            certificates=certificates,
+        )
+        per_target, incomplete = _fan_out(
+            circuit, ctx, [ctx.target], certificates, threshold,
+            jobs, executor, task_timeout,
+        )
+        per_output = per_target[ctx.target]
+        if _obs.METER.enabled:
+            for y, fn in per_output.items():
+                _obs.note_output(span, "shortpath", fn)
+            _obs.note_pass(span, ctx, len(per_output))
+            span.set(incomplete=len(incomplete))
+    return SpcfResult(
+        algorithm=_ALGORITHM,
+        context=ctx,
+        per_output=per_output,
+        runtime_seconds=time.perf_counter() - started,
+        incomplete=incomplete,
+    )
+
+
+def spcf_parallel_multi(
+    circuit: Circuit,
+    targets: Sequence[int] | None = None,
+    thresholds: Sequence[float] = (0.9,),
+    certificates: "CertificateSet | None" = None,
+    manager: BddManager | None = None,
+    jobs: int | None = None,
+    executor: "Executor | None" = None,
+    task_timeout: float = 300.0,
+) -> dict[int, SpcfResult]:
+    """Parallel analogue of :func:`repro.spcf.multiroot.compute_multi`.
+
+    One task per critical output covers *all* targets (the worker shares
+    its ``stable()`` memo across them, like the serial multi-root
+    compile); results are merged per target in ascending order and are
+    bit-identical to the serial sweep.
+    """
+    started = time.perf_counter()
+    with _obs.TRACER.span(
+        "spcf.parallel_multi", algorithm="shortpath", circuit=circuit.name
+    ) as span:
+        context_threshold = max(thresholds) if targets is None else 0.9
+        ctx = SpcfContext(
+            circuit,
+            threshold=context_threshold,
+            target=None if targets is None else max(int(t) for t in targets),
+            manager=manager,
+            certificates=certificates,
+        )
+        resolved = resolve_sweep_targets(ctx, targets, thresholds)
+        per_target, incomplete = _fan_out(
+            circuit, ctx, resolved, certificates, context_threshold,
+            jobs, executor, task_timeout,
+        )
+        wall = time.perf_counter() - started
+        results: dict[int, SpcfResult] = {}
+        for tgt in resolved:
+            at_target = set(ctx.critical_outputs_at(tgt))
+            results[tgt] = SpcfResult(
+                algorithm=_ALGORITHM,
+                context=ctx,
+                per_output=per_target[tgt],
+                runtime_seconds=wall,
+                target_override=tgt,
+                incomplete={
+                    y: msg for y, msg in incomplete.items() if y in at_target
+                },
+            )
+        if _obs.METER.enabled:
+            _obs.note_pass(
+                span, ctx, sum(len(r.per_output) for r in results.values())
+            )
+            span.set(targets=len(resolved), incomplete=len(incomplete))
+    return results
+
+
+__all__ = [
+    "spcf_parallel",
+    "spcf_parallel_multi",
+    "run_output_task",
+    "output_task_span",
+]

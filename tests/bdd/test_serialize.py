@@ -1,0 +1,123 @@
+"""BDD DAG serialization: canonical rebuild, terminals, error paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bdd import (
+    BDD_SCHEMA,
+    BddManager,
+    function_from_json,
+    function_to_json,
+)
+from repro.errors import BddError
+
+VARS = ["a", "b", "c", "d"]
+
+
+def build(mgr):
+    a, b, c, d = (mgr.var(v) for v in VARS)
+    return [
+        mgr.true,
+        mgr.false,
+        a,
+        ~a,
+        (a & b) | (~c & d),
+        a ^ b ^ c ^ d,
+        (a | b) & (c | d) & ~(a & d),
+    ]
+
+
+def test_same_manager_round_trip_is_the_same_node():
+    mgr = BddManager(VARS)
+    for fn in build(mgr):
+        doc = function_to_json(fn)
+        assert function_from_json(mgr, doc).node == fn.node
+
+
+def test_cross_manager_round_trip_is_canonical():
+    src = BddManager(VARS)
+    dst = BddManager(VARS)
+    for fn in build(src):
+        rebuilt = function_from_json(dst, function_to_json(fn))
+        # Same variable order + reduced construction => identical structure.
+        assert rebuilt.count(len(VARS)) == fn.count(len(VARS))
+        assert function_to_json(rebuilt) == function_to_json(fn)
+
+
+def test_terminals_serialize_without_nodes():
+    mgr = BddManager(VARS)
+    assert function_to_json(mgr.false) == {
+        "schema": BDD_SCHEMA, "root": 0, "nodes": [],
+    }
+    assert function_to_json(mgr.true) == {
+        "schema": BDD_SCHEMA, "root": 1, "nodes": [],
+    }
+
+
+def test_document_is_json_and_linear_in_dag_size():
+    mgr = BddManager(VARS)
+    a, b, c, d = (mgr.var(v) for v in VARS)
+    fn = a ^ b ^ c ^ d  # XOR: exponential cubes, linear DAG
+    doc = json.loads(json.dumps(function_to_json(fn)))
+    assert len(doc["nodes"]) == fn.dag_size()
+    assert function_from_json(mgr, doc).node == fn.node
+
+
+def test_shared_subgraphs_serialized_once():
+    mgr = BddManager(VARS)
+    a, b, c, d = (mgr.var(v) for v in VARS)
+    shared = c & d
+    fn = (a & shared) | (b & shared) | shared
+    doc = function_to_json(fn)
+    names = [entry[0] for entry in doc["nodes"]]
+    # Each variable level of this function appears exactly once per node,
+    # not once per path.
+    assert len(names) == fn.dag_size()
+
+
+class TestErrors:
+    def test_bad_schema(self):
+        mgr = BddManager(VARS)
+        with pytest.raises(BddError, match="unsupported BDD document schema"):
+            function_from_json(mgr, {"schema": 2, "root": 0, "nodes": []})
+
+    def test_missing_nodes(self):
+        mgr = BddManager(VARS)
+        with pytest.raises(BddError, match="no node list"):
+            function_from_json(mgr, {"schema": BDD_SCHEMA, "root": 0})
+
+    def test_forward_reference_rejected(self):
+        mgr = BddManager(VARS)
+        doc = {
+            "schema": BDD_SCHEMA,
+            "root": 2,
+            "nodes": [["a", 0, 3], ["b", 0, 1]],  # node 0 points at node 1
+        }
+        with pytest.raises(BddError, match="not in postorder"):
+            function_from_json(mgr, doc)
+
+    def test_malformed_reference(self):
+        mgr = BddManager(VARS)
+        doc = {
+            "schema": BDD_SCHEMA,
+            "root": 2,
+            "nodes": [["a", 0, "one"]],
+        }
+        with pytest.raises(BddError, match="malformed BDD node reference"):
+            function_from_json(mgr, doc)
+
+    def test_malformed_entry(self):
+        mgr = BddManager(VARS)
+        doc = {"schema": BDD_SCHEMA, "root": 2, "nodes": [["a", 0]]}
+        with pytest.raises(BddError, match="malformed BDD node entry"):
+            function_from_json(mgr, doc)
+
+    def test_unknown_variable(self):
+        mgr = BddManager(["a"])
+        src = BddManager(["a", "zz"])
+        doc = function_to_json(src.var("zz"))
+        with pytest.raises(BddError):
+            function_from_json(mgr, doc)

@@ -1,0 +1,284 @@
+"""The executor backends: retry loop, drills, breaker, pool reuse, obs.
+
+Process-pool cases spawn real worker subprocesses; the drills SIGKILL,
+hang, and exit them for real — the suite is the executor's crash-isolation
+contract, mirroring what the campaign resilience tests prove end-to-end.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.errors import ExecError
+from repro.exec import (
+    BreakerPolicy,
+    InlineExecutor,
+    ProcessPoolExecutor,
+    RetryPolicy,
+    Task,
+    ThreadExecutor,
+    available_backends,
+    default_worker_count,
+    make_executor,
+    validated_jobs,
+)
+
+NO_BACKOFF = RetryPolicy(max_retries=3, backoff_base=0.0, backoff_jitter=0.0)
+
+
+def probe(key, **payload) -> Task:
+    return Task(kind="exec.probe", payload=payload, key=key)
+
+
+@pytest.fixture
+def pool():
+    executor = ProcessPoolExecutor(
+        workers=1, retry=NO_BACKOFF, task_timeout=60.0
+    )
+    yield executor
+    executor.close()
+
+
+class TestConfiguration:
+    def test_available_backends(self):
+        assert available_backends() == ("inline", "thread", "process")
+
+    def test_default_worker_count_positive_and_capped(self):
+        assert 1 <= default_worker_count() <= 8
+
+    def test_validated_jobs(self):
+        assert validated_jobs(0) == 0
+        assert validated_jobs(3) == 3
+        with pytest.raises(ExecError, match="must be >= 0"):
+            validated_jobs(-1)
+        with pytest.raises(ExecError, match="must be an integer"):
+            validated_jobs("many")
+
+    def test_make_executor_mapping(self):
+        with make_executor(0) as ex:
+            assert isinstance(ex, InlineExecutor)
+        with make_executor(2) as ex:
+            assert isinstance(ex, ProcessPoolExecutor)
+            assert ex.workers == 2
+        with pytest.raises(ExecError):
+            make_executor(-2)
+
+    def test_bad_worker_counts(self):
+        with pytest.raises(ExecError):
+            ThreadExecutor(workers=0)
+        with pytest.raises(ExecError):
+            ProcessPoolExecutor(workers=0)
+
+    def test_bad_timeout(self):
+        with pytest.raises(ExecError, match="must be positive"):
+            InlineExecutor(task_timeout=0.0)
+
+
+class TestInline:
+    def test_runs_in_this_process(self):
+        with InlineExecutor() as ex:
+            report = ex.run([probe("a", value=1), probe("b", value=2)])
+        assert report.complete
+        assert report.results["a"].value["value"] == 1
+        assert report.results["a"].value["pid"] == os.getpid()
+        assert report.attempts == 2
+
+    def test_duplicate_keys_rejected(self):
+        with InlineExecutor() as ex:
+            with pytest.raises(ExecError, match="unique"):
+                ex.run([probe("a"), probe("a")])
+
+    def test_sabotage_rejected(self):
+        with InlineExecutor() as ex:
+            with pytest.raises(ExecError, match="process backend"):
+                ex.run([probe("a")], sabotage={"a": {"mode": "kill"}})
+
+    def test_deterministic_error_quarantines_without_retry(self):
+        settled = []
+        with InlineExecutor(retry=NO_BACKOFF) as ex:
+            report = ex.run(
+                [probe("bad", **{"raise": "boom"}), probe("good", value=7)],
+                on_result=settled.append,
+            )
+        bad = report.results["bad"]
+        assert bad.outcome == "quarantined"
+        assert bad.attempts == 1
+        assert "ExecError: boom" in bad.error
+        assert report.results["good"].ok
+        assert not report.complete
+        assert report.quarantined.keys() == {"bad"}
+        assert [r.task.key for r in settled] == ["bad", "good"]
+
+    def test_breaker_stops_dispatch(self):
+        events = []
+        ex = InlineExecutor(
+            retry=RetryPolicy(max_retries=0),
+            breaker=BreakerPolicy(max_consecutive_failures=2),
+            events=lambda ev, task, msg, info: events.append((ev, task.key)),
+        )
+        tasks = [probe(i, **{"raise": "bad env"}) for i in range(4)]
+        report = ex.run(tasks)
+        assert report.breaker_reason is not None
+        assert "2 consecutive" in report.breaker_reason
+        # The first two tasks fail and quarantine; the trip stops dispatch
+        # before tasks 2 and 3 ever start.
+        assert report.results[0].outcome == "quarantined"
+        assert report.results[1].outcome == "quarantined"
+        assert 2 not in report.results and 3 not in report.results
+        assert ("breaker", 1) in events
+
+    def test_success_resets_breaker_streak(self):
+        ex = InlineExecutor(
+            retry=RetryPolicy(max_retries=0),
+            breaker=BreakerPolicy(max_consecutive_failures=2),
+        )
+        tasks = [
+            probe("f1", **{"raise": "x"}),
+            probe("ok", value=1),
+            probe("f2", **{"raise": "x"}),
+            probe("tail", value=2),
+        ]
+        report = ex.run(tasks)
+        assert report.breaker_reason is None
+        assert report.results["tail"].ok
+
+
+class TestThread:
+    def test_parallel_dispatch_in_process(self):
+        with ThreadExecutor(workers=3) as ex:
+            report = ex.run([probe(i, value=i, sleep=0.05) for i in range(6)])
+        assert report.complete
+        assert all(
+            r.value["pid"] == os.getpid() for r in report.results.values()
+        )
+
+    def test_sabotage_rejected(self):
+        with ThreadExecutor(workers=2) as ex:
+            with pytest.raises(ExecError, match="process backend"):
+                ex.run([probe("a")], sabotage={"a": {"mode": "hang"}})
+
+
+class TestProcessPool:
+    def test_worker_reused_across_tasks(self, pool):
+        report = pool.run([probe(i, value=i) for i in range(4)])
+        assert report.complete
+        pids = {r.value["pid"] for r in report.results.values()}
+        assert len(pids) == 1
+        assert os.getpid() not in pids
+
+    def test_kill_drill_retries_then_succeeds(self, pool):
+        events = []
+        pool.events = lambda ev, task, msg, info: events.append(ev)
+        report = pool.run(
+            [probe("a", value=1)],
+            sabotage={"a": {"mode": "kill", "attempts": 1}},
+        )
+        result = report.results["a"]
+        assert result.ok
+        assert result.attempts == 2
+        assert "killed by signal 9" in result.failures[0]
+        assert events == [
+            "attempt-started", "attempt-failed", "retry",
+            "attempt-started", "task-done",
+        ]
+
+    def test_exit_drill_reports_code(self, pool):
+        report = pool.run(
+            [probe("a", value=1)],
+            sabotage={"a": {"mode": "exit", "code": 7, "attempts": 1}},
+        )
+        result = report.results["a"]
+        assert result.ok and result.attempts == 2
+        assert "exited 7" in result.failures[0]
+
+    def test_hang_drill_times_out_then_succeeds(self, pool):
+        pool.task_timeout = 0.5
+        report = pool.run(
+            [probe("a", value=1)],
+            sabotage={"a": {"mode": "hang", "seconds": 60, "attempts": 1}},
+        )
+        result = report.results["a"]
+        assert result.ok and result.attempts == 2
+        assert "timed out after 0.5s" in result.failures[0]
+
+    def test_unrelenting_failure_quarantines(self, pool):
+        pool.retry = RetryPolicy(
+            max_retries=1, backoff_base=0.0, backoff_jitter=0.0
+        )
+        report = pool.run(
+            [probe("a", value=1)], sabotage={"a": {"mode": "kill"}}
+        )
+        result = report.results["a"]
+        assert result.outcome == "quarantined"
+        assert result.attempts == 2
+        assert "killed by signal 9" in result.error
+
+    def test_deterministic_error_keeps_worker_alive(self, pool):
+        first = pool.run([probe("warm", value=0)])
+        pid = first.results["warm"].value["pid"]
+        report = pool.run([probe("bad", **{"raise": "nope"})])
+        bad = report.results["bad"]
+        assert bad.outcome == "quarantined"
+        assert bad.attempts == 1
+        assert "ExecError: nope" in bad.error
+        again = pool.run([probe("after", value=1)])
+        assert again.results["after"].value["pid"] == pid
+
+    def test_closed_pool_rejected(self):
+        ex = ProcessPoolExecutor(workers=1)
+        ex.close()
+        with pytest.raises(ExecError, match="closed"):
+            ex.run([probe("a")])
+        ex.close()  # idempotent
+
+
+class TestObservability:
+    def _series(self, snapshot, name):
+        return snapshot["metrics"][name]["series"]
+
+    def test_inline_counters_and_histogram(self):
+        obs.configure(enabled=True)
+        with InlineExecutor(retry=NO_BACKOFF) as ex:
+            ex.run([probe("a", value=1), probe("bad", **{"raise": "x"})])
+        snap = obs.metrics_snapshot()
+        tasks = self._series(snap, "repro_exec_tasks_total")
+        assert tasks["backend=inline,outcome=done"] == 1
+        assert tasks["backend=inline,outcome=quarantined"] == 1
+        wall = self._series(snap, "repro_exec_task_wall_seconds")
+        assert wall["backend=inline"]["count"] == 2
+
+    def test_process_pool_merges_worker_telemetry(self):
+        obs.configure(enabled=True)
+        with ProcessPoolExecutor(
+            workers=1, retry=NO_BACKOFF, task_timeout=60.0
+        ) as ex:
+            report = ex.run([probe("a", value=1)])
+        result = report.results["a"]
+        assert result.worker_obs is not None
+        assert "metrics" in result.worker_obs
+        snap = obs.metrics_snapshot()
+        tasks = self._series(snap, "repro_exec_tasks_total")
+        assert tasks["backend=process,outcome=done"] == 1
+
+    def test_task_spans_record_outcome(self):
+        obs.configure(enabled=True)
+        with InlineExecutor(retry=NO_BACKOFF) as ex:
+            ex.run([
+                Task(
+                    kind="exec.probe",
+                    payload={"value": 1},
+                    key="a",
+                    span_name="test.task",
+                    span_attrs={"flavor": "plain"},
+                )
+            ])
+        spans = [
+            r for r in obs.span_records() if r["name"] == "test.task"
+        ]
+        assert len(spans) == 1
+        assert spans[0]["args"]["outcome"] == "done"
+        assert spans[0]["args"]["attempts"] == 1
+        assert spans[0]["args"]["flavor"] == "plain"

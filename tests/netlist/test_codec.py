@@ -1,0 +1,111 @@
+"""The faithful circuit JSON codec: lossless round-trip, strict errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchcircuits import all_circuit_names, circuit_by_name
+from repro.errors import NetlistError
+from repro.netlist import (
+    CIRCUIT_SCHEMA,
+    Cell,
+    Circuit,
+    circuit_from_json,
+    circuit_to_json,
+    unit_library,
+)
+from repro.sta import analyze
+
+
+def _shape(circuit: Circuit):
+    return (
+        circuit.name,
+        tuple(circuit.inputs),
+        tuple(circuit.outputs),
+        [
+            (g.name, g.cell, g.fanins, g.delay_scale)
+            for g in circuit.gates.values()
+        ],
+    )
+
+
+@pytest.mark.parametrize("name", ["comparator2", "cmb", "C432", "alu_slice"])
+def test_round_trip_is_lossless(name):
+    circuit = circuit_by_name(name)
+    doc = json.loads(json.dumps(circuit_to_json(circuit)))
+    rebuilt = circuit_from_json(doc)
+    assert _shape(rebuilt) == _shape(circuit)
+    # Timing is the payload the codec exists to preserve.
+    assert analyze(rebuilt).arrival == analyze(circuit).arrival
+
+
+def test_delay_scale_survives():
+    lib = unit_library()
+    c = Circuit("aged", inputs=["a", "b"], outputs=["y"])
+    c.add_gate("y", lib.get("AND2"), ("a", "b"), delay_scale=2.5)
+    rebuilt = circuit_from_json(circuit_to_json(c))
+    assert rebuilt.gates["y"].delay_scale == 2.5
+    assert analyze(rebuilt).arrival == analyze(c).arrival
+
+
+def test_schema_and_kind_fields():
+    doc = circuit_to_json(circuit_by_name("comparator2"))
+    assert doc["schema"] == CIRCUIT_SCHEMA
+    assert doc["kind"] == "repro-circuit"
+
+
+def test_every_bench_circuit_round_trips():
+    for name in all_circuit_names():
+        circuit = circuit_by_name(name)
+        assert _shape(circuit_from_json(circuit_to_json(circuit))) == _shape(
+            circuit
+        )
+
+
+class TestErrors:
+    def test_wrong_kind(self):
+        with pytest.raises(NetlistError, match="not a repro-circuit"):
+            circuit_from_json({"kind": "something-else"})
+
+    def test_wrong_schema(self):
+        doc = circuit_to_json(circuit_by_name("comparator2"))
+        doc["schema"] = 99
+        with pytest.raises(NetlistError, match="unsupported circuit schema"):
+            circuit_from_json(doc)
+
+    def test_missing_field(self):
+        doc = circuit_to_json(circuit_by_name("comparator2"))
+        del doc["gates"]
+        with pytest.raises(NetlistError, match="missing field 'gates'"):
+            circuit_from_json(doc)
+
+    def test_unknown_cell_reference(self):
+        doc = circuit_to_json(circuit_by_name("comparator2"))
+        doc["gates"][0]["cell"] = "GHOST"
+        with pytest.raises(NetlistError, match="unknown cell 'GHOST'"):
+            circuit_from_json(doc)
+
+    def test_missing_cell_field(self):
+        doc = circuit_to_json(circuit_by_name("comparator2"))
+        cell_name = next(iter(doc["cells"]))
+        del doc["cells"][cell_name]["pin_delays"]
+        with pytest.raises(NetlistError, match="missing field 'pin_delays'"):
+            circuit_from_json(doc)
+
+    def test_homonym_cells_rejected(self):
+        lib = unit_library()
+        and2 = lib.get("AND2")
+        impostor = Cell(
+            name="AND2",
+            inputs=and2.inputs,
+            expression=and2.expression,
+            area=and2.area + 1.0,
+            pin_delays=and2.pin_delays,
+        )
+        c = Circuit("twins", inputs=["a", "b"], outputs=["y"])
+        c.add_gate("g0", and2, ("a", "b"))
+        c.add_gate("y", impostor, ("g0", "b"))
+        with pytest.raises(NetlistError, match="two different cells"):
+            circuit_to_json(c)

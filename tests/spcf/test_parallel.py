@@ -1,0 +1,168 @@
+"""``spcf_parallel`` ≡ serial SPCF: property tests and failure drills.
+
+The contract under test is *bit-identity*: the parallel driver must hand
+back the very node ids the serial short-path algorithm would have built in
+the same manager, for any circuit, threshold, and certificate set — and a
+worker that dies or wedges must quarantine its output while every other
+output still comes back bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.precert import precertify
+from repro.bdd import function_from_json, function_to_json
+from repro.benchcircuits import circuit_by_name
+from repro.exec import ProcessPoolExecutor, RetryPolicy
+from repro.spcf import (
+    SpcfContext,
+    spcf_multiroot,
+    spcf_nodebased,
+    spcf_parallel,
+    spcf_parallel_multi,
+    spcf_pathbased,
+    spcf_shortpath,
+)
+
+from tests.conftest import random_dag_circuit
+
+circuits = st.builds(
+    random_dag_circuit,
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_inputs=st.integers(min_value=3, max_value=5),
+    num_gates=st.integers(min_value=3, max_value=14),
+    num_outputs=st.integers(min_value=1, max_value=3),
+)
+
+
+def _nodes(result) -> dict[str, int]:
+    return {y: fn.node for y, fn in result.per_output.items()}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    circuit=circuits,
+    threshold=st.sampled_from([0.5, 0.7, 0.9]),
+    use_certs=st.booleans(),
+)
+def test_parallel_bit_identical_to_serial(circuit, threshold, use_certs):
+    certs = precertify(circuit, threshold=threshold) if use_certs else None
+    par = spcf_parallel(
+        circuit, threshold=threshold, certificates=certs, jobs=0
+    )
+    assert par.is_complete
+    # Serial recompute *in the parallel run's manager*: equal functions over
+    # one variable order are the same node, so ids must match exactly.
+    ctx = SpcfContext(
+        circuit, threshold=threshold, manager=par.context.manager
+    )
+    serial = spcf_shortpath(circuit, context=ctx)
+    assert _nodes(par) == _nodes(serial)
+    assert tuple(par.per_output) == tuple(serial.per_output)
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuit=circuits, threshold=st.sampled_from([0.6, 0.9]))
+def test_parallel_agrees_with_path_and_node_based(circuit, threshold):
+    par = spcf_parallel(circuit, threshold=threshold, jobs=0)
+    path = spcf_pathbased(circuit, threshold=threshold)
+    node = spcf_nodebased(circuit, threshold=threshold)
+    # Path-based is exact: per-output counts must agree with the parallel
+    # short-path result.  Node-based over-approximates: per-output superset.
+    assert par.counts_by_output() == path.counts_by_output()
+    assert par.count() == path.count()
+    for y, fn in par.per_output.items():
+        # Bridge the node-based result into the parallel run's manager (the
+        # same serialized-DAG path worker results travel) to prove the
+        # superset relation on one manager.
+        over = function_from_json(
+            par.context.manager, function_to_json(node.per_output[y])
+        )
+        assert (fn & ~over).is_false
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_parallel_multi_matches_multiroot(seed):
+    circuit = random_dag_circuit(seed, num_gates=10, num_outputs=2)
+    thresholds = (0.5, 0.7, 0.9)
+    par = spcf_parallel_multi(circuit, thresholds=thresholds, jobs=0)
+    manager = next(iter(par.values())).context.manager
+    serial = spcf_multiroot(circuit, thresholds=thresholds, manager=manager)
+    assert par.keys() == serial.keys()
+    for tgt in serial:
+        assert _nodes(par[tgt]) == _nodes(serial[tgt])
+        assert par[tgt].is_complete
+
+
+class TestProcessPool:
+    """Cross-process runs: the wire format must preserve bit-identity."""
+
+    def test_bit_identity_and_pool_reuse(self):
+        circuit = circuit_by_name("comparator2")
+        with ProcessPoolExecutor(workers=2, task_timeout=120.0) as pool:
+            par = spcf_parallel(circuit, threshold=0.5, executor=pool)
+            again = spcf_parallel(circuit, threshold=0.5, executor=pool)
+        assert par.is_complete and again.is_complete
+        ctx = SpcfContext(
+            circuit, threshold=0.5, manager=par.context.manager
+        )
+        serial = spcf_shortpath(circuit, context=ctx)
+        assert _nodes(par) == _nodes(serial)
+        assert par.count() == again.count() == serial.count()
+
+    def test_certificates_cross_the_wire(self):
+        circuit = circuit_by_name("comparator2")
+        certs = precertify(circuit, threshold=0.9)
+        par = spcf_parallel(
+            circuit, threshold=0.9, certificates=certs, jobs=1
+        )
+        plain = spcf_shortpath(circuit, threshold=0.9)
+        assert par.is_complete
+        assert par.counts_by_output() == plain.counts_by_output()
+
+
+class _SabotagingPool(ProcessPoolExecutor):
+    """Injects drill directives into every run (keyed by output name)."""
+
+    def __init__(self, directives, **kwargs):
+        super().__init__(**kwargs)
+        self.directives = directives
+
+    def run(self, tasks, on_result=None, sabotage=None):
+        return super().run(tasks, on_result, sabotage=self.directives)
+
+
+class TestFailureIsolation:
+    """A killed or wedged output quarantines; the rest still completes."""
+
+    def test_kill_and_hang_yield_clean_partial_results(self):
+        circuit = circuit_by_name("cu")
+        serial = spcf_shortpath(circuit, threshold=0.5)
+        outputs = list(serial.per_output)
+        assert len(outputs) >= 3
+        directives = {
+            outputs[0]: {"mode": "kill"},
+            outputs[1]: {"mode": "hang", "seconds": 60},
+        }
+        pool = _SabotagingPool(
+            directives,
+            workers=1,
+            retry=RetryPolicy(
+                max_retries=1, backoff_base=0.0, backoff_jitter=0.0
+            ),
+            task_timeout=2.0,
+        )
+        with pool:
+            par = spcf_parallel(circuit, threshold=0.5, executor=pool)
+        assert not par.is_complete
+        assert set(par.incomplete) == {outputs[0], outputs[1]}
+        assert "killed by signal 9" in par.incomplete[outputs[0]]
+        assert "timed out" in par.incomplete[outputs[1]]
+        # Every surviving output is present and bit-comparable to serial.
+        survivors = {y for y in outputs if y not in par.incomplete}
+        assert set(par.per_output) == survivors
+        for y in survivors:
+            assert par.context.count(par.per_output[y]) == serial.count(y)

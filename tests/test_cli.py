@@ -361,3 +361,57 @@ def test_exit_codes_documented_in_help(capsys):
         out = capsys.readouterr().out
         assert "exit codes" in out.lower()
         assert "--baseline" in out
+
+
+def test_info_reports_executor_backends(capsys):
+    code, out, _ = run(capsys, "info")
+    assert code == 0
+    assert "executor backends : inline, thread, process" in out
+    assert "cpu count" in out
+    assert "default workers" in out
+
+
+def test_spcf_jobs_inline_matches_serial(capsys):
+    code, serial_out, _ = run(capsys, "spcf", "comparator2")
+    assert code == 0
+    code, out, _ = run(capsys, "spcf", "comparator2", "--jobs", "0")
+    assert code == 0
+    assert "jobs      : 0 (inline)" in out
+    assert "(proposed, parallel)" in out
+    # Same per-output pattern counts as the serial run.
+    def counts(text):
+        return [l for l in text.splitlines() if "critical patterns" in l]
+    assert counts(out) == counts(serial_out)
+
+
+def test_spcf_precert_keeps_counts(capsys):
+    code, plain, _ = run(capsys, "spcf", "comparator2")
+    code2, certified, _ = run(capsys, "spcf", "comparator2", "--precert")
+    assert code == 0 and code2 == 0
+    def counts(text):
+        return [l for l in text.splitlines() if "critical patterns" in l]
+    assert counts(certified) == counts(plain)
+
+
+def test_spcf_negative_jobs_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        run(capsys, "spcf", "comparator2", "--jobs", "-1")
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "must be >= 0 (0 = inline)" in err
+
+
+def test_campaign_negative_workers_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        run(capsys, "campaign", "run", "x.jsonl", "--workers", "-3")
+    assert excinfo.value.code == 2
+
+
+def test_spcf_jobs_requires_short_algorithm(capsys):
+    code, _, err = run(capsys, "spcf", "comparator2",
+                       "--algorithm", "node", "--jobs", "0")
+    assert code == 2
+    assert "--algorithm short" in err
+    code, _, err = run(capsys, "spcf", "comparator2",
+                       "--algorithm", "all", "--jobs", "0")
+    assert code == 2

@@ -21,6 +21,7 @@ def test_hierarchy():
         errors.AnalysisError,
         errors.LintError,
         errors.VerificationError,
+        errors.ExecError,
         errors.CampaignError,
         errors.CheckpointError,
     ]
@@ -109,6 +110,18 @@ def _masking_bad_pool():
     synthesize_masking(circuit_by_name("comparator2", lib), lib, cube_pool="bogus")
 
 
+def _exec_bad_jobs():
+    from repro.exec import validated_jobs
+
+    validated_jobs(-1)
+
+
+def _exec_unknown_kind():
+    from repro.exec import resolve
+
+    resolve("no.such.kind")
+
+
 def _campaign_bad_mode():
     from repro.campaign import CampaignSpec
 
@@ -146,6 +159,8 @@ def _analysis_bad_severity():
         _spcf_threshold,
         _spcf_unbound_name,
         _masking_bad_pool,
+        _exec_bad_jobs,
+        _exec_unknown_kind,
         _campaign_bad_mode,
         _campaign_missing_checkpoint,
         _analysis_unknown_rule,
