@@ -1,14 +1,14 @@
 # Developer entry points. `make check` is the CI gate: tier-1 tests, the
 # warning-level lint sweep over every builtin benchmark, the
 # abstract-interpretation sweep, and the campaign crash/quarantine/resume
-# smoke drill.
+# and distributed (lease steal / fleet loss) smoke drills.
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test lint-circuits analyze campaign-smoke verify-mask lint-py typecheck bench bench-obs bench-spcf
+.PHONY: check test lint-circuits analyze campaign-smoke distributed-smoke verify-mask lint-py typecheck bench bench-obs bench-spcf
 
-check: test lint-circuits analyze campaign-smoke bench-spcf
+check: test lint-circuits analyze campaign-smoke distributed-smoke bench-spcf
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -26,6 +26,13 @@ analyze:
 # crasher quarantined, and resume reproducing the baseline byte-for-byte.
 campaign-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro campaign smoke
+
+# Distributed drill: a queue campaign on 4 elastic workers loses half the
+# fleet to SIGKILL plus one wedged worker holding a lease, and must still
+# finish with every shard done and the aggregate byte-identical to a
+# single-host inline run.
+distributed-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro campaign smoke --distributed
 
 verify-mask:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro verify-mask comparator2

@@ -11,19 +11,44 @@ bounded retries with exponential backoff and jitter, quarantine for
 persistently failing shards, and an append-only fsync'd checkpoint journal
 that makes a killed campaign resume to bit-identical aggregates.  See
 DESIGN.md §10 for the architecture.
+
+With ``backend="queue"`` the same campaign runs on an *elastic fleet*:
+shards flow through a shared-directory work queue (DESIGN.md §15) that
+any number of ``repro worker`` processes — on any host mounting the
+directory — serve, join, and abandon at any time; lease steals and
+first-write-wins result dedup keep the aggregate byte-identical to a
+single-host run even when half the fleet is lost mid-campaign.
 """
 
 from repro.campaign.aggregate import aggregate_results
 from repro.campaign.checkpoint import CheckpointWriter, JournalState, load_journal
 from repro.campaign.report import render_campaign_json, render_campaign_text
 from repro.campaign.runner import (
+    CAMPAIGN_BACKENDS,
     CampaignOutcome,
     RunnerConfig,
     resume_campaign,
     run_campaign,
 )
 from repro.campaign.shard import run_shard
-from repro.campaign.smoke import run_smoke, smoke_spec
+from repro.campaign.sizing import (
+    ShardTiming,
+    autoshard_spec,
+    shard_timing,
+    suggest_spec,
+)
+from repro.campaign.smoke import (
+    distributed_spec,
+    run_distributed_smoke,
+    run_smoke,
+    smoke_spec,
+)
+from repro.campaign.status import (
+    WORKER_STATES,
+    campaign_status,
+    render_status_text,
+    watch_status,
+)
 from repro.campaign.spec import (
     DEFAULT_MODE_PARAMS,
     FAULT_KINDS,
@@ -57,4 +82,15 @@ __all__ = [
     "render_campaign_text",
     "run_smoke",
     "smoke_spec",
+    "CAMPAIGN_BACKENDS",
+    "WORKER_STATES",
+    "campaign_status",
+    "render_status_text",
+    "watch_status",
+    "ShardTiming",
+    "shard_timing",
+    "suggest_spec",
+    "autoshard_spec",
+    "distributed_spec",
+    "run_distributed_smoke",
 ]

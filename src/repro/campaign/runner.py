@@ -80,9 +80,22 @@ _SHARD_SECONDS = _METER.histogram(
 )
 
 
+#: Executor backends a campaign may run on (``auto`` keeps the historical
+#: ``workers`` convention: 0 -> inline, otherwise a local process pool).
+CAMPAIGN_BACKENDS = ("auto", "inline", "thread", "process", "queue")
+
+
 @dataclass(frozen=True)
 class RunnerConfig:
-    """Resilience knobs; defaults suit medium campaigns on one machine."""
+    """Resilience knobs; defaults suit medium campaigns on one machine.
+
+    ``backend="queue"`` runs the campaign on the shared-directory work
+    queue (``queue_dir`` required): ``workers`` local queue workers are
+    spawned (0 = the coordinator participates inline) and any number of
+    external ``repro worker QUEUE_DIR`` processes — on this or other
+    hosts — may join or die at any time.  ``lease_ttl`` bounds how long
+    a dead worker can hold a shard before it is stolen.
+    """
 
     workers: int = 2
     task_timeout: float = 300.0
@@ -91,6 +104,10 @@ class RunnerConfig:
     backoff_cap: float = 8.0
     backoff_jitter: float = 0.25
     max_consecutive_failures: int = 16
+    backend: str = "auto"
+    queue_dir: str | None = None
+    lease_ttl: float = 15.0
+    queue_respawn: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -101,6 +118,17 @@ class RunnerConfig:
             raise CampaignError(f"max_retries {self.max_retries} must be >= 0")
         if self.max_consecutive_failures <= 0:
             raise CampaignError("max_consecutive_failures must be positive")
+        if self.backend not in CAMPAIGN_BACKENDS:
+            raise CampaignError(
+                f"backend {self.backend!r} must be one of {CAMPAIGN_BACKENDS}"
+            )
+        if self.backend == "queue" and not self.queue_dir:
+            raise CampaignError(
+                "backend 'queue' needs queue_dir (the shared directory "
+                "workers rendezvous on)"
+            )
+        if self.lease_ttl <= 0:
+            raise CampaignError(f"lease_ttl {self.lease_ttl} must be positive")
 
     def retry_policy(self) -> RetryPolicy:
         return RetryPolicy(
@@ -244,7 +272,8 @@ def _execute(
     if config.workers == 0 and sabotage:
         raise CampaignError(
             "sabotage drills require isolated workers (workers >= 1); "
-            "inline mode would kill the campaign process itself"
+            "inline and coordinator-inline modes would kill the campaign "
+            "process itself"
         )
     plan = plan_campaign(spec)
     for index in prior_results:
@@ -263,6 +292,7 @@ def _execute(
         shards=len(plan),
         pending=len(pending),
         workers=config.workers,
+        backend=config.backend,
     ) as run_span:
         with make_executor(
             config.workers,
@@ -270,6 +300,10 @@ def _execute(
             breaker=config.breaker_policy(),
             task_timeout=config.task_timeout,
             events=books.on_event,
+            backend=config.backend,
+            queue_dir=config.queue_dir,
+            lease_ttl=config.lease_ttl,
+            respawn=config.queue_respawn,
         ) as executor:
             executor.parent_span_id = getattr(run_span, "id", None)
             report = executor.run(
@@ -294,6 +328,7 @@ def _execute(
         "attempts": report.attempts,
         "wall_seconds": wall,
         "aborted": report.breaker_reason,
+        "backend": config.backend,
     }
     return CampaignOutcome(
         aggregate=aggregate, checkpoint=writer.path, stats=stats

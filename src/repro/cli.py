@@ -16,9 +16,13 @@ Usage (installed as ``python -m repro``)::
     python -m repro table2 --circuits cmb x2 cu
     python -m repro campaign plan --circuits comparator2 --modes delay seu
     python -m repro campaign run camp.ckpt.jsonl --circuits comparator2
+    python -m repro campaign run camp.ckpt.jsonl --backend queue --queue-dir /mnt/q
     python -m repro campaign resume camp.ckpt.jsonl
     python -m repro campaign report camp.ckpt.jsonl --format json
+    python -m repro campaign status camp.ckpt.jsonl --queue-dir /mnt/q --watch 2
     python -m repro campaign smoke
+    python -m repro campaign smoke --distributed
+    python -m repro worker /mnt/q --timeout 300
     python -m repro mask path/to/design.blif --library lsi10k_like
     python -m repro info
     python -m repro mask cmb --trace mask.trace.json --metrics mask.prom
@@ -50,17 +54,23 @@ from pathlib import Path
 from repro import obs
 from repro.benchcircuits import PAPER_SPECS, TABLE1_NAMES, all_circuit_names, circuit_by_name
 from repro.campaign import (
+    CAMPAIGN_BACKENDS,
     FAULT_KINDS,
     CampaignSpec,
     RunnerConfig,
     aggregate_results,
+    autoshard_spec,
+    campaign_status,
     load_journal,
     plan_campaign,
     render_campaign_json,
     render_campaign_text,
+    render_status_text,
     resume_campaign,
     run_campaign,
+    run_distributed_smoke,
     run_smoke,
+    watch_status,
 )
 from repro.analysis import (
     LintConfig,
@@ -83,7 +93,12 @@ from repro.analysis.absint import AbsintConfig, analyze_circuit, analyze_suite
 from repro.core import build_masked_design, mask_circuit, synthesize_masking
 from repro.engine import available_backends, numpy_available, validated_backend_name
 from repro.errors import BlifError, CampaignError, ExecError, ReproError
-from repro.exec import available_backends as exec_backends, default_worker_count
+from repro.exec import (
+    QueueWorker,
+    WorkQueue,
+    available_backends as exec_backends,
+    default_worker_count,
+)
 from repro.netlist import (
     Circuit,
     Library,
@@ -487,7 +502,28 @@ def _runner_config(args: argparse.Namespace) -> RunnerConfig:
         workers=args.workers,
         task_timeout=args.timeout,
         max_retries=args.retries,
+        backend=args.backend,
+        queue_dir=args.queue_dir,
+        lease_ttl=args.lease_ttl,
     )
+
+
+def _maybe_autoshard(spec: CampaignSpec, args: argparse.Namespace) -> CampaignSpec:
+    """Apply ``--auto-shard-from`` resizing, narrating what changed."""
+    donor = getattr(args, "auto_shard_from", None)
+    if not donor:
+        return spec
+    resized, timing = autoshard_spec(spec, donor, args.target_shard_seconds)
+    print(
+        f"auto-shard: {timing.samples} journaled shard(s) from {donor} "
+        f"(p50 {timing.p50_seconds:.2f}s / p90 {timing.p90_seconds:.2f}s "
+        f"at {timing.vectors_per_shard} vectors) -> "
+        f"{resized.vectors_per_shard} vectors x "
+        f"{resized.shards_per_cell} shards per cell "
+        f"(~{args.target_shard_seconds:g}s per shard)",
+        file=sys.stderr,
+    )
+    return resized
 
 
 def _emit_campaign(outcome_aggregate: dict, args: argparse.Namespace) -> None:
@@ -505,7 +541,7 @@ def _emit_campaign(outcome_aggregate: dict, args: argparse.Namespace) -> None:
 
 
 def cmd_campaign_plan(args: argparse.Namespace) -> int:
-    spec = _campaign_spec(args)
+    spec = _maybe_autoshard(_campaign_spec(args), args)
     plan = plan_campaign(spec)
     print(f"campaign {spec.fingerprint()[:12]}: {len(plan)} shards")
     for shard in plan:
@@ -518,7 +554,7 @@ def cmd_campaign_plan(args: argparse.Namespace) -> int:
 
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     outcome = run_campaign(
-        _campaign_spec(args),
+        _maybe_autoshard(_campaign_spec(args), args),
         args.checkpoint,
         _runner_config(args),
         sabotage=_parse_sabotage(args.sabotage),
@@ -560,7 +596,35 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign_smoke(args: argparse.Namespace) -> int:
+    if args.distributed:
+        return run_distributed_smoke(args.workdir)
     return run_smoke(args.workdir)
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    if args.watch:
+        return watch_status(args.checkpoint, args.queue_dir, args.watch)
+    print(
+        render_status_text(
+            campaign_status(args.checkpoint, args.queue_dir)
+        ).rstrip("\n")
+    )
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    queue = WorkQueue.open(args.queue_dir)
+    worker = QueueWorker(
+        queue,
+        worker_id=args.worker_id,
+        task_timeout=args.timeout,
+        max_consecutive_failures=args.max_failures,
+        idle_exit=args.idle_exit,
+        echo=None if args.quiet else (
+            lambda line: print(line, file=sys.stderr, flush=True)
+        ),
+    )
+    return worker.run()
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -826,8 +890,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-shard attempt timeout in seconds")
         cp.add_argument("--retries", type=int, default=3,
                         help="retries per shard before quarantine")
+        cp.add_argument("--backend", default="auto",
+                        choices=CAMPAIGN_BACKENDS,
+                        help="executor backend (auto: 0 workers = inline, "
+                        "else process pool; queue = shared-directory "
+                        "elastic fleet)")
+        cp.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="shared work-queue directory (required for "
+                        "--backend queue; external `repro worker DIR` "
+                        "processes may join at any time)")
+        cp.add_argument("--lease-ttl", type=float, default=15.0,
+                        metavar="SECONDS",
+                        help="queue lease time-to-live: how long a dead "
+                        "worker can hold a shard before it is stolen")
         cp.add_argument("--progress", action="store_true",
                         help="log per-shard progress lines")
+
+    def add_autoshard_options(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument(
+            "--auto-shard-from", default=None, metavar="CKPT",
+            help="resize shards from this donor journal's wall-time "
+            "telemetry (total vectors preserved exactly)",
+        )
+        cp.add_argument(
+            "--target-shard-seconds", type=float, default=30.0,
+            metavar="SECONDS",
+            help="p90 wall budget per shard for --auto-shard-from "
+            "(default: 30)",
+        )
 
     def add_output_options(cp: argparse.ArgumentParser) -> None:
         cp.add_argument("--format", default="text", choices=("text", "json"))
@@ -837,6 +927,7 @@ def build_parser() -> argparse.ArgumentParser:
         "plan", help="show the deterministic shard plan", parents=[obs_parent]
     )
     add_spec_options(p)
+    add_autoshard_options(p)
     p.set_defaults(func=cmd_campaign_plan)
 
     p = csub.add_parser(
@@ -846,6 +937,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("checkpoint", help="checkpoint journal path (must not exist)")
     add_spec_options(p)
+    add_autoshard_options(p)
     add_runner_options(p)
     add_output_options(p)
     p.add_argument(
@@ -877,12 +969,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_campaign_report)
 
     p = csub.add_parser(
+        "status",
+        help="live journal + work-queue status (safe from any host)",
+        parents=[obs_parent],
+    )
+    p.add_argument("checkpoint", help="existing checkpoint journal path")
+    p.add_argument("--queue-dir", default=None, metavar="DIR",
+                   help="work-queue directory of a --backend queue run")
+    p.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                   help="re-render every SECONDS until the campaign settles")
+    p.set_defaults(func=cmd_campaign_status)
+
+    p = csub.add_parser(
         "smoke",
         help="end-to-end crash/quarantine/resume drill (CI gate)",
         parents=[obs_parent],
     )
     p.add_argument("--workdir", help="keep checkpoints here instead of a tmpdir")
+    p.add_argument(
+        "--distributed", action="store_true",
+        help="run the elastic-fleet drill instead: 4 queue workers, two "
+        "SIGKILLed mid-lease and one wedged, byte-identical aggregate",
+    )
     p.set_defaults(func=cmd_campaign_smoke)
+
+    p = sub.add_parser(
+        "worker",
+        help="serve a shared work-queue directory (join/leave any time)",
+        parents=[obs_parent],
+    )
+    p.add_argument("queue_dir", help="work-queue directory to serve")
+    p.add_argument("--worker-id", default=None,
+                   help="override the generated worker identity")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-task wall budget before lease renewal stops")
+    p.add_argument("--max-failures", type=int, default=16,
+                   help="consecutive environmental failures before this "
+                   "worker removes itself (exit code 3)")
+    p.add_argument("--idle-exit", type=float, default=None, metavar="SECONDS",
+                   help="exit after this long idle (default: wait for the "
+                   "queue's stop marker)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-task log lines on stderr")
+    p.set_defaults(func=cmd_worker)
     return parser
 
 

@@ -8,7 +8,10 @@ into reusable pieces:
   policy objects,
 * :class:`Executor` backends — ``inline`` (calling thread), ``thread``
   (in-process pool), ``process`` (persistent worker subprocesses with
-  timeouts, crash isolation, and sabotage drills),
+  timeouts, crash isolation, and sabotage drills), and ``queue`` (a
+  shared-directory work queue served by elastic, multi-host
+  ``repro worker`` processes with atomic-rename claims, heartbeat-renewed
+  leases, work stealing, and first-write-wins result dedup),
 * the task-kind registry mapping kind strings to runner functions on both
   sides of the process boundary.
 
@@ -31,6 +34,14 @@ from repro.exec.executors import (
     validated_jobs,
 )
 from repro.exec.policy import BreakerPolicy, RetryPolicy
+from repro.exec.queue_executor import QueueExecutor
+from repro.exec.queue_worker import QueueWorker
+from repro.exec.queuedir import (
+    QueuePolicy,
+    QueueSnapshot,
+    WorkQueue,
+    worker_identity,
+)
 from repro.exec.registry import (
     register_task_kind,
     registered_kinds,
@@ -55,6 +66,12 @@ __all__ = [
     "InlineExecutor",
     "ThreadExecutor",
     "ProcessPoolExecutor",
+    "QueueExecutor",
+    "QueuePolicy",
+    "QueueSnapshot",
+    "QueueWorker",
+    "WorkQueue",
+    "worker_identity",
     "ExecReport",
     "TaskAttemptError",
     "EventFn",

@@ -14,7 +14,13 @@ inline     the calling thread    none       no       no
 thread     a dispatch thread     none       no       no
 process    a persistent worker   full       yes      yes
            subprocess
+queue      any elastic worker    full +     yes      yes
+           on the shared queue   multi-host (lease)
 ========== ===================== ========== ======== =================
+
+The queue backend (:class:`~repro.exec.queue_executor.QueueExecutor`)
+lives in its own module: it replaces the in-process retry loop with the
+shared-directory lease/steal protocol of :mod:`repro.exec.queuedir`.
 
 The process backend generalizes the campaign's single-shot JSON-over-stdio
 worker into a **persistent pool**: each dispatch thread owns one
@@ -47,7 +53,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import repro
 from repro import obs
-from repro.errors import ExecError, ObsError
+from repro.errors import ExecError
 from repro.exec import _obs
 from repro.exec.policy import BreakerPolicy, RetryPolicy
 from repro.exec.registry import resolve
@@ -66,7 +72,7 @@ ResultFn = Callable[[TaskResult], None]
 
 def available_backends() -> tuple[str, ...]:
     """Names of the executor backends this build offers."""
-    return ("inline", "thread", "process")
+    return ("inline", "thread", "process", "queue")
 
 
 def default_worker_count() -> int:
@@ -204,6 +210,31 @@ class Executor:
 
     def _sabotage_for(self, task: Task) -> dict | None:
         return None
+
+    def _ingest_worker_obs(self, task: Task, worker_obs: dict | None) -> None:
+        """Merge a worker's telemetry payload into the parent registry.
+
+        Degrades gracefully: a worker emitting malformed spans or metrics
+        must never fail a task that computed fine, so *any* ingest error
+        is swallowed, counted (``repro_exec_telemetry_drops_total``), and
+        surfaced as a ``telemetry-drop`` event instead.
+        """
+        if not worker_obs:
+            return
+        try:
+            spans = worker_obs.get("spans")
+            if spans:
+                obs.ingest_spans(spans)
+            metrics = worker_obs.get("metrics")
+            if metrics:
+                obs.merge_metrics(metrics)
+        except Exception as exc:  # noqa: BLE001 - telemetry is best-effort
+            if _obs.METER.enabled:
+                _obs.TELEMETRY_DROPS.add(1, backend=self.backend)
+            self._emit(
+                "telemetry-drop", task,
+                f"worker telemetry dropped: {type(exc).__name__}: {exc}",
+            )
 
     def _attempt(
         self, slot: int, task: Task, attempt: int
@@ -569,6 +600,12 @@ class ProcessPoolExecutor(Executor):
             )
         self.workers = workers
         self._handles: list[_WorkerHandle | None] = [None] * workers
+        # Consecutive respawns per slot since the last healthy attempt;
+        # drives the exponential respawn backoff and resets on success.
+        self._respawns: list[int] = [0] * workers
+        # Slots whose worker was discarded mid-attempt and needs a
+        # (metered, backed-off) respawn on next use.
+        self._respawn_pending: list[bool] = [False] * workers
         self._sabotage: dict[Any, dict] = {}
         self._closed = False
 
@@ -593,18 +630,63 @@ class ProcessPoolExecutor(Executor):
     def _sabotage_for(self, task: Task) -> dict | None:
         return self._sabotage.get(task.key)
 
+    def _respawn_delay(self, slot: int) -> float:
+        """Exponential backoff before respawn attempt N on this slot.
+
+        Reuses the retry policy's base/cap so tests with zero-backoff
+        policies stay fast; without it, a persistently failing spawn
+        (bad interpreter, ENOMEM) would burn the whole retry budget in a
+        tight loop.
+        """
+        n = self._respawns[slot]
+        if n <= 0:
+            return 0.0
+        return min(
+            self.retry.backoff_cap,
+            self.retry.backoff_base * (2.0 ** (n - 1)),
+        )
+
     def _worker(self, slot: int) -> _WorkerHandle:
         handle = self._handles[slot]
-        if handle is None or not handle.alive():
-            if handle is not None:
-                handle.kill()
+        if handle is not None and handle.alive():
+            return handle
+        # Respawning covers both a corpse discovered here and a worker
+        # already discarded mid-attempt (crash, timeout, garbled pipe).
+        respawning = handle is not None or self._respawn_pending[slot]
+        self._respawn_pending[slot] = False
+        if handle is not None:
+            handle.kill()
+            self._handles[slot] = None
+        if respawning or self._respawns[slot]:
+            delay = self._respawn_delay(slot)
+            if delay > 0:
+                time.sleep(delay)
+        try:
             handle = _WorkerHandle()
-            self._handles[slot] = handle
+        except OSError as exc:
+            # Spawning itself failed (exec error, fd/memory exhaustion).
+            # Costs one attempt like any environmental failure — with the
+            # backoff above between attempts — instead of killing the
+            # dispatch thread.
+            self._respawns[slot] += 1
+            if _obs.METER.enabled:
+                _obs.RESPAWNS.add(
+                    1, backend=self.backend, outcome="spawn-failed"
+                )
+            raise TaskAttemptError(f"worker spawn failed: {exc}") from exc
+        if respawning or self._respawns[slot]:
+            self._respawns[slot] += 1
+            if _obs.METER.enabled:
+                _obs.RESPAWNS.add(
+                    1, backend=self.backend, outcome="respawned"
+                )
+        self._handles[slot] = handle
         return handle
 
     def _discard_worker(self, slot: int) -> int:
         handle = self._handles[slot]
         self._handles[slot] = None
+        self._respawn_pending[slot] = True
         return handle.kill() if handle is not None else 0
 
     def _attempt(
@@ -657,19 +739,10 @@ class ProcessPoolExecutor(Executor):
                 f"worker answered for key {payload.get('key')!r}, "
                 f"expected {task.key!r}", retryable=False,
             )
+        self._respawns[slot] = 0
         worker_obs = payload.get("obs")
         worker_obs = worker_obs if isinstance(worker_obs, dict) else None
-        if worker_obs:
-            try:
-                spans = worker_obs.get("spans")
-                if spans:
-                    obs.ingest_spans(spans)
-                metrics = worker_obs.get("metrics")
-                if metrics:
-                    obs.merge_metrics(metrics)
-            except ObsError:
-                # Telemetry must never fail a task that computed fine.
-                pass
+        self._ingest_worker_obs(task, worker_obs)
         return payload["result"], worker_obs
 
     @staticmethod
@@ -694,17 +767,47 @@ def make_executor(
     breaker: BreakerPolicy | None = None,
     task_timeout: float = 300.0,
     events: EventFn | None = None,
+    backend: str = "auto",
+    queue_dir: str | os.PathLike | None = None,
+    lease_ttl: float = 15.0,
+    respawn: bool = True,
 ) -> Executor:
-    """The uniform ``workers`` convention: ``0`` -> inline, ``N >= 1`` ->
-    a process pool of N persistent workers.  Negative counts are rejected
-    eagerly."""
+    """Build an executor by backend name.
+
+    ``backend="auto"`` keeps the historical ``workers`` convention:
+    ``0`` -> inline, ``N >= 1`` -> a process pool of N persistent
+    workers.  Explicit names select a backend directly; ``"queue"``
+    additionally needs ``queue_dir`` (the shared work-queue directory)
+    and accepts ``lease_ttl``.  Negative counts are rejected eagerly.
+    """
     workers = validated_jobs(workers)
     kwargs: dict[str, Any] = dict(
         retry=retry, breaker=breaker, task_timeout=task_timeout, events=events
     )
-    if workers == 0:
+    if backend == "auto":
+        backend = "inline" if workers == 0 else "process"
+    if backend == "inline":
         return InlineExecutor(**kwargs)
-    return ProcessPoolExecutor(workers=workers, **kwargs)
+    if backend == "thread":
+        return ThreadExecutor(workers=max(workers, 1), **kwargs)
+    if backend == "process":
+        return ProcessPoolExecutor(workers=max(workers, 1), **kwargs)
+    if backend == "queue":
+        from repro.exec.queue_executor import QueueExecutor
+
+        if queue_dir is None:
+            raise ExecError(
+                "backend 'queue' needs queue_dir (the shared work-queue "
+                "directory coordinator and workers rendezvous on)"
+            )
+        return QueueExecutor(
+            queue_dir, workers=workers, lease_ttl=lease_ttl,
+            respawn=respawn, **kwargs
+        )
+    raise ExecError(
+        f"unknown executor backend {backend!r}; "
+        f"choose from {('auto',) + available_backends()}"
+    )
 
 
 __all__ = [

@@ -1,0 +1,541 @@
+"""The ``queue`` backend: elastic, multi-host, lease-based execution.
+
+:class:`QueueExecutor` is the coordinator side of the shared-directory
+work queue (:mod:`repro.exec.queuedir`).  Where the other backends *own*
+their attempt loop, this one publishes content-addressed task documents
+and lets an **elastic fleet** of :mod:`repro.exec.queue_worker`
+processes — local children it spawns, plus any ``repro worker`` started
+by hand on this or another host — race to claim, execute, and publish.
+
+What replaces the in-process retry loop:
+
+* **retries** are lease steals: a worker that dies or wedges mid-task
+  stops renewing its lease; the coordinator (or any idle worker) reclaims
+  the claim and requeues it, bumping the shared attempt budget
+  (``retry.max_retries + 1`` attempts total, like every other backend);
+* **quarantine** is a published error result: deterministic runner
+  errors quarantine immediately, environmental failures quarantine when
+  the attempt budget is spent — either way the queue never stalls;
+* **dedup**: tasks are content-addressed, so two tasks with identical
+  ``(kind, payload)`` fingerprints execute once, and a stolen-but-slow
+  worker's duplicate completion is absorbed first-write-wins with the
+  canonical result payloads byte-compared (divergence is surfaced as an
+  event, never silently overwritten);
+* the **coordinator is a reaper, not a dispatcher**: its poll loop
+  reclaims expired leases, tails the queue's event logs into executor
+  events/metrics, ingests worker telemetry, and settles results.
+
+``workers=0`` makes the coordinator *participate inline* (an in-process
+worker thread serving the same claim protocol), so a queue run always
+makes progress even before any external worker joins.  With
+``workers>=1`` it spawns that many local worker subprocesses; killed
+ones are respawned with exponential backoff while work remains (disable
+with ``respawn=False`` to drill true host loss).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ExecError
+from repro.exec import _obs
+from repro.exec.executors import (
+    ExecReport,
+    Executor,
+    ResultFn,
+    _child_env,
+)
+from repro.exec.queuedir import QueuePolicy, WorkQueue, worker_identity
+from repro.exec.queue_worker import QueueWorker
+from repro.exec.task import Task, TaskResult
+
+
+class _EventTail:
+    """Incremental reader of the queue's per-writer event logs."""
+
+    def __init__(self, queue: WorkQueue):
+        self.queue = queue
+        self._offsets: dict[Path, int] = {}
+
+    def new_events(self) -> list[dict]:
+        records: list[dict] = []
+        for path in sorted((self.queue.root / "events").glob("*.jsonl")):
+            offset = self._offsets.get(path, 0)
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            except OSError:
+                continue
+            if not chunk:
+                continue
+            # Only consume complete lines; a torn tail is re-read later.
+            complete, _, _ = chunk.rpartition(b"\n")
+            if not complete:
+                continue
+            self._offsets[path] = offset + len(complete) + 1
+            for raw in complete.split(b"\n"):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    record = json.loads(raw)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+        records.sort(key=lambda r: (r.get("ts", 0.0), r.get("worker", "")))
+        return records
+
+
+class QueueExecutor(Executor):
+    """Coordinator of one shared work-queue directory.
+
+    Parameters beyond the :class:`Executor` base:
+
+    ``queue_dir``
+        The rendezvous directory (local or NFS).  Created if missing;
+        its manifest persists the queue policy for joining workers.
+    ``workers``
+        Local worker subprocesses to spawn per run; ``0`` = participate
+        inline (plus any external workers that join either way).
+    ``lease_ttl`` / ``policy``
+        Lease time-to-live in seconds, or a full :class:`QueuePolicy`
+        (which wins if given).  The policy's attempt budget defaults to
+        ``retry.max_retries + 1`` to match the other backends.
+    ``respawn``
+        Respawn locally-spawned workers that die while work remains
+        (exponential backoff from the retry policy's base/cap).
+    """
+
+    backend = "queue"
+
+    def __init__(
+        self,
+        queue_dir: str | os.PathLike,
+        workers: int = 1,
+        policy: QueuePolicy | None = None,
+        lease_ttl: float = 15.0,
+        respawn: bool = True,
+        **kwargs: Any,
+    ):
+        super().__init__(**kwargs)
+        if workers < 0:
+            raise ExecError(f"queue executor needs workers >= 0, got {workers}")
+        self.queue_dir = Path(queue_dir)
+        self.workers = workers
+        self.respawn = respawn
+        if policy is None:
+            # Grace and poll cadence scale with the ttl so short-lease
+            # configurations (tests, chaos drills) stay responsive while
+            # long-lease production queues stay skew-tolerant.
+            policy = QueuePolicy(
+                lease_ttl=lease_ttl,
+                clock_skew_grace=min(5.0, lease_ttl / 3.0),
+                poll_interval=min(0.2, max(0.02, lease_ttl / 10.0)),
+                max_attempts=self.retry.max_retries + 1,
+            )
+        self.policy = policy
+        self.coordinator_id = f"coord-{worker_identity()}"
+        self._queue: WorkQueue | None = None
+        self._spawned: list[subprocess.Popen] = []
+        self._inline_worker: QueueWorker | None = None
+        self._inline_thread: threading.Thread | None = None
+        self._closed = False
+
+    @property
+    def parallelism(self) -> int:
+        return max(self.workers, 1)
+
+    # ----------------------------------------------------------- local fleet
+
+    def _spawn_worker(self) -> subprocess.Popen:
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.exec.queue_worker",
+                str(self.queue_dir),
+                "--timeout", str(self.task_timeout),
+                "--max-failures",
+                str(self.breaker.max_consecutive_failures),
+                "--quiet",
+            ],
+            stdin=subprocess.DEVNULL,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=_child_env(),
+        )
+
+    def _start_inline_worker(self, queue: WorkQueue) -> None:
+        self._inline_worker = QueueWorker(
+            queue,
+            worker_id=f"inline-{worker_identity()}",
+            task_timeout=self.task_timeout,
+            max_consecutive_failures=self.breaker.max_consecutive_failures,
+        )
+        self._inline_thread = threading.Thread(
+            target=self._inline_worker.run,
+            name="queue-inline-worker",
+            daemon=True,
+        )
+        self._inline_thread.start()
+
+    def _reap_fleet(self, unresolved: int, respawns: int) -> int:
+        """Respawn dead local workers while work remains; returns the
+        updated consecutive-respawn count."""
+        alive: list[subprocess.Popen] = []
+        dead = 0
+        for proc in self._spawned:
+            if proc.poll() is None:
+                alive.append(proc)
+            else:
+                dead += 1
+        self._spawned = alive
+        if dead and self.respawn and unresolved:
+            for _ in range(dead):
+                if respawns > 0:
+                    delay = min(
+                        self.retry.backoff_cap,
+                        self.retry.backoff_base * (2.0 ** (respawns - 1)),
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                self._spawned.append(self._spawn_worker())
+                respawns += 1
+                if _obs.METER.enabled:
+                    _obs.RESPAWNS.add(
+                        1, backend=self.backend, outcome="respawned"
+                    )
+        return respawns
+
+    def _stop_fleet(self, queue: WorkQueue | None) -> None:
+        if queue is not None:
+            queue.stop()
+        for proc in self._spawned:
+            # Workers exit on the stop marker within one poll interval;
+            # anything still alive after a grace period (a wedged drill
+            # victim sleeping in sabotage) is killed outright.
+            try:
+                proc.wait(timeout=2.0 * self.policy.poll_interval + 1.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+        self._spawned = []
+        if self._inline_thread is not None:
+            self._inline_thread.join(
+                timeout=4.0 * self.policy.poll_interval + 2.0
+            )
+            self._inline_thread = None
+            self._inline_worker = None
+
+    # -------------------------------------------------------------- the run
+
+    def run(
+        self,
+        tasks: Sequence[Task],
+        on_result: ResultFn | None = None,
+        sabotage: Mapping[Any, dict] | None = None,
+    ) -> ExecReport:
+        if self._closed:
+            raise ExecError("executor is closed")
+        tasks = list(tasks)
+        keys = [t.key for t in tasks]
+        if len(set(keys)) != len(keys):
+            raise ExecError("task keys must be unique within one run")
+        if sabotage and self.workers == 0:
+            raise ExecError(
+                "sabotage drills need spawned queue workers (workers >= 1); "
+                "the inline participant shares the coordinator process"
+            )
+        started = time.monotonic()
+        state = _QueueRunState(tasks)
+        if not tasks:
+            return ExecReport()
+
+        (self.queue_dir / "stop").unlink(missing_ok=True)
+        queue = WorkQueue.create(self.queue_dir, self.policy)
+        self._queue = queue
+        sabotage = dict(sabotage or {})
+        for task in tasks:
+            fp = task.fingerprint()
+            directive = sabotage.get(task.key)
+            if directive:
+                # Directive lands before the task so no worker can claim
+                # the task un-drilled.
+                queue.publish_sabotage(fp, directive)
+            state.map_task(fp, task)
+            queue.publish_task(task)
+        queue.log_event(
+            self.coordinator_id, "published",
+            tasks=len(tasks), fingerprints=len(state.fp_tasks),
+        )
+
+        tail = _EventTail(queue)
+        try:
+            if self.workers == 0:
+                self._start_inline_worker(queue)
+            else:
+                self._spawned = [
+                    self._spawn_worker() for _ in range(self.workers)
+                ]
+            respawns = 0
+            last_progress = time.monotonic()
+            stall_after = (
+                self.task_timeout
+                + self.policy.max_lease_age
+                + self.policy.clock_skew_grace
+                + 4.0 * self.policy.poll_interval
+            )
+            with _obs.TRACER.span(
+                "exec.queue_run",
+                parent_id=self.parent_span_id,
+                tasks=len(tasks),
+                workers=self.workers,
+                queue=str(self.queue_dir),
+            ):
+                while state.unresolved:
+                    # Reaper duty: steal from the dead and the wedged.
+                    for fp, action, reason in queue.reclaim_expired(
+                        self.coordinator_id
+                    ):
+                        queue.log_event(
+                            self.coordinator_id, "stolen", fingerprint=fp,
+                            action=action, reason=reason,
+                        )
+                    progressed = self._drain_events(state, tail)
+                    progressed |= self._drain_results(
+                        state, queue, on_result
+                    )
+                    self._publish_heartbeat_ages(queue)
+                    respawns = self._reap_fleet(
+                        len(state.unresolved), respawns
+                    )
+                    if state.took_result:
+                        respawns = 0
+                        state.took_result = False
+                    now = time.monotonic()
+                    if progressed or self._live_leases(queue):
+                        last_progress = now
+                    elif now - last_progress > stall_after:
+                        state.breaker_reason = (
+                            f"queue stalled: {len(state.unresolved)} "
+                            f"task(s) unclaimed for {stall_after:.1f}s "
+                            "with no live worker lease"
+                        )
+                        break
+                    if state.unresolved:
+                        time.sleep(self.policy.poll_interval)
+        finally:
+            self._stop_fleet(queue)
+            # Settle the tail end: results published between the last
+            # poll and the fleet stop.
+            self._drain_events(state, tail)
+            self._drain_results(state, queue, on_result)
+
+        state.settle_stopped()
+        return ExecReport(
+            results=state.results,
+            attempts=state.claims,
+            wall_seconds=time.monotonic() - started,
+            breaker_reason=state.breaker_reason,
+        )
+
+    # ------------------------------------------------------------- plumbing
+
+    def _live_leases(self, queue: WorkQueue) -> bool:
+        for fp in queue.claimed_fingerprints():
+            if queue.lease_expiry_reason(fp) is None:
+                return True
+        return False
+
+    def _publish_heartbeat_ages(self, queue: WorkQueue) -> None:
+        if not _obs.METER.enabled:
+            return
+        now = time.time()
+        for wid, doc in queue.workers().items():
+            age = max(0.0, now - float(doc.get("time", now)))
+            _obs.QUEUE_HEARTBEAT_AGE.set(round(age, 3), worker=wid)
+
+    def _drain_events(self, state: "_QueueRunState", tail: _EventTail) -> bool:
+        """Tail queue events into executor events and metrics."""
+        progressed = False
+        for record in tail.new_events():
+            event = record.get("event")
+            fp = record.get("fingerprint")
+            task = state.fp_tasks.get(fp, [None])[0] if fp else None
+            progressed = True
+            if event == "claimed":
+                state.claims += 1
+                if _obs.METER.enabled:
+                    _obs.QUEUE_CLAIMS.add()
+                if task is not None:
+                    self._emit(
+                        "attempt-started", task,
+                        f"claimed by {record.get('worker')}",
+                    )
+            elif event == "attempt-failed" and task is not None:
+                self._emit(
+                    "attempt-failed", task,
+                    str(record.get("reason", "environmental failure")),
+                    retryable=True,
+                )
+            elif event == "stolen":
+                if _obs.METER.enabled:
+                    _obs.QUEUE_STEALS.add(
+                        1, action=str(record.get("action", "requeued"))
+                    )
+                if task is not None:
+                    self._emit(
+                        "attempt-failed", task,
+                        f"lease stolen: {record.get('reason')}",
+                        retryable=True,
+                    )
+                    if record.get("action") == "requeued":
+                        self._emit("retry", task, "requeued after steal")
+            elif event == "dedup":
+                if _obs.METER.enabled:
+                    _obs.QUEUE_DEDUPS.add()
+            elif event == "result-divergence":
+                if _obs.METER.enabled:
+                    _obs.QUEUE_DIVERGENCES.add()
+                if task is not None:
+                    self._emit(
+                        "divergence", task,
+                        "duplicate completion diverged from the first "
+                        "published result",
+                    )
+        return progressed
+
+    def _drain_results(
+        self,
+        state: "_QueueRunState",
+        queue: WorkQueue,
+        on_result: ResultFn | None,
+    ) -> bool:
+        progressed = False
+        for fp in list(state.unresolved):
+            doc = queue.read_result(fp)
+            if doc is None:
+                continue
+            progressed = True
+            state.unresolved.discard(fp)
+            state.took_result = True
+            attempts_doc = queue.attempts(fp)
+            prior_failures = tuple(
+                str(f) for f in attempts_doc.get("failures", ())
+            )
+            base_attempts = int(attempts_doc.get("attempts", 0))
+            tasks = state.fp_tasks.get(fp, [])
+            self._ingest_worker_obs(
+                tasks[0] if tasks else None,  # type: ignore[arg-type]
+                doc.get("obs") if isinstance(doc.get("obs"), dict) else None,
+            )
+            for task in tasks:
+                result = self._settle(
+                    task, doc, base_attempts, prior_failures
+                )
+                state.results[task.key] = result
+                if on_result is not None:
+                    on_result(result)
+                if result.outcome == "done":
+                    self._emit(
+                        "task-done", task,
+                        f"attempts={result.attempts}",
+                        attempts=result.attempts,
+                        wall_seconds=result.wall_seconds,
+                    )
+                else:
+                    self._emit(
+                        "quarantined", task, result.error or "",
+                        attempts=result.attempts,
+                    )
+                if _obs.METER.enabled:
+                    _obs.TASKS.add(
+                        1, backend=self.backend, outcome=result.outcome
+                    )
+                    _obs.TASK_SECONDS.observe(
+                        result.wall_seconds, backend=self.backend
+                    )
+        return progressed
+
+    def _settle(
+        self,
+        task: Task,
+        doc: dict,
+        base_attempts: int,
+        failures: tuple[str, ...],
+    ) -> TaskResult:
+        wall = doc.get("wall_seconds")
+        wall = float(wall) if isinstance(wall, (int, float)) else 0.0
+        if "error" in doc:
+            doc_failures = doc.get("failures")
+            if isinstance(doc_failures, list) and doc_failures:
+                failures = tuple(str(f) for f in doc_failures)
+            else:
+                failures = failures + (str(doc["error"]),)
+            return TaskResult(
+                task=task,
+                outcome="quarantined",
+                attempts=max(base_attempts, 1),
+                error=str(doc["error"]),
+                failures=failures,
+                wall_seconds=wall,
+            )
+        worker_obs = doc.get("obs")
+        return TaskResult(
+            task=task,
+            outcome="done",
+            value=doc.get("result"),
+            attempts=base_attempts + 1,
+            failures=failures,
+            wall_seconds=wall,
+            worker_obs=worker_obs if isinstance(worker_obs, dict) else None,
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stop_fleet(self._queue)
+        self._queue = None
+
+
+class _QueueRunState:
+    """Mutable bookkeeping of one queue run."""
+
+    def __init__(self, tasks: Sequence[Task]):
+        self.fp_tasks: dict[str, list[Task]] = {}
+        self.unresolved: set[str] = set()
+        self.results: dict[Any, TaskResult] = {}
+        self.claims = 0
+        self.took_result = False
+        self.breaker_reason: str | None = None
+        self._stopped_tasks = list(tasks)
+
+    def map_task(self, fp: str, task: Task) -> None:
+        # Content-addressed dedup inside one run: identical (kind,
+        # payload) under different keys executes once, every key gets
+        # the result.
+        self.fp_tasks.setdefault(fp, []).append(task)
+        self.unresolved.add(fp)
+
+    def settle_stopped(self) -> None:
+        """Tasks still unresolved when the run stops end as ``stopped``."""
+        for fp in self.unresolved:
+            for task in self.fp_tasks.get(fp, []):
+                if task.key not in self.results:
+                    self.results[task.key] = TaskResult(
+                        task=task, outcome="stopped"
+                    )
+
+
+__all__ = ["QueueExecutor"]

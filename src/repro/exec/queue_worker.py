@@ -1,0 +1,341 @@
+"""Elastic queue worker: ``python -m repro.exec.queue_worker QUEUE_DIR``.
+
+Any number of these processes — started before, during, or after the
+coordinator, on any host that mounts the queue directory — cooperate on
+one :class:`~repro.exec.queuedir.WorkQueue`:
+
+* **claim** a task by atomic rename, write a lease, and run it through
+  the shared task-kind registry;
+* **renew** the lease from a renewal thread while the task runs — but
+  only up to ``task_timeout``, so a wedged runner's lease *must* expire
+  and be stolen (the worker process itself keeps heartbeating: a wedged
+  worker is alive-but-leaseless, a dead one goes silent);
+* **publish** the result first-write-wins (a stolen-but-slow worker's
+  duplicate completion deduplicates by fingerprint);
+* **steal** expired leases from dead or wedged peers while otherwise
+  idle, requeueing (or quarantining, over budget) their tasks;
+* **stop** on the queue's stop marker, on an idle timeout, or when its
+  own consecutive-failure breaker trips (a worker whose environment
+  keeps breaking takes itself out rather than eat the queue).
+
+Deterministic runner errors (:data:`~repro.exec.protocol
+.DETERMINISTIC_ERRORS`) are *results*: published as an error document
+that quarantines the task everywhere at once, costing no retry budget.
+Unexpected exceptions are environmental: the worker requeues its own
+claim (bumping the shared attempt budget) and counts a breaker strike.
+
+Observability crosses the queue with the same **delta semantics** as the
+stdio worker protocol: when ``REPRO_OBS`` is on, each result document
+carries the spans and metric increments recorded since the previous
+publication, and the registry is reset after every publish.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from typing import Any, Callable
+
+from repro import obs
+from repro.exec.protocol import DETERMINISTIC_ERRORS, apply_sabotage
+from repro.exec.queuedir import (
+    QUEUE_SCHEMA,
+    QueuePolicy,
+    WorkQueue,
+    worker_identity,
+)
+from repro.exec.registry import resolve, resolve_span
+
+#: Exit codes of the worker process.
+EXIT_DONE = 0        #: stop marker seen or idle timeout reached
+EXIT_BREAKER = 3     #: the worker's own consecutive-failure breaker tripped
+
+
+class QueueWorker:
+    """One worker's claim/execute/publish loop over a shared queue."""
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        worker_id: str | None = None,
+        task_timeout: float = 300.0,
+        max_consecutive_failures: int = 16,
+        idle_exit: float | None = None,
+        echo: Callable[[str], None] | None = None,
+    ):
+        self.queue = queue
+        self.worker_id = worker_id or worker_identity()
+        self.task_timeout = task_timeout
+        self.max_consecutive_failures = max_consecutive_failures
+        self.idle_exit = idle_exit
+        self.echo = echo
+        self.tasks_done = 0
+        self.failures = 0
+        self._consecutive = 0
+        self._current: str | None = None
+        self._stopping = threading.Event()
+
+    # -------------------------------------------------------------- logging
+
+    def _say(self, message: str) -> None:
+        if self.echo is not None:
+            self.echo(f"[{self.worker_id}] {message}")
+
+    def _heartbeat(self, state: str) -> None:
+        self.queue.write_heartbeat(
+            self.worker_id,
+            state,
+            tasks_done=self.tasks_done,
+            failures=self.failures,
+            current=self._current,
+        )
+
+    def _heartbeat_loop(self) -> None:
+        interval = self.queue.policy.heartbeat_interval
+        while not self._stopping.wait(interval):
+            self._heartbeat("busy" if self._current else "idle")
+
+    # ------------------------------------------------------------ execution
+
+    def _renewal_loop(self, fp: str, started: float) -> None:
+        """Renew the task's lease until it finishes or times out.
+
+        Stopping renewal at ``task_timeout`` is the wedge detector: a
+        runner stuck past its budget loses the lease to a thief while
+        this process (and its heartbeat) stay alive.
+        """
+        interval = self.queue.policy.heartbeat_interval
+        while not self._stopping.wait(interval):
+            if self._current != fp:
+                return
+            if time.monotonic() - started > self.task_timeout:
+                self._say(f"task {fp[:12]} past {self.task_timeout:g}s; "
+                          "ceasing lease renewal (lease will be stolen)")
+                return
+            if not self.queue.renew_lease(fp, self.worker_id):
+                return  # stolen: finish anyway, dedup absorbs the result
+
+    def _run_claimed(self, fp: str, doc: dict) -> None:
+        queue = self.queue
+        self._current = fp
+        self._heartbeat("busy")
+        queue.log_event(self.worker_id, "claimed", fingerprint=fp,
+                        attempt=queue.attempts(fp).get("attempts", 0))
+        started = time.monotonic()
+        renewer = threading.Thread(
+            target=self._renewal_loop, args=(fp, started),
+            name=f"lease-renew-{fp[:8]}", daemon=True,
+        )
+        renewer.start()
+        try:
+            # Fault drill (testing only): may SIGKILL this process
+            # mid-lease, wedge it in a sleep while the lease is renewed,
+            # or exit nonzero — exactly the failure modes the protocol
+            # must absorb.
+            attempt = queue.attempts(fp).get("attempts", 0)
+            apply_sabotage(queue.sabotage_for(fp), attempt)
+            result_doc = self._execute(fp, doc, attempt)
+        except DETERMINISTIC_ERRORS as exc:
+            # The *task* is broken, not the environment: a quarantine
+            # result settles it everywhere at once.
+            result_doc = {
+                "schema": QUEUE_SCHEMA,
+                "fingerprint": fp,
+                "kind": doc.get("kind"),
+                "worker": self.worker_id,
+                "attempt": queue.attempts(fp).get("attempts", 0),
+                "error": f"{type(exc).__name__}: {exc}",
+                "quarantine": True,
+            }
+        except Exception as exc:  # noqa: BLE001 - environmental failure
+            self.failures += 1
+            self._consecutive += 1
+            reason = f"{type(exc).__name__}: {exc} (worker {self.worker_id})"
+            action = queue.reclaim(
+                fp, self.worker_id, queue.policy.max_attempts, reason
+            )
+            queue.log_event(
+                self.worker_id, "attempt-failed", fingerprint=fp,
+                reason=reason, action=action or "lost-race",
+            )
+            self._say(f"task {fp[:12]} failed: {reason} -> {action}")
+            self._current = None
+            self._heartbeat("idle")
+            return
+        state = queue.publish_result(fp, result_doc)
+        queue.release(fp, self.worker_id)
+        if "error" in result_doc:
+            queue.log_event(self.worker_id, "quarantined", fingerprint=fp,
+                            error=result_doc["error"])
+        elif state == "published":
+            self.tasks_done += 1
+            queue.log_event(
+                self.worker_id, "done", fingerprint=fp,
+                wall_seconds=result_doc.get("wall_seconds", 0.0),
+            )
+        elif state == "duplicate":
+            queue.log_event(self.worker_id, "dedup", fingerprint=fp)
+        else:  # divergent: surfaced loudly, first result stays canonical
+            queue.log_event(self.worker_id, "result-divergence",
+                            fingerprint=fp)
+            self._say(f"task {fp[:12]} produced a DIVERGENT duplicate "
+                      "result; keeping the first publication")
+        self._consecutive = 0
+        self._current = None
+        # Immediate heartbeat so status views never mistake a finished
+        # worker (current task settled, lease released) for a wedged one.
+        self._heartbeat("idle")
+
+    def _execute(self, fp: str, doc: dict, attempt: int) -> dict:
+        kind = doc.get("kind")
+        payload = doc.get("payload")
+        if not isinstance(kind, str) or not isinstance(payload, dict):
+            raise ValueError(f"task document {fp[:12]} is malformed")
+        runner = resolve(kind)
+        span_fn = resolve_span(kind)
+        started = time.perf_counter()
+        if span_fn is not None:
+            category, name, attrs = span_fn(payload, attempt)
+            with obs.get_tracer(category).span(name, **dict(attrs)):
+                result = runner(payload)
+        else:
+            result = runner(payload)
+        wall = time.perf_counter() - started
+        result_doc: dict[str, Any] = {
+            "schema": QUEUE_SCHEMA,
+            "fingerprint": fp,
+            "kind": kind,
+            "worker": self.worker_id,
+            "attempt": attempt,
+            "result": result,
+            "wall_seconds": round(wall, 6),
+        }
+        if obs.enabled():
+            result_doc["obs"] = {
+                "wall_seconds": round(wall, 6),
+                "spans": obs.span_records(),
+                "metrics": obs.metrics_snapshot(),
+            }
+            # Delta semantics: the next publication must carry only what
+            # the next task records.
+            obs.reset()
+            obs.configure(enabled=True)
+        return result_doc
+
+    # ------------------------------------------------------------- main loop
+
+    def run(self) -> int:
+        """Serve the queue until stop/idle/breaker; returns the exit code."""
+        queue = self.queue
+        self._heartbeat("idle")
+        heart = threading.Thread(
+            target=self._heartbeat_loop, name="queue-heartbeat", daemon=True
+        )
+        heart.start()
+        self._say(f"joined queue {queue.root}")
+        idle_since = time.monotonic()
+        exit_code = EXIT_DONE
+        try:
+            while True:
+                if queue.stopped():
+                    self._say("stop marker seen; leaving")
+                    break
+                if self._consecutive >= self.max_consecutive_failures:
+                    queue.log_event(
+                        self.worker_id, "breaker",
+                        consecutive=self._consecutive,
+                    )
+                    self._say(
+                        f"breaker tripped after {self._consecutive} "
+                        "consecutive failures; leaving"
+                    )
+                    exit_code = EXIT_BREAKER
+                    break
+                claimed = False
+                for fp in queue.todo_fingerprints():
+                    got = queue.try_claim(
+                        fp, self.worker_id,
+                        queue.attempts(fp).get("attempts", 0),
+                    )
+                    if got is not None:
+                        self._run_claimed(fp, got)
+                        claimed = True
+                        break  # re-check stop/breaker between tasks
+                if claimed:
+                    idle_since = time.monotonic()
+                    continue
+                # Idle: play reaper for dead/wedged peers.
+                for fp, action, reason in queue.reclaim_expired(
+                    self.worker_id
+                ):
+                    queue.log_event(
+                        self.worker_id, "stolen", fingerprint=fp,
+                        action=action, reason=reason,
+                    )
+                    self._say(f"stole {fp[:12]} ({action}): {reason}")
+                    idle_since = time.monotonic()
+                if (
+                    self.idle_exit is not None
+                    and time.monotonic() - idle_since > self.idle_exit
+                ):
+                    self._say(f"idle for {self.idle_exit:g}s; leaving")
+                    break
+                time.sleep(queue.policy.poll_interval)
+        finally:
+            self._stopping.set()
+            self._heartbeat("exited")
+            self.queue.log_event(
+                self.worker_id, "worker-exit",
+                tasks_done=self.tasks_done, failures=self.failures,
+                code=exit_code,
+            )
+        return exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.exec.queue_worker",
+        description="elastic work-queue worker (join/leave at any time)",
+    )
+    parser.add_argument("queue_dir", help="shared work-queue directory")
+    parser.add_argument("--worker-id", default=None,
+                        help="override the generated worker identity")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-task wall budget before lease renewal "
+                        "stops (wedge detector)")
+    parser.add_argument("--max-failures", type=int, default=16,
+                        help="consecutive environmental failures before "
+                        "this worker removes itself")
+    parser.add_argument("--idle-exit", type=float, default=None,
+                        help="exit after this many idle seconds "
+                        "(default: wait for the stop marker)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-task log lines on stderr")
+    args = parser.parse_args(argv)
+    queue = WorkQueue.open(args.queue_dir)
+    worker = QueueWorker(
+        queue,
+        worker_id=args.worker_id,
+        task_timeout=args.timeout,
+        max_consecutive_failures=args.max_failures,
+        idle_exit=args.idle_exit,
+        echo=None if args.quiet else (
+            lambda line: print(line, file=sys.stderr, flush=True)
+        ),
+    )
+    return worker.run()
+
+
+__all__ = [
+    "EXIT_BREAKER",
+    "EXIT_DONE",
+    "QueuePolicy",
+    "QueueWorker",
+    "main",
+]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,735 @@
+"""Shared-directory work queue: the on-disk protocol behind ``backend=queue``.
+
+A :class:`WorkQueue` is a directory (local or NFS-mounted) that a
+coordinator and any number of elastic **queue workers** — joinable and
+killable at any time, on any host — cooperate through.  Every mutation
+uses one of two primitives that are atomic on POSIX filesystems and safe
+on NFS:
+
+* **write-temp-then-rename** — documents (tasks, leases, results,
+  heartbeats) are staged under ``tmp/`` and renamed into place, so a
+  reader never observes a torn file;
+* **atomic rename as a lock** — claiming a task renames its file from
+  ``todo/`` into ``claimed/``; exactly one renamer wins, the losers get
+  ``FileNotFoundError`` and move on.  Stealing renames it back.
+
+Directory layout (all children of the queue root)::
+
+    queue.json        manifest: schema + creator
+    todo/<fp>.json    published tasks, content-addressed by fingerprint
+    claimed/<fp>.json the same document after a successful claim
+    leases/<fp>.json  who holds the claim and until when (renewed)
+    results/<fp>.json terminal outcome: result or deterministic error
+    attempts/<fp>.json environmental-failure count + reasons (reclaims)
+    sabotage/<fp>.json optional fault-drill directives (testing only)
+    workers/<id>.json  per-worker heartbeat documents
+    events/<id>.jsonl  single-writer append-only event logs
+    tmp/               staging area for atomic writes
+    stop               cooperative shutdown marker
+
+**Lease protocol.**  A claimant writes ``leases/<fp>.json`` with an
+absolute ``deadline`` and renews it while the task runs — but only up to
+its task timeout, so a wedged task's lease *must* expire.  A lease is
+expired when its deadline (plus a clock-skew grace) has passed, **or**
+when the lease file's mtime is older than ``max_lease_age`` — the mtime
+cap means a claimant with a fast-skewed clock cannot write a far-future
+deadline and wedge the queue.  A ``claimed/`` entry with no lease at all
+(crash between rename and lease write) expires by claim-file mtime.
+
+**Stealing.**  Any reclaimer (idle worker or coordinator) may requeue an
+expired claim: rename ``claimed/<fp>.json`` back to ``todo/<fp>.json``
+(one winner), drop the stale lease, and bump ``attempts/<fp>.json``.
+Once attempts exhaust the budget the reclaimer publishes a quarantine
+result instead, so a poisoned task can never stall the queue.
+
+**Results.**  Terminal outcomes are content-addressed too: the first
+published ``results/<fp>.json`` wins; a duplicate completion (a stolen
+task whose original owner was merely slow) is byte-compared against the
+winner on the canonical ``result`` payload and dropped — identical by
+determinism, and a mismatch is logged as a ``result-divergence`` event
+rather than silently overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ExecError
+from repro.exec.task import Task, canonical_json
+
+#: Protocol version of every document written into a queue directory.
+QUEUE_SCHEMA = 1
+
+#: Subdirectories a queue root contains.
+QUEUE_DIRS = (
+    "todo",
+    "claimed",
+    "leases",
+    "results",
+    "attempts",
+    "sabotage",
+    "workers",
+    "events",
+    "tmp",
+)
+
+_STOP_MARKER = "stop"
+_MANIFEST = "queue.json"
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Timing and budget knobs of the queue protocol.
+
+    ``lease_ttl`` bounds how long a dead claimant can hold a task;
+    ``clock_skew_grace`` is added before any reclaim so modestly skewed
+    clocks never steal live work; ``max_lease_factor`` caps how far in
+    the future a (possibly skewed) deadline is trusted, measured from the
+    lease file's last renewal mtime; ``max_attempts`` is the total
+    environmental-failure budget before a task is quarantined.
+    """
+
+    lease_ttl: float = 15.0
+    clock_skew_grace: float = 5.0
+    max_lease_factor: float = 4.0
+    poll_interval: float = 0.2
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.lease_ttl <= 0:
+            raise ExecError(f"lease_ttl {self.lease_ttl} must be positive")
+        if self.clock_skew_grace < 0:
+            raise ExecError("clock_skew_grace must be >= 0")
+        if self.max_lease_factor < 1.0:
+            raise ExecError("max_lease_factor must be >= 1")
+        if self.poll_interval <= 0:
+            raise ExecError("poll_interval must be positive")
+        if self.max_attempts < 1:
+            raise ExecError("max_attempts must be >= 1")
+
+    @property
+    def heartbeat_interval(self) -> float:
+        """How often workers renew leases and heartbeats."""
+        return self.lease_ttl / 3.0
+
+    @property
+    def max_lease_age(self) -> float:
+        """Seconds after the last renewal at which any lease is dead."""
+        return self.lease_ttl * self.max_lease_factor
+
+    def to_json(self) -> dict:
+        return {
+            "lease_ttl": self.lease_ttl,
+            "clock_skew_grace": self.clock_skew_grace,
+            "max_lease_factor": self.max_lease_factor,
+            "poll_interval": self.poll_interval,
+            "max_attempts": self.max_attempts,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "QueuePolicy":
+        defaults = cls()
+        return cls(
+            lease_ttl=float(doc.get("lease_ttl", defaults.lease_ttl)),
+            clock_skew_grace=float(
+                doc.get("clock_skew_grace", defaults.clock_skew_grace)
+            ),
+            max_lease_factor=float(
+                doc.get("max_lease_factor", defaults.max_lease_factor)
+            ),
+            poll_interval=float(
+                doc.get("poll_interval", defaults.poll_interval)
+            ),
+            max_attempts=int(doc.get("max_attempts", defaults.max_attempts)),
+        )
+
+
+def worker_identity() -> str:
+    """A queue-unique worker id: ``<host>-<pid>-<nonce>``."""
+    host = socket.gethostname().split(".")[0] or "host"
+    # Labels travel through obs metric label keys: strip the separators.
+    host = host.replace("=", "_").replace(",", "_")
+    return f"{host}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class WorkQueue:
+    """One queue directory: every protocol operation, no policy loops.
+
+    All methods are safe to call concurrently from any number of
+    processes on any number of hosts sharing the directory.
+    """
+
+    def __init__(
+        self, root: str | os.PathLike, policy: QueuePolicy | None = None
+    ):
+        self.root = Path(root)
+        self.policy = policy or QueuePolicy()
+
+    # ------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def create(
+        cls, root: str | os.PathLike, policy: QueuePolicy | None = None
+    ) -> "WorkQueue":
+        """Initialise (or adopt) a queue directory structure.
+
+        The policy is persisted in the manifest so every joining worker
+        and every ``campaign status`` reader — possibly on another host —
+        recovers the same timing knobs.  Adopting an existing queue with
+        ``policy=None`` restores the stored policy.
+        """
+        queue = cls(root, policy)
+        queue.root.mkdir(parents=True, exist_ok=True)
+        for name in QUEUE_DIRS:
+            (queue.root / name).mkdir(exist_ok=True)
+        manifest = queue._read_json(_MANIFEST)
+        if manifest is None:
+            queue.policy = policy or QueuePolicy()
+            queue._write_json(
+                _MANIFEST,
+                {
+                    "schema": QUEUE_SCHEMA,
+                    "created_by": worker_identity(),
+                    "policy": queue.policy.to_json(),
+                },
+            )
+        elif policy is None and isinstance(manifest.get("policy"), dict):
+            queue.policy = QueuePolicy.from_json(manifest["policy"])
+        return queue
+
+    @classmethod
+    def open(cls, root: str | os.PathLike, policy: QueuePolicy | None = None
+             ) -> "WorkQueue":
+        """Open an existing queue directory; raises if it is not one."""
+        queue = cls(root, policy)
+        manifest = queue._read_json(_MANIFEST)
+        if manifest is None:
+            raise ExecError(f"{queue.root} is not a work-queue directory")
+        if manifest.get("schema") != QUEUE_SCHEMA:
+            raise ExecError(
+                f"{queue.root}: queue schema {manifest.get('schema')!r} "
+                f"not supported (this build speaks {QUEUE_SCHEMA})"
+            )
+        if policy is None and isinstance(manifest.get("policy"), dict):
+            queue.policy = QueuePolicy.from_json(manifest["policy"])
+        return queue
+
+    def stop(self) -> None:
+        """Publish the cooperative shutdown marker."""
+        self._write_json(_STOP_MARKER, {"schema": QUEUE_SCHEMA})
+
+    def stopped(self) -> bool:
+        return (self.root / _STOP_MARKER).exists()
+
+    # ------------------------------------------------------- atomic plumbing
+
+    def _write_json(self, relpath: str, doc: dict) -> Path:
+        """Write-temp-then-rename; readers never see a torn document."""
+        target = self.root / relpath
+        staging = self.root / "tmp"
+        staging.mkdir(exist_ok=True)
+        tmp = staging / f"{uuid.uuid4().hex}.tmp"
+        tmp.write_text(canonical_json(doc) + "\n", encoding="ascii")
+        os.replace(tmp, target)
+        return target
+
+    def _write_json_exclusive(self, relpath: str, doc: dict) -> bool:
+        """Atomically publish ``doc`` only if ``relpath`` does not exist.
+
+        Uses ``os.link`` of a fully-written staging file: the link either
+        creates the target (this caller won) or fails with EEXIST (a
+        racing publisher won first) — true first-write-wins, where a
+        plain rename would silently make the *last* writer win.
+        """
+        target = self.root / relpath
+        staging = self.root / "tmp"
+        staging.mkdir(exist_ok=True)
+        tmp = staging / f"{uuid.uuid4().hex}.tmp"
+        tmp.write_text(canonical_json(doc) + "\n", encoding="ascii")
+        try:
+            os.link(tmp, target)
+        except FileExistsError:
+            return False
+        finally:
+            tmp.unlink(missing_ok=True)
+        return True
+
+    def _read_json(self, relpath: str) -> dict | None:
+        """Read a document; ``None`` for missing, torn, or non-dict files."""
+        try:
+            text = (self.root / relpath).read_text(encoding="ascii")
+        except (OSError, UnicodeDecodeError):
+            return None
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    @staticmethod
+    def _mtime(path: Path) -> float | None:
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return None
+
+    # ------------------------------------------------------------ publishing
+
+    def publish_task(self, task: Task) -> str:
+        """Publish a task into ``todo/``; returns its fingerprint.
+
+        Idempotent: a fingerprint already present anywhere in the queue
+        (todo, claimed, or results) is not re-published, which is what
+        makes coordinator crash/rerun and content-level dedup free.
+        """
+        fp = task.fingerprint()
+        if (
+            (self.root / "results" / f"{fp}.json").exists()
+            or (self.root / "claimed" / f"{fp}.json").exists()
+            or (self.root / "todo" / f"{fp}.json").exists()
+        ):
+            return fp
+        self._write_json(
+            f"todo/{fp}.json",
+            {
+                "schema": QUEUE_SCHEMA,
+                "kind": task.kind,
+                "payload": dict(task.payload),
+                "fingerprint": fp,
+            },
+        )
+        return fp
+
+    def publish_sabotage(self, fp: str, directive: dict) -> None:
+        """Attach a fault-drill directive to a task fingerprint."""
+        self._write_json(f"sabotage/{fp}.json", dict(directive))
+
+    def sabotage_for(self, fp: str) -> dict | None:
+        return self._read_json(f"sabotage/{fp}.json")
+
+    # -------------------------------------------------------------- claiming
+
+    def todo_fingerprints(self) -> list[str]:
+        """Fingerprints currently waiting in ``todo/`` (sorted)."""
+        return sorted(
+            p.stem for p in (self.root / "todo").glob("*.json")
+        )
+
+    def try_claim(self, fp: str, worker: str, attempt: int) -> dict | None:
+        """Claim one task by atomic rename; the task document on success.
+
+        Exactly one concurrent claimant wins the rename.  The winner
+        immediately writes the lease; a crash in between leaves a
+        lease-less claim that expires by file mtime.
+        """
+        src = self.root / "todo" / f"{fp}.json"
+        dst = self.root / "claimed" / f"{fp}.json"
+        try:
+            os.rename(src, dst)
+        except OSError:
+            return None
+        self.write_lease(fp, worker, attempt)
+        doc = self._read_json(f"claimed/{fp}.json")
+        if doc is None:  # stolen back and completed impossibly fast / torn
+            return None
+        return doc
+
+    def write_lease(self, fp: str, worker: str, attempt: int) -> None:
+        now = time.time()
+        self._write_json(
+            f"leases/{fp}.json",
+            {
+                "schema": QUEUE_SCHEMA,
+                "fingerprint": fp,
+                "worker": worker,
+                "attempt": attempt,
+                "claimed_at": round(now, 3),
+                "deadline": round(now + self.policy.lease_ttl, 3),
+            },
+        )
+
+    def read_lease(self, fp: str) -> dict | None:
+        return self._read_json(f"leases/{fp}.json")
+
+    def renew_lease(self, fp: str, worker: str) -> bool:
+        """Push the deadline forward; False when the lease was stolen."""
+        lease = self.read_lease(fp)
+        if lease is None or lease.get("worker") != worker:
+            return False
+        lease["deadline"] = round(time.time() + self.policy.lease_ttl, 3)
+        self._write_json(f"leases/{fp}.json", lease)
+        return True
+
+    def release(self, fp: str, worker: str) -> None:
+        """Drop the lease and claim file after publishing a result.
+
+        Only the current lease owner releases; a slow ex-owner whose task
+        was stolen must leave the thief's lease alone.
+        """
+        lease = self.read_lease(fp)
+        if lease is not None and lease.get("worker") == worker:
+            (self.root / "leases" / f"{fp}.json").unlink(missing_ok=True)
+            (self.root / "claimed" / f"{fp}.json").unlink(missing_ok=True)
+
+    # ------------------------------------------------------ expiry + stealing
+
+    def lease_expiry_reason(self, fp: str, now: float | None = None
+                            ) -> str | None:
+        """Why this claim's lease counts as expired, or None if live."""
+        now = time.time() if now is None else now
+        policy = self.policy
+        claim_path = self.root / "claimed" / f"{fp}.json"
+        lease = self.read_lease(fp)
+        lease_path = self.root / "leases" / f"{fp}.json"
+        if lease is None:
+            mtime = self._mtime(lease_path)
+            if mtime is None:
+                # No lease document at all: expire by claim-file age.
+                mtime = self._mtime(claim_path)
+                if mtime is None:
+                    return None  # claim vanished (completed or stolen)
+                if now - mtime > policy.lease_ttl + policy.clock_skew_grace:
+                    return "claimed without a lease (claimant died mid-claim)"
+                return None
+            # Torn/unreadable lease: trust only its mtime.
+            if now - mtime > policy.lease_ttl + policy.clock_skew_grace:
+                return "unreadable lease past its ttl"
+            return None
+        age = None
+        mtime = self._mtime(lease_path)
+        if mtime is not None:
+            age = now - mtime
+        deadline = lease.get("deadline")
+        if not isinstance(deadline, (int, float)):
+            deadline = 0.0
+        if now > deadline + policy.clock_skew_grace:
+            worker = lease.get("worker", "?")
+            return f"lease expired (worker {worker} stopped renewing)"
+        # The mtime cap defeats fast-skewed claimant clocks: however far
+        # in the future the written deadline claims to be, a lease not
+        # renewed for max_lease_age is dead.
+        if age is not None and age > policy.max_lease_age:
+            worker = lease.get("worker", "?")
+            return (
+                f"lease deadline untrusted (worker {worker} last renewed "
+                f"{age:.1f}s ago, cap {policy.max_lease_age:.1f}s)"
+            )
+        return None
+
+    def claimed_fingerprints(self) -> list[str]:
+        return sorted(
+            p.stem for p in (self.root / "claimed").glob("*.json")
+        )
+
+    def reclaim(
+        self, fp: str, by: str, max_attempts: int, reason: str
+    ) -> str | None:
+        """Steal one expired claim: requeue it, or quarantine over budget.
+
+        Returns ``"requeued"`` or ``"quarantined"`` for the winning
+        reclaimer, ``None`` for losers of the rename race.
+        """
+        src = self.root / "claimed" / f"{fp}.json"
+        attempts = self.attempts(fp)
+        used = attempts.get("attempts", 0) + 1  # the failed claim itself
+        if used >= max_attempts:
+            # Budget exhausted: publish a quarantine result so the queue
+            # never stalls on a poisoned task.  Publishing is idempotent.
+            doc = self._read_json(f"claimed/{fp}.json") or {}
+            failures = list(attempts.get("failures", ())) + [reason]
+            state = self.publish_result(
+                fp,
+                {
+                    "schema": QUEUE_SCHEMA,
+                    "fingerprint": fp,
+                    "kind": doc.get("kind"),
+                    "worker": by,
+                    "attempt": used - 1,
+                    "error": (
+                        f"quarantined after {used} environmental "
+                        f"failures (last: {reason})"
+                    ),
+                    "quarantine": True,
+                    "failures": failures,
+                },
+            )
+            if state == "published":
+                self._bump_attempts(fp, reason)
+                (self.root / "leases" / f"{fp}.json").unlink(missing_ok=True)
+                src.unlink(missing_ok=True)
+                return "quarantined"
+            return None
+        dst = self.root / "todo" / f"{fp}.json"
+        try:
+            os.rename(src, dst)
+        except OSError:
+            return None  # someone else won the steal (or it completed)
+        (self.root / "leases" / f"{fp}.json").unlink(missing_ok=True)
+        self._bump_attempts(fp, reason)
+        return "requeued"
+
+    def reclaim_expired(
+        self, by: str, max_attempts: int | None = None
+    ) -> list[tuple[str, str, str]]:
+        """Scan every claim and reclaim the expired ones.
+
+        Returns ``[(fingerprint, action, reason), ...]`` for the claims
+        this caller actually won; racing reclaimers partition the wins.
+        """
+        budget = max_attempts or self.policy.max_attempts
+        won: list[tuple[str, str, str]] = []
+        for fp in self.claimed_fingerprints():
+            if (self.root / "results" / f"{fp}.json").exists():
+                # Completed but not cleaned up (publisher died right
+                # after rename): drop the leftovers.
+                (self.root / "leases" / f"{fp}.json").unlink(missing_ok=True)
+                (self.root / "claimed" / f"{fp}.json").unlink(missing_ok=True)
+                continue
+            reason = self.lease_expiry_reason(fp)
+            if reason is None:
+                continue
+            action = self.reclaim(fp, by, budget, reason)
+            if action is not None:
+                won.append((fp, action, reason))
+        return won
+
+    # --------------------------------------------------------------- attempts
+
+    def attempts(self, fp: str) -> dict:
+        doc = self._read_json(f"attempts/{fp}.json")
+        if doc is None:
+            return {"attempts": 0, "failures": []}
+        return doc
+
+    def _bump_attempts(self, fp: str, reason: str) -> None:
+        doc = self.attempts(fp)
+        self._write_json(
+            f"attempts/{fp}.json",
+            {
+                "schema": QUEUE_SCHEMA,
+                "fingerprint": fp,
+                "attempts": int(doc.get("attempts", 0)) + 1,
+                "failures": list(doc.get("failures", ()))[-9:] + [reason],
+            },
+        )
+
+    # ---------------------------------------------------------------- results
+
+    def publish_result(self, fp: str, doc: dict) -> str:
+        """First-write-wins result publication with byte-identity audit.
+
+        Returns ``"published"``, ``"duplicate"`` (identical payload
+        already there — the idempotent path a stolen-but-slow worker
+        hits), or ``"divergent"`` when an existing result's canonical
+        ``result`` payload differs — a determinism bug that is surfaced,
+        never silently overwritten (the first write stays authoritative).
+        """
+        if self._write_json_exclusive(f"results/{fp}.json", doc):
+            return "published"
+        existing = self._read_json(f"results/{fp}.json")
+        if existing is None:
+            # The winner's document vanished or is torn mid-write on a
+            # non-atomic filesystem: keep ours as the authoritative copy.
+            self._write_json(f"results/{fp}.json", doc)
+            return "published"
+        return self._compare_results(existing, doc)
+
+    @staticmethod
+    def _compare_results(existing: dict, doc: dict) -> str:
+        if "error" in existing or "error" in doc:
+            # Error texts legitimately differ between workers (pids,
+            # hosts); any terminal error outcome deduplicates.
+            return "duplicate"
+        same = canonical_json(existing.get("result")) == canonical_json(
+            doc.get("result")
+        )
+        return "duplicate" if same else "divergent"
+
+    def read_result(self, fp: str) -> dict | None:
+        return self._read_json(f"results/{fp}.json")
+
+    def result_fingerprints(self) -> list[str]:
+        return sorted(
+            p.stem for p in (self.root / "results").glob("*.json")
+        )
+
+    # ------------------------------------------------------------- heartbeats
+
+    def write_heartbeat(
+        self,
+        worker: str,
+        state: str,
+        tasks_done: int = 0,
+        failures: int = 0,
+        current: str | None = None,
+    ) -> None:
+        doc: dict[str, Any] = {
+            "schema": QUEUE_SCHEMA,
+            "worker": worker,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "time": round(time.time(), 3),
+            "state": state,
+            "tasks_done": tasks_done,
+            "failures": failures,
+        }
+        if current is not None:
+            doc["current"] = current
+        self._write_json(f"workers/{worker}.json", doc)
+
+    def workers(self) -> dict[str, dict]:
+        """All worker heartbeat documents, keyed by worker id."""
+        out: dict[str, dict] = {}
+        for path in sorted((self.root / "workers").glob("*.json")):
+            doc = self._read_json(f"workers/{path.name}")
+            if doc is not None:
+                out[path.stem] = doc
+        return out
+
+    # ----------------------------------------------------------------- events
+
+    def log_event(self, writer: str, event: str, **fields: Any) -> None:
+        """Append one event to the writer's private log.
+
+        Single-writer append-only files are the one safe way to journal
+        from many hosts onto a shared directory; readers merge the logs.
+        """
+        record = {"ts": round(time.time(), 3), "worker": writer,
+                  "event": event, **fields}
+        path = self.root / "events" / f"{writer}.jsonl"
+        with open(path, "a", encoding="ascii") as handle:
+            handle.write(canonical_json(record) + "\n")
+            handle.flush()
+
+    def events(self) -> list[dict]:
+        """All events from every writer, merged and time-ordered."""
+        records: list[dict] = []
+        for path in sorted((self.root / "events").glob("*.jsonl")):
+            try:
+                text = path.read_text(encoding="ascii")
+            except OSError:
+                continue
+            for line in text.split("\n"):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail of a killed writer
+                if isinstance(record, dict):
+                    records.append(record)
+        records.sort(key=lambda r: (r.get("ts", 0.0), r.get("worker", "")))
+        return records
+
+    # ------------------------------------------------------------------- scan
+
+    def scan(self) -> "QueueSnapshot":
+        """One consistent-enough view of the whole queue for status/UI."""
+        now = time.time()
+        leases = []
+        for fp in self.claimed_fingerprints():
+            lease = self.read_lease(fp)
+            entry: dict[str, Any] = {"fingerprint": fp}
+            if lease is not None:
+                deadline = lease.get("deadline", 0.0)
+                entry.update(
+                    worker=lease.get("worker"),
+                    attempt=lease.get("attempt", 0),
+                    age_seconds=round(
+                        max(0.0, now - lease.get("claimed_at", now)), 3
+                    ),
+                    expires_in_seconds=round(deadline - now, 3),
+                )
+            entry["expired"] = self.lease_expiry_reason(fp, now)
+            leases.append(entry)
+        results = quarantined = 0
+        for fp in self.result_fingerprints():
+            doc = self.read_result(fp)
+            if doc is not None and "error" in doc:
+                quarantined += 1
+            else:
+                results += 1
+        counters = {"claims": 0, "steals": 0, "dedups": 0,
+                    "divergences": 0, "quarantines": 0}
+        for record in self.events():
+            event = record.get("event")
+            if event == "claimed":
+                counters["claims"] += 1
+            elif event == "stolen":
+                counters["steals"] += 1
+            elif event == "dedup":
+                counters["dedups"] += 1
+            elif event == "result-divergence":
+                counters["divergences"] += 1
+            elif event == "quarantined":
+                counters["quarantines"] += 1
+        return QueueSnapshot(
+            root=str(self.root),
+            time=now,
+            todo=len(self.todo_fingerprints()),
+            claimed=len(leases),
+            done=results,
+            quarantined=quarantined,
+            leases=leases,
+            workers=self.workers(),
+            counters=counters,
+            stopped=self.stopped(),
+        )
+
+
+@dataclass
+class QueueSnapshot:
+    """Point-in-time view of a queue directory (pure data)."""
+
+    root: str
+    time: float
+    todo: int
+    claimed: int
+    done: int
+    quarantined: int
+    leases: list[dict] = field(default_factory=list)
+    workers: dict[str, dict] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    stopped: bool = False
+
+    @property
+    def total(self) -> int:
+        return self.todo + self.claimed + self.done + self.quarantined
+
+    def worker_ages(self) -> dict[str, float]:
+        """Seconds since each worker's last heartbeat."""
+        return {
+            wid: round(max(0.0, self.time - doc.get("time", 0.0)), 3)
+            for wid, doc in self.workers.items()
+        }
+
+
+def iter_chunks(items: Iterable[Any], size: int) -> Iterable[list[Any]]:
+    """Deterministic fixed-size chunking helper for fan-out callers."""
+    chunk: list[Any] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+__all__ = [
+    "QUEUE_SCHEMA",
+    "QUEUE_DIRS",
+    "QueuePolicy",
+    "QueueSnapshot",
+    "WorkQueue",
+    "worker_identity",
+    "iter_chunks",
+]

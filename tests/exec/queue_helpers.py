@@ -1,0 +1,26 @@
+"""Task runners the queue tests register for failure injection.
+
+Lives outside ``test_*.py`` so the registry's lazy ``module:attr``
+references can import it from any process that has the repo root on its
+path (the inline queue worker runs in the test process itself).
+"""
+
+from __future__ import annotations
+
+from repro.exec.registry import register_task_kind
+
+#: Kind name for a task whose runner fails *environmentally*.
+ENVFAIL_KIND = "exec.test-envfail"
+
+
+def raise_runtime(payload: dict) -> dict:
+    """An environmental failure: RuntimeError is not a deterministic
+    error, so the worker must requeue the claim and bump the shared
+    attempt budget rather than quarantine."""
+    raise RuntimeError(f"environment down (task {payload.get('k')})")
+
+
+def register_envfail_kind() -> None:
+    register_task_kind(
+        ENVFAIL_KIND, "tests.exec.queue_helpers:raise_runtime", replace=True
+    )

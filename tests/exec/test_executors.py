@@ -44,7 +44,7 @@ def pool():
 
 class TestConfiguration:
     def test_available_backends(self):
-        assert available_backends() == ("inline", "thread", "process")
+        assert available_backends() == ("inline", "thread", "process", "queue")
 
     def test_default_worker_count_positive_and_capped(self):
         assert 1 <= default_worker_count() <= 8
@@ -57,14 +57,26 @@ class TestConfiguration:
         with pytest.raises(ExecError, match="must be an integer"):
             validated_jobs("many")
 
-    def test_make_executor_mapping(self):
+    def test_make_executor_mapping(self, tmp_path):
         with make_executor(0) as ex:
             assert isinstance(ex, InlineExecutor)
         with make_executor(2) as ex:
             assert isinstance(ex, ProcessPoolExecutor)
             assert ex.workers == 2
+        with make_executor(1, backend="thread") as ex:
+            assert isinstance(ex, ThreadExecutor)
+        with make_executor(
+            1, backend="queue", queue_dir=tmp_path / "q"
+        ) as ex:
+            from repro.exec import QueueExecutor
+
+            assert isinstance(ex, QueueExecutor)
         with pytest.raises(ExecError):
             make_executor(-2)
+        with pytest.raises(ExecError, match="queue_dir"):
+            make_executor(1, backend="queue")
+        with pytest.raises(ExecError, match="backend"):
+            make_executor(1, backend="carrier-pigeon")
 
     def test_bad_worker_counts(self):
         with pytest.raises(ExecError):
@@ -235,6 +247,62 @@ class TestProcessPool:
         ex.close()  # idempotent
 
 
+class TestRespawnBackoff:
+    """Worker respawns back off exponentially and are metered."""
+
+    def test_delay_schedule_follows_retry_policy(self):
+        retry = RetryPolicy(
+            max_retries=3, backoff_base=0.1, backoff_cap=0.4,
+            backoff_jitter=0.0,
+        )
+        ex = ProcessPoolExecutor(workers=1, retry=retry)
+        try:
+            delays = []
+            for n in range(5):
+                ex._respawns[0] = n
+                delays.append(ex._respawn_delay(0))
+        finally:
+            ex.close()
+        # First spawn free, then base * 2^(n-1) capped at backoff_cap.
+        assert delays == [0.0, 0.1, 0.2, 0.4, 0.4]
+
+    def test_spawn_failure_is_a_metered_retryable_attempt(self, monkeypatch):
+        obs.configure(enabled=True)
+
+        def exploding_handle(*args, **kwargs):
+            raise OSError("out of file descriptors")
+
+        monkeypatch.setattr(
+            "repro.exec.executors._WorkerHandle", exploding_handle
+        )
+        with ProcessPoolExecutor(
+            workers=1, retry=NO_BACKOFF, task_timeout=10.0
+        ) as ex:
+            report = ex.run([probe("a", value=1)])
+        result = report.results["a"]
+        assert result.outcome == "quarantined"
+        assert "worker spawn failed" in result.error
+        assert result.attempts == NO_BACKOFF.max_retries + 1
+        snap = obs.metrics_snapshot()
+        respawns = snap["metrics"]["repro_exec_respawns_total"]["series"]
+        assert respawns["backend=process,outcome=spawn-failed"] == (
+            NO_BACKOFF.max_retries + 1
+        )
+
+    def test_respawn_after_kill_is_metered_and_resets(self, pool):
+        obs.configure(enabled=True)
+        report = pool.run(
+            [probe("a", value=1)],
+            sabotage={"a": {"mode": "kill", "attempts": 1}},
+        )
+        assert report.results["a"].ok
+        snap = obs.metrics_snapshot()
+        respawns = snap["metrics"]["repro_exec_respawns_total"]["series"]
+        assert respawns["backend=process,outcome=respawned"] == 1
+        # A healthy attempt resets the backoff streak.
+        assert pool._respawns == [0]
+
+
 class TestObservability:
     def _series(self, snapshot, name):
         return snapshot["metrics"][name]["series"]
@@ -262,6 +330,23 @@ class TestObservability:
         snap = obs.metrics_snapshot()
         tasks = self._series(snap, "repro_exec_tasks_total")
         assert tasks["backend=process,outcome=done"] == 1
+
+    def test_malformed_worker_telemetry_never_fails_the_task(self):
+        obs.configure(enabled=True)
+        events = []
+        with InlineExecutor(retry=NO_BACKOFF) as ex:
+            ex.events = lambda *a: events.append(a)
+            # Spans that are not a list and metrics whose series are not
+            # mappings: both must be swallowed, counted, and surfaced as
+            # a telemetry-drop event — never raised.
+            ex._ingest_worker_obs(probe("a"), {"spans": 42})
+            ex._ingest_worker_obs(
+                probe("b"), {"metrics": {"bogus": 7}}
+            )
+        snap = obs.metrics_snapshot()
+        drops = self._series(snap, "repro_exec_telemetry_drops_total")
+        assert drops["backend=inline"] == 2
+        assert [e[0] for e in events] == ["telemetry-drop", "telemetry-drop"]
 
     def test_task_spans_record_outcome(self):
         obs.configure(enabled=True)

@@ -1,0 +1,464 @@
+"""The shared-directory work queue: protocol unit tests + chaos drills.
+
+The protocol tests exercise :class:`WorkQueue` primitives directly —
+atomic claims, lease expiry (including the skewed-clock mtime cap),
+stealing, quarantine budgets, first-write-wins result dedup, torn files.
+The executor tests run :class:`QueueExecutor` end-to-end with real
+subprocess workers and real SIGKILL/hang sabotage.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ExecError
+from repro.exec import (
+    QueueExecutor,
+    QueuePolicy,
+    QueueWorker,
+    RetryPolicy,
+    Task,
+    WorkQueue,
+    worker_identity,
+)
+from repro.exec.queue_worker import EXIT_BREAKER, EXIT_DONE
+from repro.exec.queuedir import iter_chunks
+from tests.exec.queue_helpers import ENVFAIL_KIND, register_envfail_kind
+
+register_envfail_kind()
+
+NO_BACKOFF = RetryPolicy(max_retries=3, backoff_base=0.0, backoff_jitter=0.0)
+
+#: Tight timing for single-core CI: drills resolve in ~a second.
+FAST = QueuePolicy(
+    lease_ttl=0.5, clock_skew_grace=0.1, max_lease_factor=4.0,
+    poll_interval=0.02, max_attempts=3,
+)
+
+
+def probe(key, **payload) -> Task:
+    return Task(kind="exec.probe", payload=payload, key=key)
+
+
+def backdate(path, seconds: float) -> None:
+    """Age a queue file: the expiry rules trust mtimes, not sleeps."""
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return WorkQueue.create(tmp_path / "q", FAST)
+
+
+class TestQueuePolicy:
+    def test_derived_intervals(self):
+        policy = QueuePolicy(lease_ttl=9.0, max_lease_factor=4.0)
+        assert policy.heartbeat_interval == pytest.approx(3.0)
+        assert policy.max_lease_age == pytest.approx(36.0)
+
+    def test_json_round_trip(self):
+        policy = QueuePolicy(lease_ttl=2.0, clock_skew_grace=0.3,
+                             poll_interval=0.05, max_attempts=7)
+        assert QueuePolicy.from_json(policy.to_json()) == policy
+
+    @pytest.mark.parametrize("kwargs", [
+        {"lease_ttl": 0.0},
+        {"clock_skew_grace": -1.0},
+        {"max_lease_factor": 0.5},
+        {"poll_interval": 0.0},
+        {"max_attempts": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ExecError):
+            QueuePolicy(**kwargs)
+
+    def test_worker_identity_is_label_safe_and_unique(self):
+        a, b = worker_identity(), worker_identity()
+        assert a != b
+        assert str(os.getpid()) in a
+        assert "=" not in a and "," not in a
+
+
+class TestLifecycle:
+    def test_create_persists_policy_for_other_hosts(self, tmp_path):
+        WorkQueue.create(tmp_path / "q", FAST)
+        # A worker on another host opens with no policy argument and must
+        # recover the coordinator's timing knobs from the manifest.
+        adopted = WorkQueue.open(tmp_path / "q")
+        assert adopted.policy == FAST
+
+    def test_open_rejects_non_queue_directories(self, tmp_path):
+        with pytest.raises(ExecError, match="not a work-queue"):
+            WorkQueue.open(tmp_path)
+
+    def test_open_rejects_foreign_schema(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q", FAST)
+        queue._write_json("queue.json", {"schema": 99})
+        with pytest.raises(ExecError, match="schema"):
+            WorkQueue.open(tmp_path / "q")
+
+    def test_stop_marker(self, queue):
+        assert not queue.stopped()
+        queue.stop()
+        assert queue.stopped()
+
+    def test_create_adopts_existing_queue(self, tmp_path):
+        first = WorkQueue.create(tmp_path / "q", FAST)
+        first.publish_task(probe("a"))
+        again = WorkQueue.create(tmp_path / "q")
+        assert again.policy == FAST
+        assert len(again.todo_fingerprints()) == 1
+
+
+class TestClaiming:
+    def test_publish_is_idempotent_and_content_addressed(self, queue):
+        t = probe("a", value=1)
+        fp1 = queue.publish_task(t)
+        fp2 = queue.publish_task(probe("other-key", value=1))
+        assert fp1 == fp2  # same content, key does not matter
+        assert queue.todo_fingerprints() == [fp1]
+
+    def test_exactly_one_claimant_wins(self, queue):
+        fp = queue.publish_task(probe("a"))
+        first = queue.try_claim(fp, "w1", 0)
+        second = queue.try_claim(fp, "w2", 0)
+        assert first is not None and first["kind"] == "exec.probe"
+        assert second is None
+        lease = queue.read_lease(fp)
+        assert lease["worker"] == "w1"
+
+    def test_renew_and_release_are_owner_only(self, queue):
+        fp = queue.publish_task(probe("a"))
+        queue.try_claim(fp, "w1", 0)
+        assert queue.renew_lease(fp, "w1")
+        assert not queue.renew_lease(fp, "thief")
+        queue.release(fp, "thief")  # no-op: not the owner
+        assert queue.read_lease(fp) is not None
+        queue.release(fp, "w1")
+        assert queue.read_lease(fp) is None
+        assert queue.claimed_fingerprints() == []
+
+
+class TestLeaseExpiry:
+    def test_fresh_lease_is_live(self, queue):
+        fp = queue.publish_task(probe("a"))
+        queue.try_claim(fp, "w1", 0)
+        assert queue.lease_expiry_reason(fp) is None
+
+    def test_stale_deadline_expires(self, queue):
+        fp = queue.publish_task(probe("a"))
+        queue.try_claim(fp, "w1", 0)
+        future = time.time() + FAST.lease_ttl + FAST.clock_skew_grace + 1.0
+        reason = queue.lease_expiry_reason(fp, now=future)
+        assert "stopped renewing" in reason
+
+    def test_far_future_deadline_is_capped_by_mtime(self, queue):
+        # A claimant with a fast-skewed clock writes a deadline hours
+        # ahead; the mtime cap must still expire the lease.
+        fp = queue.publish_task(probe("a"))
+        queue.try_claim(fp, "w1", 0)
+        lease = queue.read_lease(fp)
+        lease["deadline"] = time.time() + 3600.0
+        queue._write_json(f"leases/{fp}.json", lease)
+        backdate(queue.root / "leases" / f"{fp}.json",
+                 FAST.max_lease_age + 1.0)
+        reason = queue.lease_expiry_reason(fp)
+        assert "untrusted" in reason
+
+    def test_leaseless_claim_expires_by_claim_mtime(self, queue):
+        # Simulate a claimant dying between the rename and the lease
+        # write: claimed/ entry exists, leases/ entry does not.
+        fp = queue.publish_task(probe("a"))
+        queue.try_claim(fp, "w1", 0)
+        (queue.root / "leases" / f"{fp}.json").unlink()
+        assert queue.lease_expiry_reason(fp) is None  # still fresh
+        backdate(queue.root / "claimed" / f"{fp}.json",
+                 FAST.lease_ttl + FAST.clock_skew_grace + 1.0)
+        assert "died mid-claim" in queue.lease_expiry_reason(fp)
+
+    def test_torn_lease_trusts_only_mtime(self, queue):
+        fp = queue.publish_task(probe("a"))
+        queue.try_claim(fp, "w1", 0)
+        path = queue.root / "leases" / f"{fp}.json"
+        path.write_text("{torn", encoding="ascii")
+        assert queue.lease_expiry_reason(fp) is None
+        backdate(path, FAST.lease_ttl + FAST.clock_skew_grace + 1.0)
+        assert "unreadable lease" in queue.lease_expiry_reason(fp)
+
+
+class TestStealing:
+    def _expire(self, queue, fp):
+        backdate(queue.root / "leases" / f"{fp}.json",
+                 FAST.max_lease_age + 1.0)
+        lease = queue.read_lease(fp)
+        lease["deadline"] = 0.0
+        queue._write_json(f"leases/{fp}.json", lease)
+        backdate(queue.root / "leases" / f"{fp}.json",
+                 FAST.max_lease_age + 1.0)
+
+    def test_reclaim_requeues_and_bumps_attempts(self, queue):
+        fp = queue.publish_task(probe("a"))
+        queue.try_claim(fp, "w1", 0)
+        self._expire(queue, fp)
+        action = queue.reclaim(fp, "thief", FAST.max_attempts, "w1 died")
+        assert action == "requeued"
+        assert queue.todo_fingerprints() == [fp]
+        assert queue.read_lease(fp) is None
+        record = queue.attempts(fp)
+        assert record["attempts"] == 1
+        assert record["failures"] == ["w1 died"]
+
+    def test_reclaim_quarantines_over_budget(self, queue):
+        fp = queue.publish_task(probe("a"))
+        for n in range(FAST.max_attempts - 1):
+            queue.try_claim(fp, f"w{n}", n)
+            self._expire(queue, fp)
+            assert queue.reclaim(
+                fp, "thief", FAST.max_attempts, f"death {n}"
+            ) == "requeued"
+        queue.try_claim(fp, "last", FAST.max_attempts - 1)
+        self._expire(queue, fp)
+        action = queue.reclaim(fp, "thief", FAST.max_attempts, "final death")
+        assert action == "quarantined"
+        result = queue.read_result(fp)
+        assert result["quarantine"] is True
+        assert "final death" in result["error"]
+        assert len(result["failures"]) == FAST.max_attempts
+        # The queue never stalls: nothing left to claim or steal.
+        assert queue.todo_fingerprints() == []
+        assert queue.claimed_fingerprints() == []
+
+    def test_reclaim_expired_skips_live_and_cleans_completed(self, queue):
+        live = queue.publish_task(probe("live", value=1))
+        dead = queue.publish_task(probe("dead", value=2))
+        done = queue.publish_task(probe("done", value=3))
+        queue.try_claim(live, "w1", 0)
+        queue.try_claim(dead, "w2", 0)
+        queue.try_claim(done, "w3", 0)
+        self._expire(queue, dead)
+        # w3 published its result but died before releasing the claim.
+        queue.publish_result(done, {"fingerprint": done, "result": 1})
+        won = queue.reclaim_expired("thief")
+        assert [(fp, action) for fp, action, _ in won] == [(dead, "requeued")]
+        assert queue.claimed_fingerprints() == [live]
+        assert queue.read_lease(done) is None
+
+
+class TestResults:
+    def test_first_write_wins_and_duplicates_dedup(self, queue):
+        fp = "f" * 64
+        doc = {"fingerprint": fp, "worker": "w1", "result": {"v": 1}}
+        assert queue.publish_result(fp, doc) == "published"
+        # A stolen-but-slow worker publishes the same deterministic
+        # payload with different envelope fields: dedup.
+        dup = {"fingerprint": fp, "worker": "w2", "attempt": 3,
+               "result": {"v": 1}}
+        assert queue.publish_result(fp, dup) == "duplicate"
+        assert queue.read_result(fp)["worker"] == "w1"  # first is canonical
+
+    def test_divergent_duplicate_is_flagged_not_overwritten(self, queue):
+        fp = "e" * 64
+        queue.publish_result(fp, {"fingerprint": fp, "result": {"v": 1}})
+        state = queue.publish_result(fp, {"fingerprint": fp, "result": {"v": 2}})
+        assert state == "divergent"
+        assert queue.read_result(fp)["result"] == {"v": 1}
+
+    def test_error_results_always_dedup(self, queue):
+        fp = "d" * 64
+        queue.publish_result(fp, {"fingerprint": fp, "error": "boom on w1"})
+        state = queue.publish_result(
+            fp, {"fingerprint": fp, "error": "different text on w2"}
+        )
+        assert state == "duplicate"
+
+    def test_torn_result_reads_as_missing(self, queue):
+        fp = "c" * 64
+        (queue.root / "results" / f"{fp}.json").write_text(
+            '{"half a doc', encoding="ascii"
+        )
+        assert queue.read_result(fp) is None
+        # ... and a publisher treats it as absent, claiming authorship.
+        assert queue.publish_result(
+            fp, {"fingerprint": fp, "result": 1}
+        ) == "published"
+        assert queue.read_result(fp)["result"] == 1
+
+
+class TestEventsAndScan:
+    def test_events_merge_sorted_and_skip_torn_tails(self, queue):
+        queue.log_event("w1", "claimed", fingerprint="a" * 64)
+        queue.log_event("w2", "done", fingerprint="a" * 64)
+        with open(queue.root / "events" / "w1.jsonl", "a") as handle:
+            handle.write('{"torn":')  # killed mid-append
+        events = queue.events()
+        assert [e["event"] for e in events] == ["claimed", "done"]
+        assert events[0]["ts"] <= events[1]["ts"]
+
+    def test_scan_counts_and_worker_ages(self, queue):
+        fp = queue.publish_task(probe("a", value=1))
+        queue.publish_task(probe("b", value=2))
+        queue.try_claim(fp, "w1", 0)
+        queue.log_event("w1", "claimed", fingerprint=fp)
+        queue.write_heartbeat("w1", "busy", tasks_done=2, current=fp)
+        snapshot = queue.scan()
+        assert (snapshot.todo, snapshot.claimed, snapshot.done) == (1, 1, 0)
+        assert snapshot.total == 2
+        assert snapshot.counters["claims"] == 1
+        assert snapshot.leases[0]["worker"] == "w1"
+        assert snapshot.workers["w1"]["tasks_done"] == 2
+        assert snapshot.worker_ages()["w1"] < 5.0
+
+    def test_iter_chunks(self):
+        assert list(iter_chunks(range(5), 2)) == [[0, 1], [2, 3], [4]]
+
+
+class TestQueueWorkerInline:
+    """The worker loop run in-process against a private queue."""
+
+    def test_drains_queue_then_idles_out(self, queue):
+        fps = [queue.publish_task(probe(k, value=k)) for k in range(3)]
+        worker = QueueWorker(queue, worker_id="w1", idle_exit=0.1)
+        assert worker.run() == EXIT_DONE
+        assert worker.tasks_done == 3
+        for k, fp in enumerate(fps):
+            assert queue.read_result(fp)["result"]["value"] == k
+        assert queue.claimed_fingerprints() == []
+        events = [e["event"] for e in queue.events()]
+        assert events.count("claimed") == 3
+        assert events.count("done") == 3
+        assert events[-1] == "worker-exit"
+        assert queue.workers()["w1"]["state"] == "exited"
+
+    def test_stop_marker_takes_precedence(self, queue):
+        queue.publish_task(probe("a"))
+        queue.stop()
+        worker = QueueWorker(queue, worker_id="w1", idle_exit=5.0)
+        assert worker.run() == EXIT_DONE
+        assert worker.tasks_done == 0
+
+    def test_deterministic_error_publishes_quarantine_result(self, queue):
+        fp = queue.publish_task(probe("bad", **{"raise": "boom"}))
+        worker = QueueWorker(queue, worker_id="w1", idle_exit=0.1)
+        worker.run()
+        result = queue.read_result(fp)
+        assert result["quarantine"] is True
+        assert "boom" in result["error"]
+        # Deterministic errors cost no environmental-attempt budget.
+        assert queue.attempts(fp)["attempts"] == 0
+
+    def test_environmental_failure_requeues_then_quarantines(self, queue):
+        task = Task(kind=ENVFAIL_KIND, payload={}, key="a")
+        fp = queue.publish_task(task)
+        worker = QueueWorker(
+            queue, worker_id="w1", idle_exit=0.3,
+            max_consecutive_failures=FAST.max_attempts + 1,
+        )
+        worker.run()
+        record = queue.attempts(fp)
+        assert record["attempts"] >= FAST.max_attempts - 1
+        result = queue.read_result(fp)
+        assert result is not None and result["quarantine"] is True
+
+    def test_breaker_removes_sick_worker(self, queue):
+        for k in range(4):
+            queue.publish_task(
+                Task(kind=ENVFAIL_KIND, payload={"k": k}, key=k)
+            )
+        worker = QueueWorker(
+            queue, worker_id="sick", idle_exit=2.0,
+            max_consecutive_failures=2,
+        )
+        assert worker.run() == EXIT_BREAKER
+        assert any(e["event"] == "breaker" for e in queue.events())
+
+
+class TestQueueExecutor:
+    """End-to-end runs through the executor, including real chaos."""
+
+    def _executor(self, tmp_path, workers, **kwargs):
+        kwargs.setdefault("retry", NO_BACKOFF)
+        kwargs.setdefault("task_timeout", 10.0)
+        kwargs.setdefault("lease_ttl", 1.0)
+        return QueueExecutor(tmp_path / "q", workers=workers, **kwargs)
+
+    def test_coordinator_inline_run(self, tmp_path):
+        settled = []
+        with self._executor(tmp_path, workers=0) as ex:
+            report = ex.run(
+                [probe("a", value=1), probe("b", value=2)],
+                on_result=settled.append,
+            )
+        assert report.complete
+        assert report.results["a"].value["value"] == 1
+        assert report.results["b"].value["value"] == 2
+        assert {r.task.key for r in settled} == {"a", "b"}
+
+    def test_content_identical_tasks_execute_once(self, tmp_path):
+        with self._executor(tmp_path, workers=0) as ex:
+            report = ex.run([probe("a", value=7), probe("b", value=7)])
+        assert report.complete
+        assert report.results["a"].value == report.results["b"].value
+        # One claim served both keys: content-addressed dedup.
+        assert report.attempts == 1
+
+    def test_deterministic_error_quarantines(self, tmp_path):
+        with self._executor(tmp_path, workers=0) as ex:
+            report = ex.run(
+                [probe("bad", **{"raise": "boom"}), probe("ok", value=1)]
+            )
+        assert not report.complete
+        bad = report.results["bad"]
+        assert bad.outcome == "quarantined"
+        assert "boom" in bad.error
+        assert report.results["ok"].ok
+
+    def test_sabotage_requires_isolated_workers(self, tmp_path):
+        with self._executor(tmp_path, workers=0) as ex:
+            with pytest.raises(ExecError, match="workers"):
+                ex.run([probe("a")], sabotage={"a": {"mode": "kill"}})
+
+    def test_closed_executor_rejected(self, tmp_path):
+        ex = self._executor(tmp_path, workers=0)
+        ex.close()
+        with pytest.raises(ExecError, match="closed"):
+            ex.run([probe("a")])
+        ex.close()  # idempotent
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        with self._executor(tmp_path, workers=0) as ex:
+            with pytest.raises(ExecError, match="unique"):
+                ex.run([probe("a"), probe("a")])
+
+    @pytest.mark.slow
+    def test_worker_killed_mid_lease_is_stolen_and_finished(self, tmp_path):
+        with self._executor(
+            tmp_path, workers=2, task_timeout=5.0, lease_ttl=1.0,
+        ) as ex:
+            report = ex.run(
+                [probe(k, value=k) for k in range(4)],
+                sabotage={2: {"mode": "kill", "attempts": 1}},
+            )
+        assert report.complete
+        assert report.results[2].value["value"] == 2
+        assert report.results[2].attempts >= 2  # the kill cost an attempt
+        queue = WorkQueue.open(tmp_path / "q")
+        assert queue.scan().counters["steals"] >= 1
+
+    @pytest.mark.slow
+    def test_wedged_worker_loses_lease_but_campaign_completes(self, tmp_path):
+        # hang >> task_timeout: the victim stays alive (heartbeating) but
+        # its renewal thread gives up, the lease expires, a peer steals.
+        with self._executor(
+            tmp_path, workers=2, task_timeout=1.0, lease_ttl=0.8,
+        ) as ex:
+            report = ex.run(
+                [probe(k, value=k) for k in range(3)],
+                sabotage={1: {"mode": "hang", "seconds": 60.0,
+                              "attempts": 1}},
+            )
+        assert report.complete
+        assert report.results[1].value["value"] == 1

@@ -1,0 +1,146 @@
+"""Property tests of the queue protocol's two core invariants.
+
+1. **No double execution**: however many workers race to claim, each
+   published task is claimed by exactly one of them.
+2. **Crash-tolerant completeness**: for *any* schedule of mid-lease
+   worker deaths, reclaiming and re-running always converges to a
+   complete result set whose canonical payloads are byte-identical to an
+   undisturbed run's.
+
+Deaths are simulated at the protocol level (a claim whose lease is never
+renewed and whose files are backdated past expiry) so hypothesis can
+explore many schedules without paying real process spawns or sleeps.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import QueuePolicy, QueueWorker, Task, WorkQueue
+from repro.exec.task import canonical_json
+
+FAST = QueuePolicy(
+    lease_ttl=0.5, clock_skew_grace=0.1, max_lease_factor=4.0,
+    poll_interval=0.01, max_attempts=6,
+)
+
+
+def probe(k: int) -> Task:
+    return Task(kind="exec.probe", payload={"value": k}, key=k)
+
+
+def expire_lease(queue: WorkQueue, fp: str) -> None:
+    """Backdate one claim's lease so every expiry rule sees it as dead."""
+    lease = queue.read_lease(fp)
+    if lease is not None:
+        lease["deadline"] = 0.0
+        queue._write_json(f"leases/{fp}.json", lease)
+    past = time.time() - FAST.max_lease_age - 1.0
+    for sub in ("leases", "claimed"):
+        path = queue.root / sub / f"{fp}.json"
+        if path.exists():
+            os.utime(path, (past, past))
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n_tasks=st.integers(min_value=1, max_value=5),
+    n_workers=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_racing_claims_never_double_execute(tmp_path_factory, n_tasks,
+                                            n_workers, seed):
+    queue = WorkQueue.create(
+        tmp_path_factory.mktemp("race") / "q", FAST
+    )
+    fps = [queue.publish_task(probe(k)) for k in range(n_tasks)]
+    wins: list[tuple[str, str]] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_workers)
+
+    def claimant(wid: str) -> None:
+        barrier.wait()  # maximize contention on the renames
+        for fp in fps:
+            if queue.try_claim(fp, wid, 0) is not None:
+                with lock:
+                    wins.append((fp, wid))
+
+    threads = [
+        threading.Thread(target=claimant, args=(f"w{i}",))
+        for i in range(n_workers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    claimed_fps = [fp for fp, _ in wins]
+    assert sorted(claimed_fps) == sorted(set(fps)), (
+        "every task claimed exactly once regardless of contention"
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_tasks=st.integers(min_value=2, max_value=5),
+    data=st.data(),
+)
+def test_any_kill_schedule_converges_byte_identical(tmp_path_factory,
+                                                    n_tasks, data):
+    # Which tasks are claimed by workers that then die mid-lease — any
+    # subset, including all of them — and how many times each dies
+    # before a survivor gets through (must stay under the budget).
+    deaths = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_tasks - 1),
+            max_size=2 * n_tasks,
+        ),
+        label="death schedule (task indices, in order)",
+    )
+    death_budget = {k: deaths.count(k) for k in set(deaths)}
+    for k, n in death_budget.items():
+        if n >= FAST.max_attempts:
+            deaths = [d for d in deaths if d != k]  # keep it completable
+
+    # Reference: an undisturbed single-worker run.
+    clean = WorkQueue.create(tmp_path_factory.mktemp("clean") / "q", FAST)
+    for k in range(n_tasks):
+        clean.publish_task(probe(k))
+    QueueWorker(clean, worker_id="ref", idle_exit=0.05).run()
+    expected = {
+        fp: canonical_json(clean.read_result(fp).get("result"))
+        for fp in clean.result_fingerprints()
+    }
+    assert len(expected) == n_tasks
+
+    # Chaos: workers claim and die mid-lease per the drawn schedule ...
+    queue = WorkQueue.create(tmp_path_factory.mktemp("chaos") / "q", FAST)
+    fps = [queue.publish_task(probe(k)) for k in range(n_tasks)]
+    for i, k in enumerate(deaths):
+        fp = fps[k]
+        if queue.read_result(fp) is not None:
+            continue
+        if queue.try_claim(fp, f"victim{i}", 0) is None:
+            continue
+        expire_lease(queue, fp)
+        # An idle peer (or the coordinator) steals the expired lease.
+        won = queue.reclaim_expired(f"thief{i}")
+        assert any(w[0] == fp for w in won)
+
+    # ... and one survivor drains whatever is left.
+    QueueWorker(queue, worker_id="survivor", idle_exit=0.05).run()
+
+    got = {
+        fp: canonical_json(queue.read_result(fp).get("result"))
+        for fp in queue.result_fingerprints()
+    }
+    assert got == expected, (
+        "complete and byte-identical to the undisturbed run, for any "
+        "schedule of mid-lease deaths"
+    )
+    assert queue.claimed_fingerprints() == []
+    assert queue.todo_fingerprints() == []
