@@ -6,9 +6,9 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: check test lint-circuits analyze campaign-smoke distributed-smoke verify-mask lint-py typecheck bench bench-obs bench-spcf
+.PHONY: check test lint-circuits analyze paths campaign-smoke distributed-smoke verify-mask lint-py typecheck bench bench-obs bench-spcf
 
-check: test lint-circuits analyze campaign-smoke distributed-smoke bench-spcf
+check: test lint-circuits analyze paths campaign-smoke distributed-smoke bench-spcf
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -21,6 +21,12 @@ lint-circuits:
 # STA, or a hazard escaping Sigma_y), so the gate is --fail-on error.
 analyze:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro analyze all --fail-on error
+
+# Path-sensitization acceptance gate: the builtin sweep must keep the SPCF
+# bit-identical under tightened-arrival certificates, strictly improve the
+# summed precert discharge count, and record the prefilter discharge rate.
+paths:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_paths.py --check
 
 # End-to-end campaign drill: worker SIGKILL absorbed by retry, a persistent
 # crasher quarantined, and resume reproducing the baseline byte-for-byte.

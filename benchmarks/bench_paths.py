@@ -1,0 +1,213 @@
+"""Static path-sensitization sweep: prefilter reach + tightening gates.
+
+The ``repro.analysis.paths`` PR's acceptance gate.  Every builtin circuit
+with at most 12 primary inputs (the exhaustive-plane ceiling) runs through
+:func:`repro.analysis.paths.analyze_paths` at the default 90% threshold,
+and three facts are asserted per circuit (``check_targets``):
+
+* **bit-identity** — feeding the path-tightened true-arrival bounds into
+  :func:`repro.analysis.precert.precertify` and compiling the SPCF against
+  those certificates yields the **same ROBDD cube sequences** as the
+  plain compile.  Tightening is an optimization hint, never a semantic
+  change: a pruned false path contributes nothing to Sigma_y, so removing
+  it from the arrival bound cannot move a single bit.
+* **discharge monotonicity** — the precert discharge count with tightened
+  arrivals is never below the plain count on any circuit, and is
+  **strictly higher summed across the sweep** (the ``bypass``
+  demonstrator guarantees at least one newly discharged obligation: its
+  only speed-path is false and prunable, so the output's true arrival
+  drops to the target and the obligation discharges "on-time").
+* **prefilter discharge rate recorded** — the fraction of paths settled
+  by the ternary/word planes before any BDD work is computed and stored
+  per circuit and as a sweep-wide aggregate, so regressions in the
+  cheap-first ordering are visible in the JSON history.
+
+Results go to ``BENCH_paths.json`` next to the repo root.  Run standalone
+(``python benchmarks/bench_paths.py``), in CI check mode (``--check``),
+or via ``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.paths import analyze_paths, tightened_arrivals
+from repro.analysis.precert import precertify
+from repro.benchcircuits import circuit_by_name
+from repro.netlist import lsi10k_like_library
+from repro.spcf import spcf_shortpath
+
+#: Every builtin circuit whose input count fits the exhaustive word plane.
+CIRCUITS = (
+    "bypass",
+    "comparator2",
+    "comparator4",
+    "comparator6",
+    "full_adder",
+    "cla4",
+    "alu_slice",
+    "ripple_adder4",
+    "decoder3",
+    "parity8",
+    "mux_tree3",
+    "priority_encoder8",
+    "x2",
+    "alu2",
+    "apex4",
+)
+
+THRESHOLD = 0.9
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_paths.json"
+
+
+def _canonical(result):
+    """Cross-manager comparable form: output -> ROBDD cube sequence."""
+    return {
+        y: list(fn.cubes()) for y, fn in sorted(result.per_output.items())
+    }
+
+
+def _timed(fn):
+    gc.collect()
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def run_circuit(name: str, library) -> dict:
+    circuit = circuit_by_name(name, library)
+    analysis, analyze_s = _timed(
+        lambda: analyze_paths(circuit, threshold=THRESHOLD)
+    )
+    stats = analysis.stats
+    target = analysis.target
+    tighten = tightened_arrivals(analysis)
+
+    plain_certs = precertify(circuit, targets=[target], threshold=THRESHOLD)
+    tight_certs = precertify(
+        circuit, targets=[target], threshold=THRESHOLD, tighten=tighten
+    )
+    base = spcf_shortpath(circuit, target=target)
+    tight = spcf_shortpath(circuit, target=target, certificates=tight_certs)
+
+    prefilter = stats["prefilter_ternary"] + stats["prefilter_exhaustive"]
+    return {
+        "inputs": len(circuit.inputs),
+        "gates": circuit.num_gates,
+        "target": target,
+        "paths": stats["paths"],
+        "false": stats["false"],
+        "true": stats["true"],
+        "unresolved": stats["unresolved"],
+        "prunable": stats["prunable"],
+        "bdd_paths": stats["bdd_paths"],
+        "replays": stats["replays"],
+        "prefilter_discharged": prefilter,
+        "prefilter_rate": round(prefilter / stats["paths"], 4)
+        if stats["paths"]
+        else 1.0,
+        "tightened_outputs": len(tighten),
+        "plain_discharged": plain_certs.counts()["discharged"],
+        "tight_discharged": tight_certs.counts()["discharged"],
+        "plain_discharge_rate": round(plain_certs.discharge_rate(), 4),
+        "tight_discharge_rate": round(tight_certs.discharge_rate(), 4),
+        "identical": _canonical(base) == _canonical(tight),
+        "analyze_s": analyze_s,
+    }
+
+
+def measure(library=None) -> dict:
+    library = library or lsi10k_like_library()
+    rows = {name: run_circuit(name, library) for name in CIRCUITS}
+    total_paths = sum(r["paths"] for r in rows.values())
+    total_prefilter = sum(r["prefilter_discharged"] for r in rows.values())
+    return {
+        "threshold": THRESHOLD,
+        "circuits": len(rows),
+        "total_paths": total_paths,
+        "prefilter_rate": round(total_prefilter / total_paths, 4)
+        if total_paths
+        else 1.0,
+        "plain_discharged": sum(r["plain_discharged"] for r in rows.values()),
+        "tight_discharged": sum(r["tight_discharged"] for r in rows.values()),
+        "rows": rows,
+    }
+
+
+def print_table(payload: dict) -> None:
+    print(
+        f"{'circuit':18s} {'in':>4s} {'paths':>6s} {'false':>6s} "
+        f"{'true':>5s} {'unres':>6s} {'pre%':>6s} {'tight':>6s} "
+        f"{'disch':>11s} {'time':>8s} ident"
+    )
+    for name, row in payload["rows"].items():
+        print(
+            f"{name:18s} {row['inputs']:4d} {row['paths']:6d} "
+            f"{row['false']:6d} {row['true']:5d} {row['unresolved']:6d} "
+            f"{100 * row['prefilter_rate']:5.1f}% {row['tightened_outputs']:6d} "
+            f"{row['plain_discharged']:4d} -> {row['tight_discharged']:4d} "
+            f"{row['analyze_s'] * 1e3:6.1f}ms {row['identical']}"
+        )
+    print(
+        f"prefilter settled {100 * payload['prefilter_rate']:.1f}% of "
+        f"{payload['total_paths']} paths before BDD work; precert "
+        f"discharges {payload['plain_discharged']} -> "
+        f"{payload['tight_discharged']} with tightened arrivals "
+        f"(JSON written to {RESULT_PATH})"
+    )
+
+
+def check_targets(payload: dict) -> None:
+    """The acceptance gates: bit-identity + strict discharge improvement."""
+    for name, row in payload["rows"].items():
+        assert row["identical"], (
+            f"{name}: SPCF with tightened-arrival certificates is not "
+            f"bit-identical to the plain compile"
+        )
+        assert row["tight_discharged"] >= row["plain_discharged"], (
+            f"{name}: tightening lowered the precert discharge count "
+            f"({row['plain_discharged']} -> {row['tight_discharged']})"
+        )
+    assert payload["tight_discharged"] > payload["plain_discharged"], (
+        f"path tightening did not strictly improve the summed precert "
+        f"discharge count ({payload['plain_discharged']} -> "
+        f"{payload['tight_discharged']})"
+    )
+
+
+def run_suite(library=None) -> dict:
+    payload = measure(library)
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_paths_sweep(benchmark, lsi_lib):
+    payload = benchmark.pedantic(
+        lambda: run_suite(lsi_lib), rounds=1, iterations=1
+    )
+    print_table(payload)
+    check_targets(payload)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI mode: nonzero exit when a gate fails",
+    )
+    parser.parse_args()
+    payload = run_suite()
+    print_table(payload)
+    check_targets(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

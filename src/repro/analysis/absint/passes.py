@@ -28,6 +28,15 @@ ABS009    precert-contradiction     error     pre-certification certificate
                                               by the exact BDD cross-check
 ABS010    precert-summary           info      per-output obligation discharge
                                               rates (opt-in, off by default)
+ABS011    false-speed-path          info      statically unsensitizable
+                                              speed-path, with certificate
+                                              (opt-in, off by default)
+ABS012    true-speed-path           info      sensitizable speed-path with a
+                                              replayed witness and masking rank
+                                              (opt-in, off by default)
+ABS013    paths-contradiction       error     path certificate refused
+                                              (tampered) or contradicted by a
+                                              fresh BDD re-derivation / replay
 ========  ========================  ========  ==================================
 
 ``ABS005`` severity is per finding: a witness on a *critical* output whose
@@ -71,6 +80,7 @@ from repro.spcf.shortpath import compute_spcf
 from repro.sta.timing import TimingReport, analyze
 
 if TYPE_CHECKING:  # pragma: no cover - avoids the precert <-> absint cycle
+    from repro.analysis.paths.sensitize import PathsAnalysis
     from repro.analysis.precert.certificate import CertificateSet
 
 
@@ -101,9 +111,13 @@ class AbsintConfig:
     max_injection_nets: int = 512
     report_potential: bool = False
     report_precert: bool = False
+    report_paths: bool = False
     spcf_max_inputs: int = 12
     spcf_samples: int = 64
     precert_max_inputs: int = 12
+    paths_max_inputs: int = 12
+    paths_limit: int = 4096
+    paths_replay_budget: int = 8
     backend: str | None = None
     select: frozenset[str] | None = None
     ignore: frozenset[str] = field(default_factory=frozenset)
@@ -126,6 +140,9 @@ class AbsintConfig:
             "spcf_max_inputs",
             "spcf_samples",
             "precert_max_inputs",
+            "paths_max_inputs",
+            "paths_limit",
+            "paths_replay_budget",
         ):
             if getattr(self, name) < 0:
                 raise AbsintError(f"{name} must be >= 0, got {getattr(self, name)}")
@@ -290,6 +307,38 @@ class AbsintContext:
                 except ReproError:
                     self._precert = None
         return self._precert
+
+    @property
+    def paths(self) -> "PathsAnalysis | None":
+        """Speed-path classification, or ``None`` when out of scope.
+
+        Gated on ``paths_max_inputs`` like the other exact planes, and
+        budget-capped: a circuit with more than ``paths_limit`` speed-paths
+        (or any other analysis failure) yields ``None`` rather than a
+        partial — and hence unsound-to-tighten — certificate set.
+        """
+        if not hasattr(self, "_paths"):
+            self._paths = None
+            if (
+                self.compiled is not None
+                and self.compiled.n_inputs <= self.config.paths_max_inputs
+            ):
+                from repro.analysis.paths import PathsConfig, analyze_paths
+
+                try:
+                    self._paths = analyze_paths(
+                        self.circuit,
+                        threshold=self.config.threshold,
+                        target=self.config.target,
+                        config=PathsConfig(
+                            limit=self.config.paths_limit,
+                            replay_budget=self.config.paths_replay_budget,
+                            backend=self.config.backend,
+                        ),
+                    )
+                except ReproError:
+                    self._paths = None
+        return self._paths
 
     def critical_output_names(self) -> frozenset[str]:
         compiled = self.compiled
@@ -485,8 +534,17 @@ def check_intervals(
     ctx: AbsintContext, config: AbsintConfig
 ) -> Iterator[AbsFinding]:
     compiled = ctx.compiled
+    true_upper = None
+    if config.report_paths and ctx.paths is not None:
+        from repro.analysis.paths import tightened_arrivals
+
+        true_upper = tightened_arrivals(ctx.paths)
     for location, message, data in check_interval_consistency(
-        compiled, ctx.intervals, compiled.arrival(), compiled.min_stable()
+        compiled,
+        ctx.intervals,
+        compiled.arrival(),
+        compiled.min_stable(),
+        true_upper=true_upper,
     ):
         yield (
             location,
@@ -606,6 +664,142 @@ def check_precert_summary(
             "discharged/refuted obligations skip their S0/S1 BDD builds",
             None,
             s.to_data(),
+        )
+
+
+@abs_pass(
+    "ABS011",
+    "false-speed-path",
+    Severity.INFO,
+    "statically unsensitizable speed-path, with proof certificate",
+)
+def check_false_paths(
+    ctx: AbsintContext, config: AbsintConfig
+) -> Iterator[AbsFinding]:
+    if not config.report_paths:
+        return
+    analysis = ctx.paths
+    if analysis is None:
+        return
+    for cert in analysis.certificates.false_paths():
+        route = "->".join(cert.nets)
+        qualifier = (
+            "; its activation conditions fail too, so the output's "
+            "true-arrival bound may be tightened"
+            if cert.prunable
+            else ""
+        )
+        yield (
+            cert.end,
+            f"false speed-path {route} (delay {cert.delay} > target "
+            f"{cert.target}): no input vector sensitizes it "
+            f"[{cert.method}]{qualifier}",
+            "exclude it from masking-cube selection; the certificate is "
+            "re-derivable by audit_path_certificates",
+            None,
+            {
+                "nets": list(cert.nets),
+                "delay": cert.delay,
+                "method": cert.method,
+                "prunable": cert.prunable,
+            },
+        )
+
+
+@abs_pass(
+    "ABS012",
+    "true-speed-path",
+    Severity.INFO,
+    "sensitizable speed-path with a replayed witness and masking rank",
+)
+def check_true_paths(
+    ctx: AbsintContext, config: AbsintConfig
+) -> Iterator[AbsFinding]:
+    if not config.report_paths:
+        return
+    analysis = ctx.paths
+    if analysis is None:
+        return
+    for cert in analysis.certificates.ranked_true_paths():
+        route = "->".join(cert.nets)
+        v1 = "".join(str(int(b)) for b in cert.facts.get("v1", ()))
+        v2 = "".join(str(int(b)) for b in cert.facts.get("v2", ()))
+        yield (
+            cert.end,
+            f"true speed-path {route} (delay {cert.delay} > target "
+            f"{cert.target}), masking rank {cert.rank}: witness "
+            f"{v1} -> {v2} replays with settle time "
+            f"{cert.facts.get('settle_time')}",
+            "a real late transition; masking-cube selection should cover "
+            "its patterns first (rank order)",
+            None,
+            {
+                "nets": list(cert.nets),
+                "delay": cert.delay,
+                "rank": cert.rank,
+                "settle_time": cert.facts.get("settle_time"),
+            },
+        )
+    for cert in analysis.certificates.unresolved_paths():
+        route = "->".join(cert.nets)
+        yield (
+            cert.end,
+            f"speed-path {route} (delay {cert.delay} > target "
+            f"{cert.target}) is unresolved: "
+            f"{cert.facts.get('reason', 'budget exhausted')}",
+            "raise the paths budgets; an unresolved path must be treated "
+            "as potentially true",
+            None,
+            {"nets": list(cert.nets), "delay": cert.delay},
+        )
+
+
+@abs_pass(
+    "ABS013",
+    "paths-contradiction",
+    Severity.ERROR,
+    "path certificate refused or contradicted by fresh re-derivation",
+)
+def check_paths_audit(
+    ctx: AbsintContext, config: AbsintConfig
+) -> Iterator[AbsFinding]:
+    """Audit every path certificate from scratch (the ABS009 pattern).
+
+    Always on (size-gated like ABS009): FALSE verdicts are re-derived on a
+    fresh certificate-free BDD context regardless of the cheap plane that
+    produced them, and TRUE witnesses are replayed through the event
+    simulator.  Tampered certificates are refused with a distinct
+    diagnostic before any semantic check.
+    """
+    compiled = ctx.compiled
+    if compiled is None or compiled.n_inputs > config.paths_max_inputs:
+        return
+    analysis = ctx.paths
+    if analysis is None or not len(analysis.certificates):
+        return
+    from repro.analysis.paths import audit_path_certificates
+
+    for finding in audit_path_certificates(
+        ctx.circuit, analysis.certificates
+    ):
+        location = finding.nets[-1] if finding.nets else ctx.circuit.name
+        if finding.kind == "tampered":
+            hint = (
+                "certificate integrity failure: regenerate with "
+                "analyze_paths(); never consult evidence failing its hash"
+            )
+        else:
+            hint = (
+                "paths-plane soundness bug: a wrong verdict here would "
+                "prune a real speed-path or mask a false one; do not "
+                "trust path-based tightening until this is fixed"
+            )
+        yield (
+            location,
+            finding.message,
+            hint,
+            None,
+            {"kind": finding.kind, "nets": list(finding.nets), **finding.data},
         )
 
 

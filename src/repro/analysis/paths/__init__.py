@@ -1,0 +1,49 @@
+"""Static path-sensitization analysis: false paths, true paths, certificates.
+
+The paper masks timing errors on *speed-paths*; this package decides which
+enumerated speed-paths can ever carry a late transition.  FALSE paths come
+with machine-checkable unsatisfiability certificates and (when the
+stronger activation criterion also fails) license tightening the output's
+true-arrival bound — which :func:`repro.analysis.precert.precertify`
+converts into extra discharged obligations without changing a single SPCF
+bit.  TRUE paths come with replayed two-vector witnesses and a masking
+rank consumed by :mod:`repro.core.masking`.  ABS013 audits it all from
+scratch.
+"""
+
+from repro.analysis.paths.audit import PathAuditFinding, audit_path_certificates
+from repro.analysis.paths.certificate import (
+    METHODS,
+    SCHEMA,
+    VERDICTS,
+    PathCertificate,
+    PathCertificateSet,
+)
+from repro.analysis.paths.report import (
+    paths_to_dict,
+    render_paths_json,
+    render_paths_text,
+)
+from repro.analysis.paths.sensitize import (
+    PathsAnalysis,
+    PathsConfig,
+    analyze_paths,
+)
+from repro.analysis.paths.tighten import tightened_arrivals
+
+__all__ = [
+    "SCHEMA",
+    "VERDICTS",
+    "METHODS",
+    "PathCertificate",
+    "PathCertificateSet",
+    "PathsAnalysis",
+    "PathsConfig",
+    "analyze_paths",
+    "tightened_arrivals",
+    "PathAuditFinding",
+    "audit_path_certificates",
+    "render_paths_text",
+    "render_paths_json",
+    "paths_to_dict",
+]

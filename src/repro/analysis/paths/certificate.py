@@ -1,0 +1,335 @@
+"""Machine-checkable certificates for speed-path sensitization verdicts.
+
+The paths analyzer classifies every enumerated speed-path (a structural
+input-to-output path with delay above the target ``Delta_y``) into one of
+three verdicts, each carrying the evidence a checker needs to re-derive it:
+
+* ``false`` — *statically unsensitizable*: the conjunction of the per-segment
+  side-input sensitization conditions is unsatisfiable, so no input vector
+  propagates a transition along the whole path.  The facts cite the method
+  (``ternary`` pre-filter, ``exhaustive`` word evaluation, or ``bdd``) and
+  the per-segment condition functions; ``prunable`` additionally records
+  that the *activation* conditions (the weaker prime-implicant criterion
+  that soundly bounds the paper's Eqn. 1 recursion) are unsatisfiable too,
+  which licenses tightening the true-arrival bound of the path's output.
+
+* ``true`` — *sensitizable with a replayed witness*: a concrete two-vector
+  transition ``v1 -> v2`` whose event-simulator waveform at the path's
+  output settles after the target.  ``rank`` orders true paths for masking
+  (longest, latest-settling first).
+
+* ``unresolved`` — the analysis ran out of budget (path enumeration cap,
+  witness replay budget, or cone size); no claim is made.
+
+Like the precert plane, certificates are checkable evidence, not trust:
+each is content-addressed (SHA-256) and chained to the exact circuit
+structure via :func:`repro.analysis.precert.certificate.circuit_fingerprint`;
+the whole set round-trips losslessly through JSON and any tampering is
+detected on strict load and refused by the ABS013 audit with a distinct
+diagnostic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.analysis.precert.certificate import _canonical, circuit_fingerprint
+from repro.engine import CompiledCircuit
+from repro.errors import PathsError
+from repro.netlist.circuit import Circuit
+
+#: Serialization schema of :meth:`PathCertificateSet.to_dict`.
+SCHEMA = "repro-paths/1"
+
+#: Allowed verdicts, in strength-of-claim order.
+VERDICTS = ("false", "true", "unresolved")
+
+#: Classification methods a verdict may cite.
+METHODS = (
+    "ternary",  # all-X constant side inputs block every activation prime
+    "exhaustive",  # word-parallel evaluation over all 2**n stimuli
+    "bdd",  # side-input condition functions composed as BDDs
+    "none",  # unresolved: no method succeeded within budget
+)
+
+
+@dataclass(frozen=True)
+class PathCertificate:
+    """One classified speed-path with its evidence.
+
+    ``nets`` is the structural path, input-first (the key of the set);
+    ``delay`` its structural delay; ``target`` the ``Delta_y`` it exceeds.
+    ``facts`` is the JSON-ready evidence payload (segment conditions,
+    witness vectors, or the budget reason).
+    """
+
+    nets: tuple[str, ...]
+    delay: int
+    target: int
+    verdict: str
+    facts: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.verdict not in VERDICTS:
+            raise PathsError(
+                f"unknown path verdict {self.verdict!r}; "
+                f"expected one of {VERDICTS}"
+            )
+        if len(self.nets) < 2:
+            raise PathsError(
+                f"path certificate needs at least 2 nets, got {self.nets!r}"
+            )
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        return self.nets
+
+    @property
+    def start(self) -> str:
+        return self.nets[0]
+
+    @property
+    def end(self) -> str:
+        return self.nets[-1]
+
+    @property
+    def method(self) -> str:
+        return str(self.facts.get("method", "none"))
+
+    @property
+    def prunable(self) -> bool:
+        """True iff the activation conditions are proven unsatisfiable.
+
+        Only prunable FALSE paths may tighten true-arrival bounds: the
+        activation criterion is the one derived from Eqn. 1, while the
+        classic sensitization condition (which decides FALSE) is strictly
+        stronger and not sound for pruning the recursion.
+        """
+        return self.verdict == "false" and bool(self.facts.get("prunable"))
+
+    @property
+    def rank(self) -> int | None:
+        """Masking priority of a TRUE path (1 = mask first), else ``None``."""
+        value = self.facts.get("rank")
+        return int(value) if value is not None else None
+
+    def fingerprint(self, circuit_fp: str) -> str:
+        """SHA-256 binding this certificate to one circuit fingerprint."""
+        material = _canonical(
+            {
+                "circuit": circuit_fp,
+                "nets": list(self.nets),
+                "delay": self.delay,
+                "target": self.target,
+                "verdict": self.verdict,
+                "facts": dict(self.facts),
+            }
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def to_dict(self, circuit_fp: str) -> dict[str, Any]:
+        return {
+            "nets": list(self.nets),
+            "delay": self.delay,
+            "target": self.target,
+            "verdict": self.verdict,
+            "facts": dict(self.facts),
+            "fingerprint": self.fingerprint(circuit_fp),
+        }
+
+
+class PathCertificateSet:
+    """All path certificates of one analysis run, keyed by the net tuple."""
+
+    def __init__(
+        self,
+        circuit_name: str,
+        circuit_fp: str,
+        threshold: float,
+        target: int,
+        certificates: Mapping[tuple[str, ...], PathCertificate],
+        stored_fingerprints: Mapping[tuple[str, ...], str] | None = None,
+    ) -> None:
+        self.circuit_name = circuit_name
+        self.circuit_fp = circuit_fp
+        self.threshold = threshold
+        self.target = target
+        self._by_key = dict(certificates)
+        # Fingerprints as found in a loaded file; ``tampered()`` compares
+        # them against re-derived ones.  A freshly produced set carries
+        # none (fingerprints derive on demand at emission time).
+        self._stored_fp: dict[tuple[str, ...], str] | None = (
+            dict(stored_fingerprints) if stored_fingerprints is not None else None
+        )
+
+    # -------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self) -> Iterator[PathCertificate]:
+        return iter(self._by_key.values())
+
+    def lookup(self, nets: tuple[str, ...]) -> PathCertificate | None:
+        return self._by_key.get(nets)
+
+    def counts(self) -> dict[str, int]:
+        """Certificate totals by verdict (all three keys always present)."""
+        out = {v: 0 for v in VERDICTS}
+        for cert in self._by_key.values():
+            out[cert.verdict] += 1
+        return out
+
+    def by_verdict(self, verdict: str) -> tuple[PathCertificate, ...]:
+        return tuple(
+            cert
+            for _, cert in sorted(self._by_key.items())
+            if cert.verdict == verdict
+        )
+
+    def false_paths(self) -> tuple[PathCertificate, ...]:
+        return self.by_verdict("false")
+
+    def true_paths(self) -> tuple[PathCertificate, ...]:
+        return self.by_verdict("true")
+
+    def unresolved_paths(self) -> tuple[PathCertificate, ...]:
+        return self.by_verdict("unresolved")
+
+    def ranked_true_paths(self) -> tuple[PathCertificate, ...]:
+        """TRUE paths in masking-priority order (rank 1 first)."""
+        return tuple(
+            sorted(
+                self.true_paths(),
+                key=lambda c: (c.rank if c.rank is not None else 1 << 30, c.nets),
+            )
+        )
+
+    def matches(self, circuit: Circuit | CompiledCircuit) -> bool:
+        """True iff this set was produced from exactly this circuit."""
+        return circuit_fingerprint(circuit) == self.circuit_fp
+
+    # ------------------------------------------------------------ integrity
+
+    def tampered(self) -> list[PathCertificate]:
+        """Certificates whose stored fingerprint no longer re-derives.
+
+        Mirrors :meth:`repro.analysis.precert.certificate.CertificateSet.tampered`:
+        a fresh set is self-consistent by construction and never reports
+        here; entries only show up after a ``verify=False`` load of an
+        edited file, and the ABS013 audit refuses them before any
+        cross-checking.
+        """
+        if self._stored_fp is None:
+            return []
+        stored = self._stored_fp
+        return [
+            cert
+            for key, cert in sorted(self._by_key.items())
+            if stored.get(key) != cert.fingerprint(self.circuit_fp)
+        ]
+
+    # -------------------------------------------------------------- JSON IO
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "circuit": self.circuit_name,
+            "circuit_fingerprint": self.circuit_fp,
+            "threshold": self.threshold,
+            "target": self.target,
+            "certificates": [
+                {
+                    **cert.to_dict(self.circuit_fp),
+                    # Loaded sets emit the fingerprint as stored, never a
+                    # re-derived one: saving a tampered set must not
+                    # silently re-sign it.
+                    "fingerprint": (
+                        cert.fingerprint(self.circuit_fp)
+                        if self._stored_fp is None
+                        else self._stored_fp.get(
+                            key, cert.fingerprint(self.circuit_fp)
+                        )
+                    ),
+                }
+                for key, cert in sorted(self._by_key.items())
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], verify: bool = True
+    ) -> "PathCertificateSet":
+        """Rebuild a set from its JSON form.
+
+        With ``verify=True`` (the only safe way to *use* loaded
+        certificates) every stored fingerprint is recomputed from the
+        entry's content and the circuit binding; any mismatch raises
+        :class:`~repro.errors.PathsError`.  ``verify=False`` loads the data
+        as-is so the ABS013 audit can inspect — and then refuse — tampered
+        evidence instead of crashing on it.
+        """
+        if data.get("schema") != SCHEMA:
+            raise PathsError(
+                f"unsupported path-certificate schema {data.get('schema')!r}; "
+                f"expected {SCHEMA!r}"
+            )
+        try:
+            circuit_fp = str(data["circuit_fingerprint"])
+            circuit_name = str(data["circuit"])
+            threshold = float(data["threshold"])
+            target = int(data["target"])
+            entries = list(data["certificates"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PathsError(f"malformed path-certificate set: {exc}") from exc
+        by_key: dict[tuple[str, ...], PathCertificate] = {}
+        stored: dict[tuple[str, ...], str] = {}
+        for entry in entries:
+            try:
+                cert = PathCertificate(
+                    nets=tuple(str(n) for n in entry["nets"]),
+                    delay=int(entry["delay"]),
+                    target=int(entry["target"]),
+                    verdict=str(entry["verdict"]),
+                    facts=dict(entry["facts"]),
+                )
+                stored_fp = str(entry["fingerprint"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise PathsError(
+                    f"malformed path-certificate entry: {exc}"
+                ) from exc
+            if verify and cert.fingerprint(circuit_fp) != stored_fp:
+                raise PathsError(
+                    f"certificate for path {'->'.join(cert.nets)} fails "
+                    "fingerprint verification: content or circuit binding "
+                    "was modified after emission"
+                )
+            by_key[cert.key] = cert
+            stored[cert.key] = stored_fp
+        return cls(circuit_name, circuit_fp, threshold, target, by_key, stored)
+
+    @classmethod
+    def from_json(cls, text: str, verify: bool = True) -> "PathCertificateSet":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PathsError(f"unreadable path-certificate JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise PathsError("path-certificate JSON must be an object")
+        return cls.from_dict(data, verify=verify)
+
+
+__all__ = [
+    "SCHEMA",
+    "VERDICTS",
+    "METHODS",
+    "PathCertificate",
+    "PathCertificateSet",
+    "circuit_fingerprint",
+]

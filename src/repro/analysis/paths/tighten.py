@@ -1,0 +1,59 @@
+"""True-arrival tightening from prunable false paths.
+
+Soundness argument (this is the only place it needs to hold):
+``late(y, t)`` from the paper's Eqn. 1 recursion is contained in the union,
+over structural paths to ``y`` with delay above ``t``, of the conjunction
+of the path's per-segment *activation* conditions — each recursion step
+that keeps ``y`` unsettled walks one prime implicant containing some pin
+whose fanin is itself unsettled, and the prime's literal conjunction at
+time ``t`` is contained in the same conjunction at the (untimed) global
+functions.  Hence if every enumerated path to ``y`` with delay above some
+``T >= target`` has an unsatisfiable activation conjunction ("prunable"),
+then ``late(y, T)`` is identically false: every pattern of ``y`` has
+stabilized by ``T`` even though the structural arrival is later.
+
+:func:`tightened_arrivals` picks, per critical output, the smallest such
+``T``: the maximum delay over the *non*-prunable enumerated paths (or the
+target itself when every path is prunable).  Enumeration completeness
+matters — :func:`~repro.analysis.paths.sensitize.analyze_paths` covers
+every over-target path or raises — so any structural path with delay above
+``T`` is one of the enumerated prunable ones.
+
+Feeding the map to :func:`repro.analysis.precert.precertify` (``tighten=``)
+turns would-be ``required`` obligations into ``true-arrival`` discharges;
+by ROBDD canonicity the SPCF stays bit-identical, it is just reached with
+less recursion.  The same map is what ABS007 cross-checks against the
+interval domain (``min_stable <= T <= hi``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.paths import _obs
+from repro.analysis.paths.sensitize import PathsAnalysis
+
+
+def tightened_arrivals(analysis: PathsAnalysis) -> dict[str, int]:
+    """Per-output true-arrival bounds strictly below the structural arrival.
+
+    Only outputs that actually tighten are returned: an output with a
+    non-prunable path at its structural arrival gains nothing and is
+    omitted so callers can treat the map as "what the analysis bought".
+    """
+    target = analysis.certificates.target
+    arrival = analysis.report.arrival
+    out: dict[str, int] = {}
+    by_output: dict[str, list[int]] = {}
+    for cert in analysis.certificates:
+        by_output.setdefault(cert.end, []).append(
+            -1 if cert.prunable else cert.delay
+        )
+    for y, delays in sorted(by_output.items()):
+        residual = [d for d in delays if d >= 0]
+        tight = max(residual) if residual else target
+        if tight < arrival[y]:
+            out[y] = tight
+            _obs.TIGHTENED.add(1)
+    return out
+
+
+__all__ = ["tightened_arrivals"]

@@ -57,6 +57,7 @@ DOMAINS = (
     "min-stable",  # all-late: t < min_stable[node]
     "ternary-allx",  # constant global function
     "event-sim",  # refuted: replayed late-settling witness
+    "true-arrival",  # on-time via false-path-pruned arrival (paths analysis)
     "none",  # required: no static verdict
 )
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro import obs
 from repro.analysis.absint.ternary import X, pack_classes
@@ -159,12 +159,23 @@ def precertify(
     targets: Sequence[int] | None = None,
     threshold: float = 0.9,
     config: PrecertConfig | None = None,
+    tighten: Mapping[str, int] | None = None,
 ) -> CertificateSet:
     """Pre-certify every obligation of the ``(output, target)`` SPCF queries.
 
     ``targets`` lists the absolute target arrival times to cover (a
     multi-threshold sweep shares one set); when ``None`` the single paper
     target ``floor(threshold * Delta)`` is used.
+
+    ``tighten`` maps net names to *true-arrival* upper bounds proved by the
+    false-path analysis (:func:`repro.analysis.paths.tightened_arrivals`):
+    every pattern of ``net`` has stabilized by ``tighten[net]`` even though
+    the structural arrival is later.  An obligation ``(net, t)`` with
+    ``t >= tighten[net]`` that would otherwise stay ``required`` is
+    discharged under the ``true-arrival`` domain with the same ``on-time``
+    fact shape, so the SPCF shortcut (and the ABS009 audit) treat it
+    exactly like an arrival-interval discharge.  Tightening never overrides
+    a refuted or already-discharged verdict.
     """
     cfg = config or PrecertConfig()
     compiled = compile_circuit(circuit)
@@ -210,6 +221,21 @@ def precertify(
                     facts={
                         "kind": "all-late",
                         "min_stable": min_stable[net_index[ob.node]],
+                    },
+                )
+            elif (
+                tighten is not None
+                and ob.node in tighten
+                and ob.time >= tighten[ob.node]
+            ):
+                certs[key] = Certificate(
+                    node=ob.node,
+                    time=ob.time,
+                    verdict="discharged",
+                    domain="true-arrival",
+                    facts={
+                        "kind": "on-time",
+                        "arrival": tighten[ob.node],
                     },
                 )
             else:

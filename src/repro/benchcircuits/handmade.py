@@ -161,6 +161,31 @@ def parity_tree(n: int, library: Library | None = None) -> Circuit:
     return c
 
 
+def speculative_bypass(library: Library | None = None) -> Circuit:
+    """A small datapath with one *false* speed-path (for paths analysis).
+
+    A slow buffered copy ``p4`` of ``x`` and a fast inverted copy ``nx``
+    feed a select mux ``m1 = s ? p4 : nx``; a second mux re-merges with the
+    fast comparator ``c = x ^ s``: ``y = s ? c : m1``.  The single longest
+    structural path ``x -> p1..p4 -> m1(d1) -> y(d0)`` requires ``s = 1``
+    at ``m1`` but ``s = 0`` at ``y`` — statically unsensitizable, so the
+    path is FALSE and the true arrival of ``y`` is strictly below its
+    structural bound.  (Functionally ``y = ~x``.)
+    """
+    lib = library or unit_library()
+    c = Circuit("bypass", inputs=("x", "s"), outputs=("y",))
+    c.add_gate("nx", lib.get("INV"), ("x",))
+    c.add_gate("p1", lib.get("BUF"), ("x",))
+    c.add_gate("p2", lib.get("BUF"), ("p1",))
+    c.add_gate("p3", lib.get("BUF"), ("p2",))
+    c.add_gate("p4", lib.get("BUF"), ("p3",))
+    c.add_gate("c", lib.get("XOR2"), ("x", "s"))
+    c.add_gate("m1", lib.get("MUX2"), ("s", "nx", "p4"))
+    c.add_gate("y", lib.get("MUX2"), ("s", "m1", "c"))
+    c.validate()
+    return c
+
+
 def mux_tree(select_bits: int, library: Library | None = None) -> Circuit:
     """2^k-to-1 multiplexer built from MUX2 cells."""
     lib = library or unit_library()

@@ -30,6 +30,7 @@ HANDMADE: dict[str, Callable[..., Circuit]] = {
     "priority_encoder8": lambda lib=None: handmade.priority_encoder(8, lib),
     "parity8": lambda lib=None: handmade.parity_tree(8, lib),
     "mux_tree3": lambda lib=None: handmade.mux_tree(3, lib),
+    "bypass": handmade.speculative_bypass,
 }
 
 

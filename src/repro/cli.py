@@ -11,6 +11,9 @@ Usage (installed as ``python -m repro``)::
     python -m repro lint all --fail-on warning --baseline lint.baseline.json
     python -m repro analyze comparator2
     python -m repro analyze all --format sarif --out analysis.sarif
+    python -m repro analyze bypass --paths
+    python -m repro paths comparator2
+    python -m repro paths bypass --format json --out bypass.paths.json
     python -m repro verify-mask cmb
     python -m repro table1
     python -m repro table2 --circuits cmb x2 cu
@@ -367,10 +370,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         replay_budget=args.replay_budget,
         report_potential=args.report_potential,
         report_precert=args.precert,
+        report_paths=args.paths,
         backend=args.backend,
         select=frozenset(args.select) if args.select else None,
         ignore=frozenset(args.ignore or ()),
     )
+    # Resolve --select/--ignore eagerly: an unknown pass id must be a usage
+    # error (exit 2, naming the known passes) before any circuit loads, not
+    # a failure halfway through an `all` sweep.
+    config.active_passes()
     fail_on = Severity.from_name(args.fail_on)
     if args.circuit == "all":
         reports = analyze_suite(library, config)
@@ -384,6 +392,47 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         }
     reports, _ = _finish_reports(reports, args)
     return _emit_reports(reports, args, fail_on)
+
+
+def cmd_paths(args: argparse.Namespace) -> int:
+    from repro.analysis.paths import (
+        PathsConfig,
+        analyze_paths,
+        render_paths_json,
+        render_paths_text,
+    )
+
+    library = builtin_library(args.library)
+    circuit = _load_circuit(args.circuit, library)
+    if args.masked:
+        result = mask_circuit(
+            circuit, library, threshold=args.threshold, target=args.target
+        )
+        circuit = result.design.circuit
+    analysis = analyze_paths(
+        circuit,
+        threshold=args.threshold,
+        target=args.target,
+        config=PathsConfig(
+            limit=args.limit, replay_budget=args.replay_budget
+        ),
+    )
+    text = (
+        render_paths_json(analysis)
+        if args.format == "json"
+        else render_paths_text(analysis)
+    )
+    if args.out:
+        Path(args.out).write_text(
+            text if text.endswith("\n") else text + "\n", encoding="utf-8"
+        )
+        print(f"paths report written to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    # Exit 1 when classification is incomplete: an unresolved path must be
+    # treated as potentially true by any downstream consumer.
+    unresolved = analysis.certificates.unresolved_paths()
+    return EXIT_OK if not unresolved else EXIT_FINDINGS
 
 
 def cmd_verify_mask(args: argparse.Namespace) -> int:
@@ -649,6 +698,14 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"observability     : {obs_state}"
           + (f" (via {', '.join(sources)})" if sources else ""))
     print(f"library (selected): {args.library}")
+    from repro.analysis.absint import PASS_REGISTRY
+    from repro.analysis.rules import RULE_REGISTRY
+
+    print("analysis rules    :")
+    for rid, rule in sorted(RULE_REGISTRY.items()):
+        print(f"  {rid}  {rule.name:24s} [{rule.severity}] {rule.description}")
+    for pid, pss in sorted(PASS_REGISTRY.items()):
+        print(f"  {pid}  {pss.name:24s} [{pss.severity}] {pss.description}")
     return 0
 
 
@@ -775,7 +832,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "analyze",
         help="abstract-interpretation proofs over the compiled IR "
-        "(ABS001-ABS010)",
+        "(ABS001-ABS013)",
         epilog=_EXIT_CODE_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
         parents=[obs_parent],
@@ -804,6 +861,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--precert", action="store_true",
                    help="also report per-output precert discharge rates "
                    "(ABS010)")
+    p.add_argument("--paths", action="store_true",
+                   help="also classify speed-paths as false/true and report "
+                   "them (ABS011/ABS012)")
     p.add_argument("--backend", default=None, choices=("python", "numpy"),
                    help="word backend for the ternary domain")
     p.add_argument("--select", nargs="*", metavar="PASS",
@@ -813,6 +873,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the report to a file (any format)")
     add_baseline_options(p)
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "paths",
+        help="classify speed-paths as false (proved unsensitizable) or "
+        "true (witnessed)",
+        epilog=_EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        parents=[obs_parent],
+    )
+    p.add_argument("circuit", help="benchmark name or .blif path")
+    p.add_argument("--threshold", type=float, default=0.9,
+                   help="speed-path threshold fraction (paper's Delta_y)")
+    p.add_argument("--target", type=int, default=None,
+                   help="explicit target arrival time (overrides --threshold)")
+    p.add_argument("--limit", type=int, default=4096,
+                   help="abort if the circuit has more speed-paths than this")
+    p.add_argument("--replay-budget", type=int, default=8,
+                   help="event-simulator replays per path for true-path "
+                   "witnesses")
+    p.add_argument("--masked", action="store_true",
+                   help="synthesize the masked design first and classify "
+                   "its speed-paths instead")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.add_argument("--out", help="write the report to a file")
+    p.set_defaults(func=cmd_paths)
 
     p = sub.add_parser(
         "verify-mask",

@@ -25,7 +25,7 @@ pattern, and ``Sigma_y`` implies ``e_y = 1`` — is checked by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro import obs
 from repro.bdd.manager import BddManager, Function
@@ -42,6 +42,9 @@ from repro.spcf.timedfunc import SpcfContext
 from repro.synth.collapse import circuit_to_technet, collapse
 from repro.synth.mapping import map_technet, remove_buffers
 from repro.synth.technet import TechNetwork, TechNode
+
+if TYPE_CHECKING:  # pragma: no cover - keeps analysis optional at runtime
+    from repro.analysis.paths.sensitize import PathsAnalysis
 
 #: Name prefixes for prediction and indicator nodes in the masking network.
 PRED_PREFIX = "p$"
@@ -120,6 +123,7 @@ class MaskingSynthesizer:
         cube_pool: str = "isop",
         dontcare_isop: bool = True,
         context: SpcfContext | None = None,
+        paths: "PathsAnalysis | None" = None,
     ) -> None:
         if cube_pool not in ("isop", "primes"):
             raise MaskingError(f"unknown cube pool {cube_pool!r}")
@@ -132,6 +136,43 @@ class MaskingSynthesizer:
         self.max_cubes = max_cubes
         self.cube_pool = cube_pool
         self.use_dontcare_isop = dontcare_isop
+        self.paths = paths
+        if paths is not None and not paths.certificates.matches(circuit):
+            raise MaskingError(
+                "paths analysis was produced for a different circuit "
+                f"(fingerprint mismatch on {circuit.name!r})"
+            )
+        if (
+            paths is not None
+            and target is not None
+            and target != paths.certificates.target
+        ):
+            raise MaskingError(
+                f"paths analysis targets t={paths.certificates.target} but "
+                f"masking was asked for t={target}; tightening would be "
+                "unsound across targets"
+            )
+        if context is None and paths is not None:
+            # Consume the false-path verdicts: prune the SPCF recursion with
+            # true-arrival certificates (bit-identical Sigma_y by ROBDD
+            # canonicity — an output whose speed-paths are all prunable
+            # gets Sigma_y == false and is skipped by the is_false guard
+            # below, so masking never targets a false path).
+            from repro.analysis.paths.tighten import tightened_arrivals
+            from repro.analysis.precert.precertify import precertify
+
+            certs = precertify(
+                circuit,
+                targets=[paths.certificates.target],
+                threshold=threshold,
+                tighten=tightened_arrivals(paths),
+            )
+            context = SpcfContext(
+                circuit,
+                threshold=threshold,
+                target=paths.certificates.target,
+                certificates=certs,
+            )
         self.context = context or SpcfContext(
             circuit, threshold=threshold, target=target
         )
@@ -157,9 +198,24 @@ class MaskingSynthesizer:
 
             # Sigma per node: union of the SPCFs of the critical outputs whose
             # fanin cone contains the node ("all outputs simultaneously").
+            # With a paths analysis attached, outputs are visited in
+            # true-path rank order, so the masking report lists (and the
+            # cone walk reaches) the outputs carrying the longest replayed
+            # speed-paths first.
             node_sigma: dict[str, Function] = {}
             cones: dict[str, set[str]] = {}
-            for y, sigma in spcf.per_output.items():
+            per_output = spcf.per_output
+            if self.paths is not None:
+                rank: dict[str, int] = {}
+                for cert in self.paths.certificates.ranked_true_paths():
+                    rank.setdefault(cert.end, cert.rank or 0)
+                per_output = dict(
+                    sorted(
+                        per_output.items(),
+                        key=lambda kv: (rank.get(kv[0], 1 << 30), kv[0]),
+                    )
+                )
+            for y, sigma in per_output.items():
                 if sigma.is_false:
                     continue
                 cone = technet.fanin_cone(y)
@@ -455,8 +511,16 @@ def synthesize_masking(
     max_cubes: int = 20,
     cube_pool: str = "isop",
     dontcare_isop: bool = True,
+    paths: "PathsAnalysis | None" = None,
 ) -> MaskingResult:
-    """One-call API: synthesize the error-masking circuit for ``circuit``."""
+    """One-call API: synthesize the error-masking circuit for ``circuit``.
+
+    ``paths`` attaches a speed-path classification of the same circuit
+    (:func:`repro.analysis.paths.analyze_paths`): its prunable false paths
+    prune the SPCF recursion via true-arrival certificates and its true
+    paths rank the critical outputs, so masking effort never targets a
+    statically unsensitizable path.
+    """
     return MaskingSynthesizer(
         circuit,
         library,
@@ -466,4 +530,5 @@ def synthesize_masking(
         max_cubes=max_cubes,
         cube_pool=cube_pool,
         dontcare_isop=dontcare_isop,
+        paths=paths,
     ).run()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.integrate import MaskedDesign, build_masked_design
 from repro.core.masking import MaskingResult, synthesize_masking
@@ -14,6 +15,9 @@ from repro.core.report import (
 )
 from repro.netlist.circuit import Circuit
 from repro.netlist.library import Library
+
+if TYPE_CHECKING:  # pragma: no cover - analysis sits above core
+    from repro.analysis.paths.sensitize import PathsAnalysis
 
 
 @dataclass
@@ -39,6 +43,7 @@ def mask_circuit(
     dontcare_isop: bool = True,
     power_method: str = "bdd",
     self_verify: bool = False,
+    paths: "PathsAnalysis | None" = None,
 ) -> PipelineResult:
     """Synthesize, integrate, verify, and report in one call.
 
@@ -64,6 +69,7 @@ def mask_circuit(
         max_cubes=max_cubes,
         cube_pool=cube_pool,
         dontcare_isop=dontcare_isop,
+        paths=paths,
     )
     design = build_masked_design(masking)
     verification = verify_masking(masking)

@@ -1,0 +1,159 @@
+"""Classification of speed-paths: FALSE proofs, TRUE witnesses, tightening."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.paths import (
+    PathsConfig,
+    analyze_paths,
+    tightened_arrivals,
+)
+from repro.analysis.precert import precertify
+from repro.benchcircuits import circuit_by_name, comparator2
+from repro.engine import compile_circuit
+from repro.errors import PathsError, ReproError
+from repro.sim import two_vector_waveforms
+from repro.spcf import SpcfContext, spcf_shortpath
+
+#: Force every path onto the exact BDD plane: no ternary scan, no words.
+BDD_ONLY = PathsConfig(prefilter_max_inputs=0)
+
+
+@pytest.fixture(scope="module")
+def bypass():
+    return circuit_by_name("bypass")
+
+
+def test_bypass_single_path_is_false_and_prunable(bypass):
+    analysis = analyze_paths(bypass)
+    certs = analysis.certificates
+    assert len(certs) == 1
+    [cert] = certs.false_paths()
+    assert cert.nets[0] == "x" and cert.end == "y"
+    assert cert.prunable
+    assert cert.method == "exhaustive"
+    assert analysis.stats["prefilter_exhaustive"] == 1
+    assert analysis.stats["bdd_paths"] == 0
+
+
+def test_bdd_plane_agrees_with_the_word_plane(bypass):
+    analysis = analyze_paths(bypass, config=BDD_ONLY)
+    [cert] = analysis.certificates.false_paths()
+    assert cert.prunable
+    assert cert.method == "bdd"
+    assert analysis.stats["bdd_paths"] == 1
+    # A bdd-method FALSE certificate cites per-segment condition covers.
+    assert all("condition" in seg for seg in cert.facts["segments"])
+    assert tightened_arrivals(analysis) == tightened_arrivals(
+        analyze_paths(bypass)
+    )
+
+
+def test_tightening_is_sound(bypass):
+    """late(y, tight) must be identically false on a cert-free context."""
+    analysis = analyze_paths(bypass)
+    tighten = tightened_arrivals(analysis)
+    assert tighten == {"y": analysis.target}
+    for net, tight in tighten.items():
+        ctx = SpcfContext(bypass, target=tight)
+        s0, s1 = ctx.stable(net, tight)
+        assert (~(s0 | s1)).is_false, (
+            f"a late transition survives on {net} at the tightened bound"
+        )
+
+
+def test_tightened_spcf_is_bit_identical(bypass):
+    analysis = analyze_paths(bypass)
+    certs = precertify(
+        bypass,
+        targets=[analysis.target],
+        tighten=tightened_arrivals(analysis),
+    )
+    base = spcf_shortpath(bypass, target=analysis.target)
+    tight = spcf_shortpath(
+        bypass, target=analysis.target, certificates=certs
+    )
+    for y, fn in base.per_output.items():
+        assert list(fn.cubes()) == list(tight.per_output[y].cubes())
+
+
+def test_tightening_improves_precert_discharge(bypass):
+    analysis = analyze_paths(bypass)
+    plain = precertify(bypass, targets=[analysis.target])
+    tight = precertify(
+        bypass,
+        targets=[analysis.target],
+        tighten=tightened_arrivals(analysis),
+    )
+    assert tight.counts()["discharged"] > plain.counts()["discharged"]
+    by_kind = [
+        c for c in tight if c.facts.get("kind") == "on-time"
+        and c.domain == "true-arrival"
+    ]
+    assert by_kind, "tightening must discharge via the true-arrival domain"
+
+
+def test_comparator2_paths_are_true_with_replayable_witnesses():
+    circuit = comparator2()
+    analysis = analyze_paths(circuit)
+    certs = analysis.certificates
+    assert not certs.false_paths() and not certs.unresolved_paths()
+    compiled = compile_circuit(circuit)
+    for cert in certs.ranked_true_paths():
+        facts = cert.facts
+        waves = two_vector_waveforms(
+            compiled,
+            dict(zip(compiled.inputs, map(bool, facts["v1"]))),
+            dict(zip(compiled.inputs, map(bool, facts["v2"]))),
+        )
+        wave = waves[cert.end]
+        assert wave.settle_time == facts["settle_time"] > analysis.target
+
+
+def test_true_paths_on_the_bdd_plane_still_replay():
+    circuit = comparator2()
+    analysis = analyze_paths(circuit, config=BDD_ONLY)
+    certs = analysis.certificates
+    assert len(certs.true_paths()) == 2
+    assert all(c.method == "bdd" for c in certs.true_paths())
+
+
+def test_exhausted_replay_budget_leaves_paths_unresolved():
+    analysis = analyze_paths(
+        comparator2(), config=PathsConfig(replay_budget=0)
+    )
+    unresolved = analysis.certificates.unresolved_paths()
+    assert len(unresolved) == len(analysis.certificates)
+    for cert in unresolved:
+        assert cert.facts["sensitizable"] is True
+
+
+def test_no_tightening_without_prunable_paths():
+    analysis = analyze_paths(comparator2())
+    assert tightened_arrivals(analysis) == {}
+
+
+def test_path_limit_guard(bypass):
+    with pytest.raises(ReproError):
+        analyze_paths(bypass, config=PathsConfig(limit=0))
+
+
+def test_config_validation():
+    with pytest.raises(PathsError):
+        PathsConfig(limit=-1)
+    with pytest.raises(PathsError):
+        PathsConfig(replay_budget=-1)
+    with pytest.raises(PathsError):
+        PathsConfig(prefilter_max_inputs=2.5)  # type: ignore[arg-type]
+
+
+def test_stats_partition_the_paths():
+    for name in ("bypass", "comparator2", "parity8", "x2"):
+        analysis = analyze_paths(circuit_by_name(name))
+        stats = analysis.stats
+        assert (
+            stats["false"] + stats["true"] + stats["unresolved"]
+            == stats["paths"]
+            == len(analysis.certificates)
+        )

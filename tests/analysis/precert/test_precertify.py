@@ -118,3 +118,32 @@ def test_resolve_targets(compiled):
 def test_config_validation():
     with pytest.raises(PrecertError, match="refute_budget"):
         PrecertConfig(refute_budget=-1)
+
+
+def test_tighten_discharges_via_the_true_arrival_domain():
+    from repro.benchcircuits import circuit_by_name
+
+    bypass = circuit_by_name("bypass")
+    compiled_bypass = compile_circuit(bypass)
+    target = threshold_target(compiled_bypass.critical_delay(), 0.9)
+    plain = precertify(bypass, targets=[target])
+    tight = precertify(bypass, targets=[target], tighten={"y": target})
+    assert tight.counts()["discharged"] == plain.counts()["discharged"] + 1
+    cert = tight.lookup("y", target)
+    assert cert is not None
+    assert cert.verdict == "discharged"
+    assert cert.domain == "true-arrival"
+    assert cert.facts == {"kind": "on-time", "arrival": target}
+
+
+def test_tighten_never_overrides_a_cheaper_classification(compiled):
+    target = threshold_target(compiled.critical_delay(), 0.9)
+    plain = precertify(compiled, targets=[target])
+    # A tighten entry for a net the static planes already classified (or
+    # one that is not tight enough) must leave every verdict unchanged.
+    bound = {name: target + 1 for name in compiled.net_names}
+    tight = precertify(compiled, targets=[target], tighten=bound)
+    for cert in plain:
+        other = tight.lookup(cert.node, cert.time)
+        assert other is not None and other.verdict == cert.verdict
+        assert other.domain == cert.domain

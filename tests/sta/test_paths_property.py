@@ -1,0 +1,42 @@
+"""Property test: the speed-path counting DP matches full enumeration.
+
+``count_speed_paths`` answers "how many paths would ``enumerate_speed_paths``
+yield?" without materializing them (the blowup guard uses it before
+committing to an enumeration).  Hypothesis drives random reconvergent DAGs
+across the whole threshold range; the DP must agree with the enumerator's
+actual output exactly — same circuit, same timing report, same threshold.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sta import analyze, count_speed_paths, enumerate_speed_paths
+from tests.conftest import random_dag_circuit
+
+circuits = st.builds(
+    random_dag_circuit,
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_inputs=st.integers(min_value=3, max_value=5),
+    num_gates=st.integers(min_value=3, max_value=14),
+    num_outputs=st.integers(min_value=1, max_value=3),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    circuit=circuits,
+    threshold=st.sampled_from([0.5, 0.6, 0.75, 0.9, 0.99]),
+)
+def test_count_matches_enumeration(circuit, threshold):
+    report = analyze(circuit, threshold=threshold)
+    paths = enumerate_speed_paths(
+        circuit, report=report, threshold=threshold
+    )
+    assert count_speed_paths(
+        circuit, report=report, threshold=threshold
+    ) == len(paths)
+    # The count is a pure function of (circuit, report, threshold): a
+    # second call with a fresh report must agree.
+    assert count_speed_paths(circuit, threshold=threshold) == len(paths)

@@ -415,3 +415,89 @@ def test_spcf_jobs_requires_short_algorithm(capsys):
     code, _, err = run(capsys, "spcf", "comparator2",
                        "--algorithm", "all", "--jobs", "0")
     assert code == 2
+
+
+def test_paths_text_report(capsys):
+    code, out, _ = run(capsys, "paths", "bypass")
+    assert code == 0
+    assert "speed-paths: 1 (false 1, true 0, unresolved 0)" in out
+    assert "FALSE" in out and "prunable" in out
+    assert "TIGHTEN" in out
+
+
+def test_paths_true_paths_report(capsys):
+    code, out, _ = run(capsys, "paths", "comparator2")
+    assert code == 0
+    assert "TRUE" in out and "rank=1" in out
+
+
+def test_paths_json_to_file(capsys, tmp_path):
+    import json
+
+    target = tmp_path / "bypass.paths.json"
+    code, _, err = run(
+        capsys, "paths", "bypass", "--format", "json", "--out", str(target)
+    )
+    assert code == 0
+    assert "written to" in err
+    data = json.loads(target.read_text())
+    assert set(data) == {"certificates", "stats", "tightened_arrivals"}
+    assert data["certificates"]["schema"] == "repro-paths/1"
+    assert data["tightened_arrivals"] == {"y": data["certificates"]["target"]}
+
+
+def test_paths_unresolved_is_exit_1(capsys):
+    code, out, _ = run(
+        capsys, "paths", "comparator2", "--replay-budget", "0"
+    )
+    assert code == 1
+    assert "UNRESOLVED" in out
+
+
+def test_paths_limit_guard_is_exit_2(capsys):
+    code, _, err = run(capsys, "paths", "bypass", "--limit", "0")
+    assert code == 2
+    assert "error:" in err
+
+
+def test_paths_masked_design(capsys):
+    code, out, _ = run(capsys, "paths", "comparator2", "--masked")
+    assert code in (0, 1)
+    assert "circuit comparator2" in out
+
+
+def test_analyze_paths_flag(capsys):
+    code, out, _ = run(capsys, "analyze", "bypass", "--paths")
+    assert code == 0
+    assert "ABS011" in out
+    code, out, _ = run(capsys, "analyze", "comparator2", "--paths")
+    assert code == 0
+    assert "ABS012" in out and "masking rank 1" in out
+    # Opt-in: the default sweep stays free of path findings.
+    code, out, _ = run(capsys, "analyze", "comparator2")
+    assert code == 0
+    assert "ABS011" not in out and "ABS012" not in out
+
+
+def test_analyze_unknown_select_is_exit_2(capsys):
+    code, _, err = run(capsys, "analyze", "comparator2", "--select", "NOPE")
+    assert code == 2
+    assert "unknown absint pass 'NOPE'" in err
+    assert "ABS001" in err and "ABS013" in err
+
+
+def test_analyze_unknown_ignore_is_exit_2(capsys):
+    code, _, err = run(
+        capsys, "analyze", "comparator2", "--ignore", "ABS999"
+    )
+    assert code == 2
+    assert "known passes" in err
+
+
+def test_info_lists_every_registered_rule(capsys):
+    code, out, _ = run(capsys, "info")
+    assert code == 0
+    assert "analysis rules" in out
+    for rid in ("LINT001", "LINT007", "ABS001", "ABS011", "ABS013"):
+        assert rid in out
+    assert "false-speed-path" in out and "[error]" in out
