@@ -203,9 +203,15 @@ def _shard_obs_record(result: TaskResult) -> dict | None:
 class _Bookkeeper:
     """Bridges executor callbacks to journal, metrics, and progress."""
 
-    def __init__(self, writer: CheckpointWriter, progress: ProgressFn | None):
+    def __init__(
+        self,
+        writer: CheckpointWriter,
+        progress: ProgressFn | None,
+        flight_dir: Path | None = None,
+    ):
         self.writer = writer
         self.progress = progress
+        self.flight_dir = flight_dir
         self.results: dict[int, dict] = {}
         self.quarantined: dict[int, dict] = {}
         self.shard_obs: dict[int, dict] = {}
@@ -213,6 +219,18 @@ class _Bookkeeper:
     def _emit(self, event: str, index: int, message: str) -> None:
         if self.progress is not None:
             self.progress(event, index, message)
+
+    def _dump_flight(self, trigger: str) -> None:
+        """Persist the coordinator's flight ring on investigable events."""
+        recorder = obs.flight_recorder()
+        if recorder is None or self.flight_dir is None:
+            return
+        try:
+            recorder.dump_to(
+                self.flight_dir / "coordinator.flight.json", trigger=trigger
+            )
+        except OSError:  # post-mortem capture must never fail the run
+            pass
 
     def on_event(self, event: str, task: Task, message: str, info: dict) -> None:
         index = int(task.key)
@@ -227,6 +245,7 @@ class _Bookkeeper:
             _RETRIES.add()
         elif event == "breaker":
             _BREAKER_TRIPS.add()
+            self._dump_flight("breaker")
         elif event == "task-done":
             if _METER.enabled:
                 _SHARDS_COMPLETED.add()
@@ -236,6 +255,7 @@ class _Bookkeeper:
             )
         elif event == "quarantined":
             _QUARANTINED.add()
+            self._dump_flight("quarantine")
             self._emit("quarantined", index, message)
 
     def on_result(self, result: TaskResult) -> None:
@@ -283,7 +303,19 @@ def _execute(
                 f"{len(plan)} shards"
             )
     pending = [shard for shard in plan if shard.index not in prior_results]
-    books = _Bookkeeper(writer, progress)
+
+    # Flight-recorder plane (only with REPRO_OBS on): the coordinator
+    # keeps its own ring, dumped beside the checkpoint on quarantine or
+    # breaker trip; the queue backend additionally harvests the workers'
+    # crash-surviving dumps into the same directory after the run.
+    flight_dir: Path | None = None
+    if obs.enabled():
+        flight_dir = Path(f"{writer.path}.flight")
+        if obs.flight_recorder() is None:
+            obs.install_flight_recorder(
+                obs.FlightRecorder(worker="coordinator")
+            )
+    books = _Bookkeeper(writer, progress, flight_dir=flight_dir)
 
     started = time.monotonic()
     with _TRACER.span(
@@ -304,6 +336,7 @@ def _execute(
             queue_dir=config.queue_dir,
             lease_ttl=config.lease_ttl,
             respawn=config.queue_respawn,
+            flight_dir=flight_dir,
         ) as executor:
             executor.parent_span_id = getattr(run_span, "id", None)
             report = executor.run(

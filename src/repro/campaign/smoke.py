@@ -40,6 +40,19 @@ from repro.campaign.status import campaign_status, render_status_text
 _WOUNDED_SHARD = 3
 
 
+def _comparable_json(aggregate: dict) -> str:
+    """Aggregate rendering for byte-identity checks.
+
+    The ``telemetry`` section is dropped before comparing: it derives
+    from wall-clock timings (percentiles, rates) that legitimately differ
+    between runs, while every *result* byte must still match.  With
+    ``REPRO_OBS`` off the section is absent and this is exactly
+    :func:`render_campaign_json`.
+    """
+    doc = {k: v for k, v in aggregate.items() if k != "telemetry"}
+    return render_campaign_json(doc)
+
+
 def smoke_spec() -> CampaignSpec:
     return CampaignSpec(
         circuits=("comparator2",),
@@ -109,7 +122,7 @@ def run_smoke(workdir: str | None = None, echo: Callable[[str], None] = print) -
         if not healed.complete:
             echo("FAIL: resume did not complete the campaign")
             return 1
-        if render_campaign_json(healed.aggregate) != render_campaign_json(
+        if _comparable_json(healed.aggregate) != _comparable_json(
             baseline.aggregate
         ):
             echo("FAIL: resumed aggregate differs from uninterrupted baseline")
@@ -159,7 +172,7 @@ def run_distributed_smoke(
         if not baseline.complete:
             echo("FAIL: inline baseline did not complete")
             return 1
-        baseline_json = render_campaign_json(baseline.aggregate)
+        baseline_json = _comparable_json(baseline.aggregate)
 
         echo(
             "phase 2/3: 4 queue workers, no respawn; SIGKILL shards "
@@ -216,7 +229,7 @@ def run_distributed_smoke(
                 f"{outcome.aggregate['incomplete_shards']}"
             )
             return 1
-        if render_campaign_json(outcome.aggregate) != baseline_json:
+        if _comparable_json(outcome.aggregate) != baseline_json:
             echo("FAIL: distributed aggregate differs from inline baseline")
             return 1
 

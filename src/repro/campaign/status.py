@@ -11,7 +11,11 @@ outage:
   ``stale`` / ``dead`` / ``exited`` from heartbeat age and lease
   ownership — a *wedged* worker is alive (fresh heartbeats) but lost the
   lease on the task it thinks it is running,
-* protocol counters (claims / steals / dedups / divergences).
+* protocol counters (claims / steals / dedups / divergences),
+* live telemetry, when the fleet runs with ``REPRO_OBS`` on: per-worker
+  throughput rates, a fleet ETA, and straggler flags folded read-only
+  from the queue's ``telemetry/*.jsonl`` streams
+  (:class:`~repro.obs.timeseries.FleetSeries`).
 
 Everything is read-only: status never mutates the queue, so it is safe
 to run from any host at any moment, including mid-chaos.
@@ -27,6 +31,7 @@ from repro.campaign.checkpoint import load_journal
 from repro.campaign.spec import plan_campaign
 from repro.errors import CampaignError
 from repro.exec.queuedir import QueueSnapshot, WorkQueue
+from repro.obs.timeseries import FleetSeries
 
 #: Worker classifications, healthiest first (render order).
 WORKER_STATES = ("live", "wedged", "stale", "dead", "exited")
@@ -97,6 +102,15 @@ def campaign_status(
         for shard in plan_campaign(state.spec)
     }
 
+    # Live telemetry (present only when workers run with REPRO_OBS on):
+    # a read-only one-shot fold of the telemetry streams.
+    fleet = FleetSeries.from_queue_dir(queue_dir)
+    telemetry = None
+    if fleet.workers():
+        telemetry = fleet.summary(
+            time.time(), remaining=snapshot.todo + snapshot.claimed
+        )
+
     ages = snapshot.worker_ages()
     workers = {}
     for wid, doc in snapshot.workers.items():
@@ -111,6 +125,10 @@ def campaign_status(
             "pid": doc.get("pid"),
             "current_shard": fp_to_shard.get(current) if current else None,
         }
+        if telemetry is not None and wid in telemetry["workers"]:
+            reported = telemetry["workers"][wid]
+            workers[wid]["rate_per_second"] = reported["rate_per_second"]
+            workers[wid]["straggler"] = reported["straggler"]
     leases = []
     for lease in snapshot.leases:
         fp = lease.get("fingerprint")
@@ -133,6 +151,7 @@ def campaign_status(
         "workers": workers,
         "leases": leases,
         "counters": snapshot.counters,
+        "telemetry": telemetry,
     }
     return status
 
@@ -159,6 +178,16 @@ def render_status_text(status: dict) -> str:
            if queue["quarantined"] else "")
         + (" [stopped]" if queue["stopped"] else "")
     )
+    telemetry = queue.get("telemetry")
+    if telemetry:
+        fleet = telemetry["fleet"]
+        line = f"telemetry: throughput {fleet['rate_per_second']:.2f}/s"
+        eta = fleet.get("eta_seconds")
+        if eta is not None:
+            line += f", eta {eta:.0f}s"
+        if fleet["stragglers"]:
+            line += ", stragglers: " + ", ".join(fleet["stragglers"])
+        lines.append(line)
     workers = queue["workers"]
     if workers:
         lines.append(f"workers ({len(workers)}):")
@@ -168,11 +197,14 @@ def render_status_text(status: dict) -> str:
         ):
             info = workers[wid]
             shard = info["current_shard"]
+            rate = info.get("rate_per_second")
             lines.append(
                 f"  {wid:28s} {info['state']:7s} "
                 f"hb {info['heartbeat_age_seconds']:6.1f}s  "
                 f"done {info['tasks_done']:<4d} fail {info['failures']:<3d}"
+                + (f" rate {rate:5.2f}/s" if rate is not None else "")
                 + (f" shard {shard}" if shard is not None else "")
+                + (" STRAGGLER" if info.get("straggler") else "")
             )
     if queue["leases"]:
         lines.append(f"leases ({len(queue['leases'])}):")

@@ -716,6 +716,26 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.serve import QueueDirSource, start_server
+
+    source = QueueDirSource(args.queue_dir, window=args.window)
+    server = start_server(source, host=args.host, port=args.port)
+    print(f"serving {args.queue_dir} read-only on {server.url}")
+    print("routes: /metrics (Prometheus), /healthz, /snapshot.json; "
+          "Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -927,7 +947,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_info)
 
     obs_cmd = sub.add_parser(
-        "obs", help="observability utilities (trace inspection)"
+        "obs", help="observability utilities (trace inspection, /metrics)"
     )
     osub = obs_cmd.add_subparsers(dest="obs_command", required=True)
     p = osub.add_parser(
@@ -937,6 +957,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=0,
                    help="show only the N hottest span names (0 = all)")
     p.set_defaults(func=cmd_obs_report)
+
+    p = osub.add_parser(
+        "serve",
+        help="scrape-able /metrics endpoint over a work-queue directory "
+        "(read-only; live or finished campaigns)",
+    )
+    p.add_argument("--queue-dir", required=True, metavar="DIR",
+                   help="work-queue directory to observe")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=9464,
+                   help="TCP port (default: 9464; 0 = pick a free one)")
+    p.add_argument("--window", type=float, default=30.0, metavar="SECONDS",
+                   help="trailing window for throughput rates (default: 30)")
+    p.set_defaults(func=cmd_obs_serve)
 
     camp = sub.add_parser(
         "campaign",

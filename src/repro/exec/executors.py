@@ -699,6 +699,7 @@ class ProcessPoolExecutor(Executor):
             "key": task.key,
             "attempt": attempt,
             "sabotage": self._sabotage_for(task),
+            "corr": task.fingerprint(),
         })
         # Splice the task's cached payload encoding into the request line:
         # large payloads (circuit documents) are then serialized once per
@@ -771,6 +772,7 @@ def make_executor(
     queue_dir: str | os.PathLike | None = None,
     lease_ttl: float = 15.0,
     respawn: bool = True,
+    flight_dir: str | os.PathLike | None = None,
 ) -> Executor:
     """Build an executor by backend name.
 
@@ -802,7 +804,7 @@ def make_executor(
             )
         return QueueExecutor(
             queue_dir, workers=workers, lease_ttl=lease_ttl,
-            respawn=respawn, **kwargs
+            respawn=respawn, flight_dir=flight_dir, **kwargs
         )
     raise ExecError(
         f"unknown executor backend {backend!r}; "

@@ -44,8 +44,11 @@ import time
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from repro import obs
 from repro.errors import ExecError
 from repro.exec import _obs
+from repro.obs.flight import load_flight
+from repro.obs.timeseries import FLIGHT_SUFFIX, FleetSeries, TelemetryTail
 from repro.exec.executors import (
     ExecReport,
     Executor,
@@ -113,6 +116,11 @@ class QueueExecutor(Executor):
     ``respawn``
         Respawn locally-spawned workers that die while work remains
         (exponential backoff from the retry policy's base/cap).
+    ``flight_dir``
+        Where to harvest the workers' flight-recorder dumps
+        (``telemetry/*.flight.json``) after the run — the post-mortem
+        record of whatever each worker had in flight at its last flush.
+        ``None`` leaves the dumps in the queue directory only.
     """
 
     backend = "queue"
@@ -124,6 +132,7 @@ class QueueExecutor(Executor):
         policy: QueuePolicy | None = None,
         lease_ttl: float = 15.0,
         respawn: bool = True,
+        flight_dir: str | os.PathLike | None = None,
         **kwargs: Any,
     ):
         super().__init__(**kwargs)
@@ -143,6 +152,10 @@ class QueueExecutor(Executor):
                 max_attempts=self.retry.max_retries + 1,
             )
         self.policy = policy
+        self.flight_dir = Path(flight_dir) if flight_dir is not None else None
+        #: Live fleet view of the current/last run (telemetry tailing is
+        #: active only while ``REPRO_OBS`` is on).
+        self.fleet: FleetSeries | None = None
         self.coordinator_id = f"coord-{worker_identity()}"
         self._queue: WorkQueue | None = None
         self._spawned: list[subprocess.Popen] = []
@@ -280,6 +293,11 @@ class QueueExecutor(Executor):
         )
 
         tail = _EventTail(queue)
+        telemetry_tail: TelemetryTail | None = None
+        self.fleet = None
+        if obs.enabled():
+            telemetry_tail = TelemetryTail(queue.root / "telemetry")
+            self.fleet = FleetSeries()
         try:
             if self.workers == 0:
                 self._start_inline_worker(queue)
@@ -316,6 +334,9 @@ class QueueExecutor(Executor):
                         state, queue, on_result
                     )
                     self._publish_heartbeat_ages(queue)
+                    self._drain_telemetry(
+                        telemetry_tail, len(state.unresolved)
+                    )
                     respawns = self._reap_fleet(
                         len(state.unresolved), respawns
                     )
@@ -340,6 +361,8 @@ class QueueExecutor(Executor):
             # poll and the fleet stop.
             self._drain_events(state, tail)
             self._drain_results(state, queue, on_result)
+            self._drain_telemetry(telemetry_tail, len(state.unresolved))
+            self._harvest_flight_dumps(queue)
 
         state.settle_stopped()
         return ExecReport(
@@ -364,6 +387,58 @@ class QueueExecutor(Executor):
         for wid, doc in queue.workers().items():
             age = max(0.0, now - float(doc.get("time", now)))
             _obs.QUEUE_HEARTBEAT_AGE.set(round(age, 3), worker=wid)
+
+    def _drain_telemetry(
+        self, tail: TelemetryTail | None, remaining: int
+    ) -> None:
+        """Fold new worker telemetry into the fleet series and republish
+        the digest (rate/ETA/straggler) as coordinator gauges."""
+        fleet = self.fleet
+        if fleet is None or tail is None:
+            return
+        fleet.ingest(tail.new_records())
+        if not _obs.METER.enabled or not fleet.workers():
+            return
+        now = time.time()
+        _obs.FLEET_RATE.set(round(fleet.fleet_rate(now), 4))
+        stragglers = set(fleet.stragglers())
+        for worker in fleet.workers():
+            _obs.FLEET_RATE.set(round(fleet.rate(worker, now), 4),
+                                worker=worker)
+            _obs.FLEET_STRAGGLER.set(1 if worker in stragglers else 0,
+                                     worker=worker)
+        eta = fleet.eta_seconds(remaining, now)
+        if eta is not None:
+            _obs.FLEET_ETA.set(round(eta, 3))
+
+    def _harvest_flight_dumps(self, queue: WorkQueue) -> list[Path]:
+        """Copy the workers' flight dumps into ``flight_dir`` post-run.
+
+        Dumps are validated before copying (a torn rename cannot happen —
+        writes are atomic — but a foreign file with the suffix could);
+        invalid files are skipped, never fatal.
+        """
+        if self.flight_dir is None:
+            return []
+        telemetry = queue.root / "telemetry"
+        if not telemetry.is_dir():
+            return []
+        harvested: list[Path] = []
+        for path in sorted(telemetry.glob(f"*{FLIGHT_SUFFIX}")):
+            try:
+                doc = load_flight(path)
+                payload = path.read_text(encoding="utf-8")
+            except (OSError, ValueError):
+                continue
+            self.flight_dir.mkdir(parents=True, exist_ok=True)
+            target = self.flight_dir / path.name
+            target.write_text(payload, encoding="utf-8")
+            harvested.append(target)
+            if _obs.METER.enabled:
+                _obs.FLIGHT_DUMPS.add(
+                    1, trigger=str(doc.get("trigger", "unknown"))
+                )
+        return harvested
 
     def _drain_events(self, state: "_QueueRunState", tail: _EventTail) -> bool:
         """Tail queue events into executor events and metrics."""
@@ -435,9 +510,24 @@ class QueueExecutor(Executor):
             )
             base_attempts = int(attempts_doc.get("attempts", 0))
             tasks = state.fp_tasks.get(fp, [])
+            worker_obs = (
+                doc.get("obs") if isinstance(doc.get("obs"), dict) else None
+            )
+            # Stamp the executing worker's identity onto its spans before
+            # ingest so a multi-host Chrome trace can map each worker to
+            # its own pid/tid row (see obs.export.chrome_trace).
+            wid = doc.get("worker")
+            if (
+                worker_obs
+                and isinstance(wid, str) and wid
+                and isinstance(worker_obs.get("spans"), list)
+            ):
+                for span in worker_obs["spans"]:
+                    if isinstance(span, dict):
+                        span.setdefault("worker", wid)
             self._ingest_worker_obs(
                 tasks[0] if tasks else None,  # type: ignore[arg-type]
-                doc.get("obs") if isinstance(doc.get("obs"), dict) else None,
+                worker_obs,
             )
             for task in tasks:
                 result = self._settle(

@@ -39,6 +39,7 @@ import time
 from typing import Any, Callable
 
 from repro import obs
+from repro.obs.timeseries import FLIGHT_SUFFIX
 from repro.exec.protocol import DETERMINISTIC_ERRORS, apply_sabotage
 from repro.exec.queuedir import (
     QUEUE_SCHEMA,
@@ -76,6 +77,21 @@ class QueueWorker:
         self._consecutive = 0
         self._current: str | None = None
         self._stopping = threading.Event()
+        self._log = obs.get_logger("exec.queue_worker")
+        # Live telemetry plane (only when REPRO_OBS is on): delta-encoded
+        # metric flushes on the heartbeat cadence, plus a flight-recorder
+        # ring persisted alongside them so a SIGKILLed worker's last
+        # in-flight task survives for the post-mortem.
+        self._telemetry: obs.TelemetryWriter | None = None
+        self._flight: obs.FlightRecorder | None = None
+        if obs.enabled():
+            self._telemetry = obs.TelemetryWriter(
+                queue.root / "telemetry", self.worker_id
+            )
+            self._flight = obs.install_flight_recorder(
+                obs.FlightRecorder(worker=self.worker_id)
+            )
+            self._telemetry.flight = self._flight
 
     # -------------------------------------------------------------- logging
 
@@ -96,6 +112,32 @@ class QueueWorker:
         interval = self.queue.policy.heartbeat_interval
         while not self._stopping.wait(interval):
             self._heartbeat("busy" if self._current else "idle")
+            self._flush_telemetry()
+
+    # ----------------------------------------------------------- telemetry
+
+    def _dump_flight(self, trigger: str) -> None:
+        """Persist the flight ring next to the telemetry stream."""
+        if self._flight is None:
+            return
+        try:
+            self._flight.dump_to(
+                self.queue.root / "telemetry"
+                / f"{self.worker_id}{FLIGHT_SUFFIX}",
+                trigger=trigger,
+            )
+        except OSError:  # telemetry must never kill the worker
+            pass
+
+    def _flush_telemetry(self, trigger: str = "heartbeat") -> None:
+        """Append a delta record and refresh the on-disk flight dump."""
+        if self._telemetry is None:
+            return
+        try:
+            self._telemetry.flush()
+        except OSError:
+            return
+        self._dump_flight(trigger)
 
     # ------------------------------------------------------------ execution
 
@@ -123,6 +165,13 @@ class QueueWorker:
         self._heartbeat("busy")
         queue.log_event(self.worker_id, "claimed", fingerprint=fp,
                         attempt=queue.attempts(fp).get("attempts", 0))
+        if self._telemetry is not None:
+            self._telemetry.set_current(fp)
+            self._log.info("task.claimed", fingerprint=fp,
+                           task_kind=doc.get("kind"))
+            # Flush now so the claim (and its correlation id) is already
+            # on disk if this task kills the process.
+            self._flush_telemetry()
         started = time.monotonic()
         renewer = threading.Thread(
             target=self._renewal_loop, args=(fp, started),
@@ -160,8 +209,12 @@ class QueueWorker:
                 self.worker_id, "attempt-failed", fingerprint=fp,
                 reason=reason, action=action or "lost-race",
             )
+            self._log.warning("task.attempt_failed", fingerprint=fp,
+                              reason=reason, action=action or "lost-race")
             self._say(f"task {fp[:12]} failed: {reason} -> {action}")
             self._current = None
+            if self._telemetry is not None:
+                self._telemetry.set_current(None)
             self._heartbeat("idle")
             return
         state = queue.publish_result(fp, result_doc)
@@ -169,12 +222,17 @@ class QueueWorker:
         if "error" in result_doc:
             queue.log_event(self.worker_id, "quarantined", fingerprint=fp,
                             error=result_doc["error"])
+            self._log.error("task.quarantined", fingerprint=fp,
+                            error=result_doc["error"])
+            self._dump_flight("quarantine")
         elif state == "published":
             self.tasks_done += 1
             queue.log_event(
                 self.worker_id, "done", fingerprint=fp,
                 wall_seconds=result_doc.get("wall_seconds", 0.0),
             )
+            self._log.info("task.done", fingerprint=fp,
+                           wall_seconds=result_doc.get("wall_seconds", 0.0))
         elif state == "duplicate":
             queue.log_event(self.worker_id, "dedup", fingerprint=fp)
         else:  # divergent: surfaced loudly, first result stays canonical
@@ -184,6 +242,8 @@ class QueueWorker:
                       "result; keeping the first publication")
         self._consecutive = 0
         self._current = None
+        if self._telemetry is not None:
+            self._telemetry.set_current(None)
         # Immediate heartbeat so status views never mistake a finished
         # worker (current task settled, lease released) for a wedged one.
         self._heartbeat("idle")
@@ -218,10 +278,18 @@ class QueueWorker:
                 "spans": obs.span_records(),
                 "metrics": obs.metrics_snapshot(),
             }
+            # Flush the telemetry stream *before* the reset so the delta
+            # record carries this task's increments, then re-base the
+            # writer so nothing is counted twice.
+            if self._telemetry is not None:
+                self._telemetry.note_task(wall)
+                self._flush_telemetry()
             # Delta semantics: the next publication must carry only what
             # the next task records.
             obs.reset()
             obs.configure(enabled=True)
+            if self._telemetry is not None:
+                self._telemetry.mark_reset()
         return result_doc
 
     # ------------------------------------------------------------- main loop
@@ -247,6 +315,9 @@ class QueueWorker:
                         self.worker_id, "breaker",
                         consecutive=self._consecutive,
                     )
+                    self._log.error("worker.breaker",
+                                    consecutive=self._consecutive)
+                    self._dump_flight("breaker")
                     self._say(
                         f"breaker tripped after {self._consecutive} "
                         "consecutive failures; leaving"
@@ -260,7 +331,11 @@ class QueueWorker:
                         queue.attempts(fp).get("attempts", 0),
                     )
                     if got is not None:
-                        self._run_claimed(fp, got)
+                        # The task fingerprint is the correlation id:
+                        # every span, log record, and metric delta of
+                        # this claim joins on it.
+                        with obs.correlation(fp):
+                            self._run_claimed(fp, got)
                         claimed = True
                         break  # re-check stop/breaker between tasks
                 if claimed:
@@ -285,6 +360,9 @@ class QueueWorker:
                 time.sleep(queue.policy.poll_interval)
         finally:
             self._stopping.set()
+            self._log.info("worker.exit", tasks_done=self.tasks_done,
+                           failures=self.failures, code=exit_code)
+            self._flush_telemetry("exit")
             self._heartbeat("exited")
             self.queue.log_event(
                 self.worker_id, "worker-exit",

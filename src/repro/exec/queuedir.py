@@ -77,6 +77,7 @@ QUEUE_DIRS = (
     "sabotage",
     "workers",
     "events",
+    "telemetry",
     "tmp",
 )
 

@@ -10,7 +10,7 @@ survive between tasks of the same run.
 Protocol, one JSON document per line in each direction::
 
     -> {"schema": 1, "kind": "...", "payload": {...}, "key": ...,
-        "attempt": 0, "sabotage": null}
+        "attempt": 0, "sabotage": null, "corr": "<fingerprint>"?}
     <- {"schema": 1, "key": ..., "result": ..., "wall_seconds": ...,
         "obs": {...}?}              # success
     <- {"schema": 1, "key": ..., "error": "SpcfError: ..."}  # deterministic
@@ -124,7 +124,12 @@ def serve(stdin: IO[str], stdout: IO[str]) -> int:
             })
             continue
         apply_sabotage(request.get("sabotage"), int(request.get("attempt", 0)))
-        _respond(stdout, serve_request(request))
+        # The parent's correlation id (task fingerprint) crosses the
+        # protocol in the request so this worker's spans and log records
+        # join the fleet-wide telemetry on the same key.
+        corr = request.get("corr")
+        with obs.correlation(corr if isinstance(corr, str) else None):
+            _respond(stdout, serve_request(request))
         if obs.enabled():
             # Delta semantics: the next response must carry only what the
             # next task records.

@@ -17,12 +17,15 @@ Everything is **off by default**: instruments record nothing and
 cost one attribute load and one branch (<2% on ``eval_lanes``; enforced
 by ``benchmarks/bench_obs_overhead.py``).  Enable via:
 
-* the ``REPRO_OBS`` environment variable (any value except
-  ``0/false/off/no``) — also how campaign workers inherit the setting;
+* the ``REPRO_OBS`` environment variable (``1/true/on/yes``; an
+  unrecognised token raises :class:`~repro.errors.ObsError` eagerly) —
+  also how campaign workers inherit the setting;
 * CLI flags ``--trace FILE`` / ``--metrics FILE`` on any subcommand;
 * :func:`configure` from code.
 
-See DESIGN.md §12 for the span taxonomy and metric naming convention.
+See DESIGN.md §12 for the span taxonomy and metric naming convention,
+and §17 for the live telemetry plane (:mod:`repro.obs.timeseries`,
+:mod:`repro.obs.log`, :mod:`repro.obs.flight`, ``repro obs serve``).
 """
 
 from __future__ import annotations
@@ -38,6 +41,13 @@ from repro.obs.export import (
     write_metrics,
     write_trace,
 )
+from repro.obs.flight import FlightRecorder, load_flight
+from repro.obs.log import (
+    LogBuffer,
+    StructuredLogger,
+    correlation,
+    correlation_id,
+)
 from repro.obs.metrics import (
     BATCH_BUCKETS,
     TIME_BUCKETS_S,
@@ -45,15 +55,26 @@ from repro.obs.metrics import (
     merge_snapshots,
 )
 from repro.obs.report import render_trace_summary, summarize_trace
+from repro.obs.timeseries import (
+    FleetSeries,
+    TelemetryTail,
+    TelemetryWriter,
+    snapshot_delta,
+)
 from repro.obs.tracing import NOOP_SPAN, Span, TraceCollector, Tracer
 
 ENV_VAR = "REPRO_OBS"
 
+#: Recognised settings of :data:`ENV_VAR`; anything else raises eagerly.
 _FALSY = frozenset({"", "0", "false", "off", "no"})
+_TRUTHY = frozenset({"1", "true", "on", "yes"})
 
 _METER = MetricsRegistry()
 _COLLECTOR = TraceCollector()
 _TRACERS: dict[str, Tracer] = {}
+_LOGS = LogBuffer()
+_LOGGERS: dict[str, StructuredLogger] = {}
+_FLIGHT: FlightRecorder | None = None
 
 
 def get_meter() -> MetricsRegistry:
@@ -69,6 +90,14 @@ def get_tracer(subsystem: str) -> Tracer:
     return tracer
 
 
+def get_logger(name: str) -> StructuredLogger:
+    """A structured logger writing to the shared bounded buffer."""
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS[name] = StructuredLogger(name, _LOGS)
+    return logger
+
+
 def enabled() -> bool:
     """True when the observability layer is recording."""
     return _METER.enabled
@@ -79,19 +108,62 @@ def configure(enabled: bool | None = None, trace_jsonl: str | None = None) -> No
     if enabled is not None:
         _METER.enabled = enabled
         _COLLECTOR.enabled = enabled
+        _LOGS.enabled = enabled
     if trace_jsonl is not None:
         _COLLECTOR.set_jsonl(trace_jsonl or None)
 
 
 def reset() -> None:
-    """Drop all recorded series and spans (instruments stay registered)."""
+    """Drop all recorded series, spans, and logs (instruments stay
+    registered; an installed flight recorder keeps its ring)."""
     _METER.reset()
     _COLLECTOR.reset()
+    _LOGS.reset()
+
+
+def install_flight_recorder(recorder: FlightRecorder | None) -> FlightRecorder | None:
+    """Feed spans and log records into *recorder* (``None`` uninstalls).
+
+    Returns the recorder for chaining.  One recorder per process: the
+    sink hooks are checked only on the enabled recording paths, so an
+    installed-but-idle recorder costs nothing while obs is off.
+    """
+    global _FLIGHT
+    _FLIGHT = recorder
+    _COLLECTOR.sink = recorder
+    _LOGS.sink = recorder
+    return recorder
+
+
+def flight_recorder() -> FlightRecorder | None:
+    """The installed flight recorder, if any."""
+    return _FLIGHT
+
+
+def log_records() -> list[dict]:
+    """All buffered structured log records (oldest first)."""
+    return _LOGS.records()
 
 
 def enabled_from_env(environ=os.environ) -> bool:
-    """Whether ``REPRO_OBS`` asks for observability to be on."""
-    return environ.get(ENV_VAR, "").strip().lower() not in _FALSY
+    """Whether ``REPRO_OBS`` asks for observability to be on.
+
+    Unknown tokens raise :class:`~repro.errors.ObsError` *eagerly* — a
+    mis-spelled ``REPRO_OBS=ture`` in a fleet launcher must fail the
+    worker loudly at import, not silently run a campaign untraced (the
+    same contract as ``$REPRO_ENGINE_BACKEND``).
+    """
+    raw = environ.get(ENV_VAR, "")
+    token = raw.strip().lower()
+    if token in _FALSY:
+        return False
+    if token in _TRUTHY:
+        return True
+    raise ObsError(
+        f"unknown {ENV_VAR} setting {raw!r}; choose from "
+        f"{sorted(_TRUTHY)} to enable or {sorted(_FALSY - frozenset({''}))} "
+        "to disable"
+    )
 
 
 def metrics_snapshot() -> dict:
@@ -132,6 +204,7 @@ __all__ = [
     "ENV_VAR",
     "get_meter",
     "get_tracer",
+    "get_logger",
     "enabled",
     "configure",
     "reset",
@@ -140,6 +213,19 @@ __all__ = [
     "merge_metrics",
     "span_records",
     "ingest_spans",
+    "log_records",
+    "correlation",
+    "correlation_id",
+    "LogBuffer",
+    "StructuredLogger",
+    "FlightRecorder",
+    "load_flight",
+    "install_flight_recorder",
+    "flight_recorder",
+    "FleetSeries",
+    "TelemetryTail",
+    "TelemetryWriter",
+    "snapshot_delta",
     "merge_snapshots",
     "render_prometheus",
     "chrome_trace",

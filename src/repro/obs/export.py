@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 
 from repro.errors import ObsError
-from repro.obs.tracing import SPAN_FIELDS
+from repro.obs.tracing import SPAN_FIELDS, SPAN_IDENTITY_FIELDS
 
 CHROME_TRACE_SCHEMA = {
     "required_top": ("traceEvents",),
@@ -87,21 +87,65 @@ def render_prometheus(snapshot: dict) -> str:
     return "\n".join(lines) + "\n" if lines else ""
 
 
+def _identity_label(worker, host) -> str:
+    """Perfetto row name for a fleet identity."""
+    if worker is not None and host is not None:
+        return f"{worker} @ {host}"
+    return str(worker if worker is not None else host)
+
+
 def chrome_trace(records: list[dict]) -> dict:
     """Convert span records to a Chrome ``trace_event`` JSON object.
 
     Spans become complete events (``ph: "X"``, microsecond ``ts``/``dur``)
     and each distinct pid contributes ``process_name``/``thread_name``
     metadata events so Perfetto labels the tracks.
+
+    Records carrying fleet identity (``worker``/``host``, stamped by a
+    coordinator on spans adopted from queue workers) are mapped onto a
+    **synthetic pid per identity** — pids from different hosts collide,
+    so the real pid cannot be the row key on a multi-host timeline.  The
+    identity becomes the ``process_name``, each original ``(pid, tid)``
+    pair becomes a named thread row, and the identity fields are kept in
+    ``args`` so :func:`load_trace` round-trips them.  Traces without
+    identity fields are byte-identical to the single-process format.
     """
-    events = []
-    seen_pids: dict[int, None] = {}
-    seen_tids: dict[tuple, None] = {}
+    # Synthetic pids for identity rows start above every real pid in the
+    # trace so the two namespaces cannot collide.
+    identity_pids: dict[tuple, int] = {}
+    max_pid = 0
     for rec in records:
-        pid, tid = rec["pid"], rec["tid"]
-        seen_pids.setdefault(pid, None)
-        seen_tids.setdefault((pid, tid), None)
+        worker, host = rec.get("worker"), rec.get("host")
+        if worker is not None or host is not None:
+            identity_pids.setdefault((worker, host), 0)
+        max_pid = max(max_pid, rec["pid"])
+    for i, ident in enumerate(identity_pids):
+        identity_pids[ident] = max_pid + 1 + i
+    identity_tids: dict[tuple, dict] = {}
+
+    events = []
+    seen_pids: dict[int, str] = {}
+    seen_tids: dict[tuple, str] = {}
+    for rec in records:
+        worker, host = rec.get("worker"), rec.get("host")
         args = dict(rec.get("args") or {})
+        if worker is not None or host is not None:
+            ident = (worker, host)
+            pid = identity_pids[ident]
+            rows = identity_tids.setdefault(ident, {})
+            tid = rows.setdefault((rec["pid"], rec["tid"]), len(rows) + 1)
+            seen_pids.setdefault(pid, _identity_label(worker, host))
+            seen_tids.setdefault(
+                (pid, tid), f"pid {rec['pid']} thread {rec['tid']}"
+            )
+            if worker is not None:
+                args["worker"] = worker
+            if host is not None:
+                args["host"] = host
+        else:
+            pid, tid = rec["pid"], rec["tid"]
+            seen_pids.setdefault(pid, f"repro pid {pid}")
+            seen_tids.setdefault((pid, tid), f"thread {tid}")
         args["span_id"] = rec["id"]
         if rec.get("parent") is not None:
             args["parent_span_id"] = rec["parent"]
@@ -120,7 +164,7 @@ def chrome_trace(records: list[dict]) -> dict:
             }
         )
     meta = []
-    for pid in seen_pids:
+    for pid, label in seen_pids.items():
         meta.append(
             {
                 "name": "process_name",
@@ -128,10 +172,10 @@ def chrome_trace(records: list[dict]) -> dict:
                 "pid": pid,
                 "tid": 0,
                 "ts": 0,
-                "args": {"name": f"repro pid {pid}"},
+                "args": {"name": label},
             }
         )
-    for pid, tid in seen_tids:
+    for (pid, tid), label in seen_tids.items():
         meta.append(
             {
                 "name": "thread_name",
@@ -139,7 +183,7 @@ def chrome_trace(records: list[dict]) -> dict:
                 "pid": pid,
                 "tid": tid,
                 "ts": 0,
-                "args": {"name": f"thread {tid}"},
+                "args": {"name": label},
             }
         )
     return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
@@ -206,20 +250,23 @@ def load_trace(path: str) -> list[dict]:
             if ev.get("ph") != "X":
                 continue
             args = dict(ev.get("args") or {})
-            records.append(
-                {
-                    "name": ev["name"],
-                    "cat": ev.get("cat", "repro"),
-                    "ts_us": ev["ts"],
-                    "dur_us": ev.get("dur", 0),
-                    "cpu_us": args.pop("cpu_us", None),
-                    "pid": ev["pid"],
-                    "tid": ev["tid"],
-                    "id": args.pop("span_id", None),
-                    "parent": args.pop("parent_span_id", None),
-                    "args": args,
-                }
-            )
+            rec = {
+                "name": ev["name"],
+                "cat": ev.get("cat", "repro"),
+                "ts_us": ev["ts"],
+                "dur_us": ev.get("dur", 0),
+                "cpu_us": args.pop("cpu_us", None),
+                "pid": ev["pid"],
+                "tid": ev["tid"],
+                "id": args.pop("span_id", None),
+                "parent": args.pop("parent_span_id", None),
+            }
+            for field in SPAN_IDENTITY_FIELDS:
+                value = args.pop(field, None)
+                if value is not None:
+                    rec[field] = value
+            rec["args"] = args
+            records.append(rec)
         return records
     records = []
     for lineno, line in enumerate(text.splitlines(), 1):
@@ -234,7 +281,11 @@ def load_trace(path: str) -> list[dict]:
             ) from exc
         if "name" not in rec or "ts_us" not in rec:
             raise ObsError(f"trace file {path}:{lineno} missing span fields")
-        records.append({field: rec.get(field) for field in SPAN_FIELDS})
+        new = {field: rec.get(field) for field in SPAN_FIELDS}
+        for field in SPAN_IDENTITY_FIELDS:
+            if rec.get(field) is not None:
+                new[field] = rec[field]
+        records.append(new)
     return records
 
 

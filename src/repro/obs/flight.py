@@ -1,0 +1,140 @@
+"""Flight recorder: a bounded ring of recent telemetry, for post-mortems.
+
+A :class:`FlightRecorder` keeps the last N spans (including *open* span
+markers for work still in flight), structured log records, and metric
+deltas in memory.  It costs one deque append per entry — cheap enough to
+leave on for a whole campaign — and is **dumped** on the events an
+operator actually investigates: a quarantined shard, a circuit-breaker
+trip, or a worker crash.
+
+The crash case is the interesting one: a SIGKILLed process cannot dump
+at death, so queue workers write their ring to
+``telemetry/<worker>.flight.json`` (atomic rename) on every heartbeat
+flush.  Whatever the last flush captured — the open-span marker, log
+lines, and metric deltas of the task that was in flight, all joined on
+one correlation id — survives the kill, and the coordinator harvests the
+file into the checkpoint's ``.flight/`` directory.
+
+Entries are tagged dicts::
+
+    {"kind": "span",       ...span record fields...}
+    {"kind": "span-open",  "name", "cat", "ts_us", "id", "corr"?}
+    {"kind": "log",        ...log record fields...}
+    {"kind": "metrics",    "ts", "seq", "delta": <snapshot-format delta>}
+
+The recorder is wired into the tracing collector and the log buffer as a
+``sink`` attribute checked only on the enabled path, so the disabled-mode
+overhead gate is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+FLIGHT_SCHEMA = 1
+
+#: Default ring capacity (entries, all kinds pooled).
+FLIGHT_LIMIT = 256
+
+
+class FlightRecorder:
+    """Bounded ring of recent spans / logs / metric deltas."""
+
+    def __init__(self, worker: str = "", limit: int = FLIGHT_LIMIT,
+                 clock=time.time):
+        self.worker = worker
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=limit)
+
+    # -- sink protocol (called from tracing / log / timeseries) -----------
+
+    def record_span(self, record: dict) -> None:
+        entry = dict(record)
+        entry["kind"] = "span"  # the tag wins over any payload field
+        with self._lock:
+            self._ring.append(entry)
+
+    def record_span_open(self, name: str, cat: str, ts_us: int,
+                         span_id: int | None, corr: str | None) -> None:
+        entry: dict[str, Any] = {
+            "kind": "span-open", "name": name, "cat": cat,
+            "ts_us": ts_us, "id": span_id,
+        }
+        if corr is not None:
+            entry["corr"] = corr
+        with self._lock:
+            self._ring.append(entry)
+
+    def record_log(self, record: dict) -> None:
+        entry = dict(record)
+        entry["kind"] = "log"  # the tag wins over any payload field
+        with self._lock:
+            self._ring.append(entry)
+
+    def record_metrics(self, seq: int, delta: dict) -> None:
+        with self._lock:
+            self._ring.append({
+                "kind": "metrics",
+                "ts": round(self._clock(), 6),
+                "seq": seq,
+                "delta": delta,
+            })
+
+    # -- dumping ----------------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        with self._lock:
+            return [dict(e) for e in self._ring]
+
+    def dump(self, trigger: str = "manual") -> dict:
+        """The ring as a self-describing, JSON-serialisable document."""
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "worker": self.worker,
+            "trigger": trigger,
+            "dumped_at": round(self._clock(), 6),
+            "entries": self.entries(),
+        }
+
+    def dump_to(self, path: str | os.PathLike, trigger: str = "manual"
+                ) -> Path:
+        """Write the dump atomically (temp + rename); returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        doc = self.dump(trigger)
+        tmp = target.parent / f".{target.name}.{uuid.uuid4().hex}.tmp"
+        tmp.write_text(
+            json.dumps(doc, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, target)
+        return target
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+
+def load_flight(path: str | os.PathLike) -> dict:
+    """Read a flight dump back; raises ``ValueError`` on malformed files."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or doc.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(f"{path} is not a flight-recorder dump")
+    if not isinstance(doc.get("entries"), list):
+        raise ValueError(f"{path}: flight dump has no entries list")
+    return doc
+
+
+__all__ = [
+    "FLIGHT_LIMIT",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "load_flight",
+]

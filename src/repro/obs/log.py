@@ -1,0 +1,148 @@
+"""Structured JSONL logging with trace correlation.
+
+Log records are plain dicts — ``{"ts", "level", "logger", "event",
+"corr", ...fields}`` — collected in a bounded in-process buffer and
+(optionally) mirrored into an installed flight recorder, so a crashed
+worker's recent log lines survive in its flight dump.
+
+The **correlation id** is the join key of the whole telemetry plane: the
+queue worker sets it to the task fingerprint for the duration of one
+claimed task, the stdio worker sets it from the request's ``corr`` field,
+and both spans (via :class:`~repro.obs.tracing.TraceCollector`) and log
+records pick it up automatically — so a quarantined shard's logs, spans,
+and metric deltas all carry the same id and can be joined after the
+fact.  It is a :mod:`contextvars` variable, so concurrent dispatch
+threads and nested tasks each see their own id.
+
+Like every other obs surface, recording is gated on the shared enabled
+flag: a disabled process pays one attribute load and one branch per
+log call.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Iterator
+
+#: Log severities, in increasing order of loudness.
+LEVELS = ("debug", "info", "warning", "error")
+
+#: How many records the in-process buffer retains (oldest dropped first).
+LOG_BUFFER_LIMIT = 4096
+
+_CORRELATION: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_obs_correlation", default=None
+)
+
+
+def correlation_id() -> str | None:
+    """The active correlation id, or ``None`` outside any task context."""
+    return _CORRELATION.get()
+
+
+@contextlib.contextmanager
+def correlation(cid: str | None) -> Iterator[str | None]:
+    """Bind *cid* as the correlation id for the dynamic extent of the block.
+
+    ``None`` explicitly clears the id (a worker between tasks).  Nesting
+    restores the previous id on exit, so a sub-task context cannot leak
+    its id into the enclosing task.
+    """
+    token = _CORRELATION.set(cid)
+    try:
+        yield cid
+    finally:
+        _CORRELATION.reset(token)
+
+
+class LogBuffer:
+    """Bounded, thread-safe buffer of structured log records."""
+
+    def __init__(self, enabled: bool = False, limit: int = LOG_BUFFER_LIMIT,
+                 clock=time.time):
+        self.enabled = enabled
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._records: deque[dict] = deque(maxlen=limit)
+        #: Optional mirror with a ``record_log(record)`` method — the
+        #: flight recorder; checked only on the enabled path.
+        self.sink = None
+
+    def emit(self, logger: str, level: str, event: str,
+             fields: dict[str, Any]) -> dict | None:
+        if not self.enabled:
+            return None
+        record: dict[str, Any] = {
+            "ts": round(self._clock(), 6),
+            "level": level,
+            "logger": logger,
+            "event": event,
+        }
+        cid = _CORRELATION.get()
+        if cid is not None:
+            record["corr"] = cid
+        record.update(fields)
+        sink = self.sink
+        with self._lock:
+            self._records.append(record)
+        if sink is not None:
+            sink.record_log(record)
+        return record
+
+    def records(self) -> list[dict]:
+        """Copy of the buffered records, oldest first."""
+        with self._lock:
+            return [dict(r) for r in self._records]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+
+class StructuredLogger:
+    """Per-subsystem facade over the shared :class:`LogBuffer`."""
+
+    __slots__ = ("name", "_buffer")
+
+    def __init__(self, name: str, buffer: LogBuffer):
+        self.name = name
+        self._buffer = buffer
+
+    def log(self, level: str, event: str, **fields: Any) -> dict | None:
+        buffer = self._buffer
+        if not buffer.enabled:
+            return None
+        return buffer.emit(self.name, level, event, fields)
+
+    def debug(self, event: str, **fields: Any) -> dict | None:
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> dict | None:
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> dict | None:
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> dict | None:
+        return self.log("error", event, **fields)
+
+
+def render_jsonl(records: list[dict]) -> str:
+    """Render records as JSONL (sorted keys, one object per line)."""
+    return "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+
+
+__all__ = [
+    "LEVELS",
+    "LOG_BUFFER_LIMIT",
+    "LogBuffer",
+    "StructuredLogger",
+    "correlation",
+    "correlation_id",
+    "render_jsonl",
+]

@@ -1,0 +1,240 @@
+"""``repro obs serve`` — scrape-able /metrics over stdlib HTTP.
+
+The first brick of ``repro serve`` (ROADMAP item 1): a zero-dependency
+:class:`http.server.ThreadingHTTPServer` exposing
+
+* ``/metrics`` — Prometheus text exposition (``text/plain; version=0.0.4``),
+* ``/healthz`` — liveness JSON (``{"ok": true, ...}``),
+* ``/snapshot.json`` — the full metrics snapshot plus the fleet digest.
+
+Two snapshot sources cover both attachment modes:
+
+* :class:`LiveSource` serves the *current process's* registry — embed it
+  in a live coordinator and its campaign metrics are scrapeable mid-run;
+* :class:`QueueDirSource` attaches **read-only** to a queue directory:
+  it tails the workers' ``telemetry/*.jsonl`` streams into a
+  :class:`~repro.obs.timeseries.FleetSeries`, re-accumulates the metric
+  deltas, and adds ``repro_fleet_*`` gauges (task states, per-worker
+  rates, ETA, straggler flags) derived from the queue scan — so an
+  operator can point it at a live *or finished* campaign's queue from
+  any host that mounts the directory, without touching the queue.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import FleetSeries, TelemetryTail
+
+#: Content type Prometheus scrapers expect for text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class LiveSource:
+    """Serve the calling process's own observability state."""
+
+    mode = "live"
+
+    def __init__(self, fleet: FleetSeries | None = None,
+                 remaining=None, clock=time.time):
+        self._fleet = fleet
+        self._remaining = remaining  # optional () -> int callable
+        self._clock = clock
+
+    def metrics_snapshot(self) -> dict:
+        from repro import obs
+
+        return obs.metrics_snapshot()
+
+    def fleet_summary(self) -> dict | None:
+        if self._fleet is None:
+            return None
+        remaining = self._remaining() if self._remaining is not None else None
+        return self._fleet.summary(self._clock(), remaining=remaining)
+
+    def health(self) -> dict:
+        from repro import obs
+
+        return {"ok": True, "mode": self.mode, "recording": obs.enabled()}
+
+
+class QueueDirSource:
+    """Read-only attachment to a work-queue directory.
+
+    Every scrape refreshes incrementally: the telemetry tail consumes
+    only new bytes, and the queue scan is the same read-only view
+    ``repro campaign status`` uses.  Nothing is ever written into the
+    queue.
+    """
+
+    mode = "queue-dir"
+
+    def __init__(self, queue_dir, window: float = 30.0, clock=time.time):
+        # Local import: repro.exec imports repro.obs at package level.
+        from repro.exec.queuedir import WorkQueue
+
+        self.queue = WorkQueue.open(queue_dir)
+        self._tail = TelemetryTail(self.queue.root / "telemetry")
+        self._fleet = FleetSeries(window=window)
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def _refresh(self):
+        snapshot = self.queue.scan()
+        self._fleet.ingest(self._tail.new_records())
+        return snapshot
+
+    def metrics_snapshot(self) -> dict:
+        with self._lock:
+            scan = self._refresh()
+            registry = MetricsRegistry()
+            registry.merge_snapshot(self._fleet.merged_snapshot())
+            now = self._clock()
+            remaining = scan.todo + scan.claimed
+            summary = self._fleet.summary(now, remaining=remaining)
+            registry.enabled = True
+            tasks = registry.gauge(
+                "repro_fleet_tasks", "queue tasks by state (label: state)"
+            )
+            tasks.set(scan.todo, state="todo")
+            tasks.set(scan.claimed, state="claimed")
+            tasks.set(scan.done, state="done")
+            tasks.set(scan.quarantined, state="quarantined")
+            registry.gauge(
+                "repro_fleet_workers", "workers that ever heartbeat"
+            ).set(len(scan.workers))
+            registry.gauge(
+                "repro_fleet_queue_stopped", "1 once the stop marker exists"
+            ).set(1 if scan.stopped else 0)
+            rate = registry.gauge(
+                "repro_fleet_rate_tasks_per_second",
+                "trailing-window task throughput (label: worker; "
+                "unlabelled = whole fleet)",
+            )
+            rate.set(summary["fleet"]["rate_per_second"])
+            straggler = registry.gauge(
+                "repro_fleet_worker_straggler",
+                "1 when the worker's p90 wall exceeds 2x the fleet p90",
+            )
+            for worker, info in summary["workers"].items():
+                rate.set(info["rate_per_second"], worker=worker)
+                straggler.set(1 if info["straggler"] else 0, worker=worker)
+            eta = summary["fleet"].get("eta_seconds")
+            if eta is not None:
+                registry.gauge(
+                    "repro_fleet_eta_seconds",
+                    "estimated seconds to drain the queue at current rate",
+                ).set(eta)
+            return registry.snapshot()
+
+    def fleet_summary(self) -> dict | None:
+        with self._lock:
+            scan = self._refresh()
+            return self._fleet.summary(
+                self._clock(), remaining=scan.todo + scan.claimed
+            )
+
+    def health(self) -> dict:
+        with self._lock:
+            scan = self._refresh()
+        return {
+            "ok": True,
+            "mode": self.mode,
+            "queue": scan.root,
+            "todo": scan.todo,
+            "claimed": scan.claimed,
+            "done": scan.done,
+            "quarantined": scan.quarantined,
+            "workers": len(scan.workers),
+            "stopped": scan.stopped,
+        }
+
+
+class _ObsHandler(BaseHTTPRequestHandler):
+    """Route table over the server's snapshot source."""
+
+    server_version = "repro-obs/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        source = self.server.source  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = render_prometheus(source.metrics_snapshot())
+                self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+            elif path == "/healthz":
+                self._reply_json(200, source.health())
+            elif path == "/snapshot.json":
+                doc = {
+                    "metrics": source.metrics_snapshot(),
+                    "fleet": source.fleet_summary(),
+                }
+                self._reply_json(200, doc)
+            else:
+                self._reply_json(404, {"ok": False, "error": f"no route {path}"})
+        except Exception as exc:  # noqa: BLE001 - a scrape must not kill serving
+            self._reply_json(
+                500, {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            )
+
+    def _reply(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _reply_json(self, status: int, doc: dict) -> None:
+        self._reply(
+            status, "application/json",
+            json.dumps(doc, indent=2, sort_keys=True) + "\n",
+        )
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapes are high-frequency; stay quiet
+
+
+class ObsServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying its snapshot source."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], source) -> None:
+        super().__init__(address, _ObsHandler)
+        self.source = source
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+def start_server(source, host: str = "127.0.0.1", port: int = 0
+                 ) -> ObsServer:
+    """Bind and start serving on a background thread; port 0 picks a free
+    one (read it back from ``server.port``)."""
+    server = ObsServer((host, port), source)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-obs-serve", daemon=True
+    )
+    thread.start()
+    return server
+
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "LiveSource",
+    "ObsServer",
+    "QueueDirSource",
+    "start_server",
+]

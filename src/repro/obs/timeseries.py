@@ -1,0 +1,458 @@
+"""Delta-encoded metric time series: the fleet's live telemetry stream.
+
+Queue workers periodically **flush** — on the heartbeat cadence, plus
+once right before every result publication — a record holding the
+*delta* of their metrics registry since the previous flush, their
+cumulative task count, and the wall seconds of tasks finished since the
+last flush, appended to a single-writer ``telemetry/<worker>.jsonl``
+file next to the queue's ``events/*.jsonl``.  The coordinator (and any
+read-only observer: ``repro campaign status --watch``, ``repro obs
+serve``) tails those files incrementally and folds the deltas into a
+:class:`FleetSeries` using the same commutative snapshot-merge semantics
+as end-of-run telemetry, yielding per-worker throughput rates, a fleet
+ETA, and straggler flags (worker p90 wall vs. fleet p90).
+
+Record format (one JSON object per line)::
+
+    {"schema": 1, "ts": <epoch s>, "worker": "<id>", "seq": <n>,
+     "tasks_done": <cumulative>, "walls": [<s>, ...],
+     "current": "<fingerprint>" | null,
+     "delta": {"schema": 1, "metrics": {...}}}       # may be empty
+
+**Delta semantics.**  :func:`snapshot_delta` subtracts counter and
+histogram series pointwise and passes gauges through; a series whose
+current value is *below* the previous one is treated as a registry reset
+(the worker published a result and cleared its registry) and contributes
+its current value wholesale — the same convention Prometheus ``rate()``
+applies to counter resets.  Because the queue worker flushes immediately
+before each reset and then re-bases via :meth:`TelemetryWriter.mark_reset`,
+nothing is double-counted and nothing is lost.
+
+**Crash behaviour.**  Appends are single-writer, so a SIGKILLed worker
+leaves at most one torn final line; :class:`TelemetryTail` consumes only
+complete lines (byte-offset resume, exactly like the event tail), so a
+torn tail is simply re-read when — if ever — it completes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from threading import Lock
+from typing import Any, Iterable
+
+from repro.errors import ObsError
+from repro.obs.metrics import SNAPSHOT_SCHEMA, MetricsRegistry
+
+TIMESERIES_SCHEMA = 1
+
+#: Flight-dump files share the telemetry directory; the tail skips them.
+FLIGHT_SUFFIX = ".flight.json"
+
+
+def _empty_snapshot() -> dict:
+    return {"schema": SNAPSHOT_SCHEMA, "metrics": {}}
+
+
+def snapshot_delta(prev: dict, curr: dict) -> dict:
+    """Pointwise ``curr - prev`` of two metric snapshots, reset-aware.
+
+    Counters and histogram buckets subtract series-by-series; a current
+    value below the previous one means the registry was reset in between
+    and the current value *is* the delta.  Gauges are instantaneous and
+    pass through.  Empty series are omitted, so an idle interval yields
+    ``{"schema": 1, "metrics": {}}``.
+    """
+    prev_metrics = prev.get("metrics", {})
+    out: dict[str, Any] = {}
+    for name, entry in curr.get("metrics", {}).items():
+        kind = entry.get("kind")
+        prior = prev_metrics.get(name, {})
+        prior_series = prior.get("series", {}) if prior.get("kind") == kind else {}
+        if kind == "counter":
+            series = {}
+            for key, value in entry.get("series", {}).items():
+                before = prior_series.get(key, 0)
+                series[key] = value - before if value >= before else value
+            series = {k: v for k, v in series.items() if v}
+            if series:
+                out[name] = {"kind": kind, "help": entry.get("help", ""),
+                             "series": series}
+        elif kind == "gauge":
+            series = dict(entry.get("series", {}))
+            if series:
+                out[name] = {"kind": kind, "help": entry.get("help", ""),
+                             "series": series}
+        elif kind == "histogram":
+            series = {}
+            for key, s in entry.get("series", {}).items():
+                before = prior_series.get(key)
+                if before is None or s["count"] < before["count"] or len(
+                    before["buckets"]
+                ) != len(s["buckets"]):
+                    diff = {"buckets": list(s["buckets"]),
+                            "sum": s["sum"], "count": s["count"]}
+                else:
+                    diff = {
+                        "buckets": [
+                            b - pb for b, pb in zip(s["buckets"],
+                                                    before["buckets"])
+                        ],
+                        "sum": s["sum"] - before["sum"],
+                        "count": s["count"] - before["count"],
+                    }
+                if diff["count"]:
+                    series[key] = diff
+            if series:
+                out[name] = {"kind": kind, "help": entry.get("help", ""),
+                             "boundaries": list(entry.get("boundaries", ())),
+                             "series": series}
+        else:
+            raise ObsError(f"metric {name}: unknown kind {kind!r} in snapshot")
+    return {"schema": SNAPSHOT_SCHEMA, "metrics": out}
+
+
+class TelemetryWriter:
+    """Single-writer append stream of delta records for one worker.
+
+    Thread-safe: the worker's heartbeat thread and its task thread both
+    flush.  The registry is *read*, never reset, by this class — result
+    documents own the reset; :meth:`mark_reset` re-bases the delta
+    baseline right after the owner clears the registry.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        worker: str,
+        registry: MetricsRegistry | None = None,
+        clock=time.time,
+    ):
+        from repro import obs  # local import: obs imports this module
+
+        self.directory = Path(directory)
+        self.worker = worker
+        self._registry = registry if registry is not None else obs.get_meter()
+        self._clock = clock
+        self._lock = Lock()
+        self._prev = _empty_snapshot()
+        self._seq = 0
+        self._walls: list[float] = []
+        self._tasks_done = 0
+        self._current: str | None = None
+        #: Optional flight recorder fed a copy of every non-empty delta.
+        self.flight = None
+
+    def note_task(self, wall_seconds: float) -> None:
+        """Record one finished task's wall time for the next flush."""
+        with self._lock:
+            self._walls.append(round(float(wall_seconds), 6))
+            self._tasks_done += 1
+
+    def set_current(self, fingerprint: str | None) -> None:
+        with self._lock:
+            self._current = fingerprint
+
+    def flush(self) -> dict | None:
+        """Append one delta record; returns it (``None`` while disabled)."""
+        if not self._registry.enabled:
+            return None
+        curr = self._registry.snapshot()
+        with self._lock:
+            delta = snapshot_delta(self._prev, curr)
+            self._prev = curr
+            self._seq += 1
+            record = {
+                "schema": TIMESERIES_SCHEMA,
+                "ts": round(self._clock(), 6),
+                "worker": self.worker,
+                "seq": self._seq,
+                "tasks_done": self._tasks_done,
+                "walls": self._walls,
+                "current": self._current,
+                "delta": delta,
+            }
+            self._walls = []
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / f"{self.worker}.jsonl"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+        if self.flight is not None and delta["metrics"]:
+            self.flight.record_metrics(record["seq"], delta)
+        return record
+
+    def mark_reset(self) -> None:
+        """Re-base the delta baseline after the owner reset the registry.
+
+        Must follow a :meth:`flush` with no recording in between —
+        otherwise the skipped increments are lost (never double-counted:
+        the reset detection in :func:`snapshot_delta` is one-sided).
+        """
+        with self._lock:
+            self._prev = _empty_snapshot()
+
+
+class TelemetryTail:
+    """Incremental reader of every worker's telemetry stream.
+
+    Byte-offset resume per file; only complete lines are consumed, so a
+    torn tail (killed writer) is re-read later.  Flight dumps sharing
+    the directory are skipped.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self._offsets: dict[Path, int] = {}
+
+    def new_records(self) -> list[dict]:
+        records: list[dict] = []
+        if not self.directory.is_dir():
+            return records
+        for path in sorted(self.directory.glob("*.jsonl")):
+            offset = self._offsets.get(path, 0)
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            except OSError:
+                continue
+            if not chunk:
+                continue
+            complete, _, _ = chunk.rpartition(b"\n")
+            if not complete:
+                continue
+            self._offsets[path] = offset + len(complete) + 1
+            for raw in complete.split(b"\n"):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    record = json.loads(raw)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and record.get("worker"):
+                    records.append(record)
+        records.sort(key=lambda r: (r.get("ts", 0.0), r.get("worker", ""),
+                                    r.get("seq", 0)))
+        return records
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (q in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-len(sorted_values) * q // 100))  # ceil
+    return sorted_values[int(rank) - 1]
+
+
+class _WorkerSeries:
+    """One worker's accumulated telemetry (pure bookkeeping)."""
+
+    __slots__ = ("samples", "walls", "registry", "last_ts", "last_seq",
+                 "current")
+
+    def __init__(self) -> None:
+        self.samples: list[tuple[float, int]] = []  # (ts, cumulative done)
+        self.walls: list[float] = []
+        self.registry = MetricsRegistry()
+        self.last_ts = 0.0
+        self.last_seq = 0
+        self.current: str | None = None
+
+
+class FleetSeries:
+    """Fleet-wide view folded from tailed telemetry records.
+
+    Pure data + math: no clocks of its own (callers pass ``now``), no
+    I/O (records arrive via :meth:`ingest`), so the rate/ETA/straggler
+    arithmetic is testable with an injected timeline.
+    """
+
+    def __init__(self, window: float = 30.0):
+        if window <= 0:
+            raise ObsError(f"rate window {window} must be positive")
+        self.window = window
+        self._workers: dict[str, _WorkerSeries] = {}
+
+    # -- ingest -----------------------------------------------------------
+
+    def ingest(self, records: Iterable[dict]) -> int:
+        """Fold telemetry records in; returns how many were accepted.
+
+        Duplicate or out-of-order records (same worker, non-increasing
+        ``seq``) are dropped, so re-reading a file from offset zero — a
+        fresh observer attaching to a running fleet — is harmless.
+        """
+        accepted = 0
+        for record in records:
+            worker = record.get("worker")
+            seq = record.get("seq", 0)
+            if not isinstance(worker, str) or not worker:
+                continue
+            series = self._workers.get(worker)
+            if series is None:
+                series = self._workers[worker] = _WorkerSeries()
+            if not isinstance(seq, int) or seq <= series.last_seq:
+                continue
+            series.last_seq = seq
+            ts = float(record.get("ts", 0.0))
+            series.last_ts = max(series.last_ts, ts)
+            done = record.get("tasks_done")
+            if isinstance(done, int):
+                series.samples.append((ts, done))
+            walls = record.get("walls")
+            if isinstance(walls, list):
+                series.walls.extend(
+                    float(w) for w in walls if isinstance(w, (int, float))
+                )
+            series.current = record.get("current")
+            delta = record.get("delta")
+            if isinstance(delta, dict) and delta.get("metrics"):
+                series.registry.merge_snapshot(delta)
+            accepted += 1
+        return accepted
+
+    # -- rates / ETA ------------------------------------------------------
+
+    def workers(self) -> list[str]:
+        return sorted(self._workers)
+
+    def tasks_done(self, worker: str) -> int:
+        series = self._workers.get(worker)
+        if series is None or not series.samples:
+            return 0
+        return series.samples[-1][1]
+
+    def fleet_tasks_done(self) -> int:
+        return sum(self.tasks_done(w) for w in self._workers)
+
+    def rate(self, worker: str, now: float) -> float:
+        """Tasks/second over the trailing window, from cumulative counts."""
+        series = self._workers.get(worker)
+        if series is None or len(series.samples) < 2:
+            return 0.0
+        horizon = now - self.window
+        base = series.samples[0]
+        for sample in series.samples:
+            if sample[0] < horizon:
+                base = sample
+            else:
+                break
+        last = series.samples[-1]
+        span = last[0] - base[0]
+        if span <= 0:
+            return 0.0
+        return max(0, last[1] - base[1]) / span
+
+    def fleet_rate(self, now: float) -> float:
+        return sum(self.rate(w, now) for w in self._workers)
+
+    def eta_seconds(self, remaining: int, now: float) -> float | None:
+        """Seconds to drain *remaining* tasks at the current fleet rate."""
+        if remaining <= 0:
+            return 0.0
+        rate = self.fleet_rate(now)
+        if rate <= 0:
+            return None
+        return remaining / rate
+
+    # -- stragglers -------------------------------------------------------
+
+    def worker_p90(self, worker: str) -> float | None:
+        series = self._workers.get(worker)
+        if series is None or not series.walls:
+            return None
+        return _percentile(sorted(series.walls), 90)
+
+    def fleet_p90(self) -> float | None:
+        walls: list[float] = []
+        for series in self._workers.values():
+            walls.extend(series.walls)
+        if not walls:
+            return None
+        return _percentile(sorted(walls), 90)
+
+    def stragglers(self, factor: float = 2.0, min_samples: int = 3
+                   ) -> list[str]:
+        """Workers whose p90 wall exceeds ``factor`` × the fleet p90.
+
+        Requires ``min_samples`` finished tasks per worker and at least
+        two reporting workers, so a lone worker (or one unlucky task)
+        never flags.
+        """
+        fleet = self.fleet_p90()
+        if fleet is None or fleet <= 0 or len(self._workers) < 2:
+            return []
+        out = []
+        for worker in sorted(self._workers):
+            series = self._workers[worker]
+            if len(series.walls) < min_samples:
+                continue
+            p90 = _percentile(sorted(series.walls), 90)
+            if p90 > factor * fleet:
+                out.append(worker)
+        return out
+
+    # -- snapshots --------------------------------------------------------
+
+    def merged_snapshot(self) -> dict:
+        """All workers' deltas re-accumulated into one metrics snapshot."""
+        registry = MetricsRegistry()
+        for series in self._workers.values():
+            registry.merge_snapshot(series.registry.snapshot())
+        return registry.snapshot()
+
+    def summary(self, now: float, remaining: int | None = None) -> dict:
+        """JSON-serialisable fleet digest for status views and ``/snapshot``."""
+        stragglers = set(self.stragglers())
+        workers = {}
+        for worker in sorted(self._workers):
+            series = self._workers[worker]
+            workers[worker] = {
+                "tasks_done": self.tasks_done(worker),
+                "rate_per_second": round(self.rate(worker, now), 4),
+                "p90_wall_seconds": self.worker_p90(worker),
+                "straggler": worker in stragglers,
+                "last_report_age_seconds": round(
+                    max(0.0, now - series.last_ts), 3
+                ) if series.last_ts else None,
+                "current": series.current,
+            }
+        summary: dict[str, Any] = {
+            "schema": TIMESERIES_SCHEMA,
+            "workers": workers,
+            "fleet": {
+                "tasks_done": self.fleet_tasks_done(),
+                "rate_per_second": round(self.fleet_rate(now), 4),
+                "p90_wall_seconds": self.fleet_p90(),
+                "stragglers": sorted(stragglers),
+            },
+        }
+        if remaining is not None:
+            eta = self.eta_seconds(remaining, now)
+            summary["fleet"]["remaining"] = remaining
+            summary["fleet"]["eta_seconds"] = (
+                round(eta, 3) if eta is not None else None
+            )
+        return summary
+
+    @classmethod
+    def from_queue_dir(cls, queue_dir: str | os.PathLike,
+                       window: float = 30.0) -> "FleetSeries":
+        """Read-only one-shot fold of a queue's telemetry directory."""
+        fleet = cls(window=window)
+        fleet.ingest(TelemetryTail(Path(queue_dir) / "telemetry").new_records())
+        return fleet
+
+
+__all__ = [
+    "FLIGHT_SUFFIX",
+    "TIMESERIES_SCHEMA",
+    "FleetSeries",
+    "TelemetryTail",
+    "TelemetryWriter",
+    "snapshot_delta",
+]

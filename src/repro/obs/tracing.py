@@ -23,6 +23,7 @@ import threading
 import time
 
 from repro.errors import ObsError
+from repro.obs.log import correlation_id
 
 #: Fields of a serialised span record, in canonical order.
 SPAN_FIELDS = (
@@ -37,6 +38,11 @@ SPAN_FIELDS = (
     "parent",
     "args",
 )
+
+#: Optional per-record fields preserved across ingest: the worker/host
+#: identity a coordinator stamps onto spans it adopts from fleet workers,
+#: so a multi-host Chrome trace can map identities onto distinct rows.
+SPAN_IDENTITY_FIELDS = ("worker", "host")
 
 
 class _NoopSpan:
@@ -119,6 +125,10 @@ class TraceCollector:
         self._ids = itertools.count(1)
         self._local = threading.local()
         self._jsonl = None
+        #: Optional flight recorder fed span-open markers and finished
+        #: records; checked only on the enabled path (spans exist only
+        #: while recording), so disabled overhead is untouched.
+        self.sink = None
 
     # -- span lifecycle ---------------------------------------------------
 
@@ -145,6 +155,15 @@ class TraceCollector:
         span._ts_us = self._wall_ns() // 1000
         span._t0_perf = self._perf_ns()
         span._t0_cpu = self._cpu_ns()
+        # Stamp the active correlation id (task fingerprint) so spans,
+        # logs, and metric deltas of one task join on one key.
+        corr = correlation_id()
+        if corr is not None:
+            span.args.setdefault("corr", corr)
+        sink = self.sink
+        if sink is not None:
+            sink.record_span_open(span.name, span.cat, span._ts_us,
+                                  span.id, corr)
 
     def _exit(self, span: Span) -> None:
         dur_us = (self._perf_ns() - span._t0_perf) // 1000
@@ -173,6 +192,9 @@ class TraceCollector:
             if self._jsonl is not None:
                 self._jsonl.write(json.dumps(record, sort_keys=True) + "\n")
                 self._jsonl.flush()
+        sink = self.sink
+        if sink is not None:
+            sink.record_span(record)
 
     # -- record access ----------------------------------------------------
 
@@ -193,6 +215,9 @@ class TraceCollector:
             if not isinstance(rec, dict) or "name" not in rec or "ts_us" not in rec:
                 raise ObsError("malformed span record during ingest")
             new = {field: rec.get(field) for field in SPAN_FIELDS}
+            for field in SPAN_IDENTITY_FIELDS:
+                if rec.get(field) is not None:
+                    new[field] = rec[field]
             old_id = rec.get("id")
             new_id = next(self._ids)
             if old_id is not None:

@@ -8,6 +8,8 @@ the campaign aggregate is byte-identical to a plain single-host run.
 from __future__ import annotations
 
 import dataclasses
+import json
+import time
 
 import pytest
 
@@ -183,6 +185,141 @@ class TestCampaignStatus:
     def test_watch_rejects_bad_interval(self, tmp_path):
         with pytest.raises(CampaignError, match="interval"):
             watch_status(tmp_path / "c.ckpt.jsonl", None, interval=0.0)
+
+    # -- live telemetry and worker classification -------------------------
+
+    def _telemetry_line(self, worker, seq, ts, done, walls=(), current=None):
+        return json.dumps({
+            "schema": 1, "ts": ts, "worker": worker, "seq": seq,
+            "tasks_done": done, "walls": list(walls), "current": current,
+            "delta": {"schema": 1, "metrics": {}},
+        }) + "\n"
+
+    def _crafted_queue(self, tmp_path):
+        """Journal plus a hand-built queue: one claimed shard and two
+        telemetry streams — w1 fast and steady, w2 slow (a straggler)."""
+        from repro.campaign.runner import _shard_task
+        from repro.campaign.spec import plan_campaign
+        from repro.exec.queuedir import QueuePolicy
+
+        spec = tiny_spec()
+        ckpt = tmp_path / "c.ckpt.jsonl"
+        run_campaign(spec, ckpt, RunnerConfig(workers=0))
+        queue = WorkQueue.create(tmp_path / "q", QueuePolicy(lease_ttl=5.0))
+        fp = queue.publish_task(_shard_task(plan_campaign(spec)[0]))
+        queue.try_claim(fp, "w1", 0)
+        queue.write_heartbeat("w1", "busy", tasks_done=40, current=fp)
+        queue.write_heartbeat("w2", "idle", tasks_done=3)
+        now = time.time()
+        tdir = queue.root / "telemetry"
+        tdir.mkdir(exist_ok=True)
+        (tdir / "w1.jsonl").write_text(
+            self._telemetry_line("w1", 1, now - 20.0, 0)
+            + self._telemetry_line("w1", 2, now - 10.0, 20, walls=[1.0] * 20)
+            + self._telemetry_line("w1", 3, now, 40, walls=[1.0] * 20,
+                                   current=fp)
+        )
+        (tdir / "w2.jsonl").write_text(
+            self._telemetry_line("w2", 1, now - 20.0, 0)
+            + self._telemetry_line("w2", 2, now, 3, walls=[30.0] * 3)
+        )
+        return ckpt, queue
+
+    def test_status_folds_live_telemetry(self, tmp_path):
+        ckpt, queue = self._crafted_queue(tmp_path)
+        status = campaign_status(ckpt, queue.root)
+        telemetry = status["queue"]["telemetry"]
+        # w1: 40 tasks over the 20s of samples; w2: 3 over the same span.
+        assert telemetry["workers"]["w1"]["rate_per_second"] \
+            == pytest.approx(2.0, rel=0.05)
+        assert telemetry["workers"]["w1"]["straggler"] is False
+        assert telemetry["workers"]["w2"]["straggler"] is True
+        assert telemetry["fleet"]["stragglers"] == ["w2"]
+        assert telemetry["fleet"]["remaining"] == 1  # the claimed shard
+        assert telemetry["fleet"]["eta_seconds"] == pytest.approx(
+            1 / telemetry["fleet"]["rate_per_second"], rel=1e-3
+        )
+        # Per-worker rows inherit rate and straggler flags.
+        assert status["queue"]["workers"]["w1"]["rate_per_second"] \
+            == telemetry["workers"]["w1"]["rate_per_second"]
+        assert status["queue"]["workers"]["w2"]["straggler"] is True
+
+    def test_status_text_renders_rate_eta_and_straggler_columns(
+        self, tmp_path
+    ):
+        ckpt, queue = self._crafted_queue(tmp_path)
+        text = render_status_text(campaign_status(ckpt, queue.root))
+        assert "telemetry: throughput 2.15/s" in text
+        assert ", eta " in text
+        assert "stragglers: w2" in text
+        w1_row = next(ln for ln in text.splitlines() if ln.strip()
+                      .startswith("w1"))
+        w2_row = next(ln for ln in text.splitlines() if ln.strip()
+                      .startswith("w2"))
+        assert "rate  2.00/s" in w1_row
+        assert "STRAGGLER" not in w1_row
+        assert "rate  0.15/s" in w2_row
+        assert w2_row.rstrip().endswith("STRAGGLER")
+
+    def test_status_without_telemetry_has_no_section(self, tmp_path):
+        # REPRO_OBS off: no telemetry files, no telemetry line.
+        run_campaign(
+            tiny_spec(), tmp_path / "c.ckpt.jsonl",
+            queue_config(tmp_path / "q"),
+        )
+        status = campaign_status(tmp_path / "c.ckpt.jsonl", tmp_path / "q")
+        assert status["queue"]["telemetry"] is None
+        assert "telemetry:" not in render_status_text(status)
+
+    def test_watch_status_shows_telemetry(self, tmp_path, capsys):
+        ckpt, queue = self._crafted_queue(tmp_path)
+        assert watch_status(
+            ckpt, queue.root, interval=0.01, max_rounds=1
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: throughput" in out
+        assert "STRAGGLER" in out
+
+    def test_worker_classification_golden_text(self, tmp_path):
+        from repro.campaign.runner import _shard_task
+        from repro.campaign.spec import plan_campaign
+        from repro.exec.queuedir import QueuePolicy
+
+        spec = tiny_spec()
+        ckpt = tmp_path / "c.ckpt.jsonl"
+        run_campaign(spec, ckpt, RunnerConfig(workers=0))
+        queue = WorkQueue.create(
+            tmp_path / "q",
+            QueuePolicy(lease_ttl=5.0, clock_skew_grace=0.5),
+        )
+        fp = queue.publish_task(_shard_task(plan_campaign(spec)[0]))
+        queue.try_claim(fp, "live-w", 0)
+        queue.write_heartbeat("live-w", "busy", current=fp)
+        # Heartbeating, thinks it runs fp — but live-w holds the lease.
+        queue.write_heartbeat("wedged-w", "busy", current=fp)
+        # Heartbeat older than ttl+grace but younger than max_lease_age.
+        queue.write_heartbeat("stale-w", "idle")
+        hb = queue.root / "workers" / "stale-w.json"
+        doc = json.loads(hb.read_text())
+        doc["time"] = time.time() - 10.0
+        hb.write_text(json.dumps(doc))
+
+        status = campaign_status(ckpt, queue.root)
+        workers = status["queue"]["workers"]
+        assert workers["live-w"]["state"] == "live"
+        assert workers["wedged-w"]["state"] == "wedged"
+        assert workers["stale-w"]["state"] == "stale"
+        text = render_status_text(status)
+        lines = text.splitlines()
+        start = next(i for i, ln in enumerate(lines)
+                     if ln.startswith("workers ("))
+        rows = [ln for ln in lines[start + 1:start + 4]]
+        # Healthiest first, and each row names its classification.
+        assert [row.split()[0] for row in rows] == [
+            "live-w", "wedged-w", "stale-w"
+        ]
+        assert "live" in rows[0] and "wedged" in rows[1] \
+            and "stale" in rows[2]
 
 
 class TestAdaptiveSizing:

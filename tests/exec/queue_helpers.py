@@ -7,10 +7,15 @@ path (the inline queue worker runs in the test process itself).
 
 from __future__ import annotations
 
+import time
+
 from repro.exec.registry import register_task_kind
 
 #: Kind name for a task whose runner fails *environmentally*.
 ENVFAIL_KIND = "exec.test-envfail"
+
+#: Kind name for the flight-recorder drill: span + log + metric, then sleep.
+SPANNED_KIND = "exec.test-spanned"
 
 
 def raise_runtime(payload: dict) -> dict:
@@ -23,4 +28,31 @@ def raise_runtime(payload: dict) -> dict:
 def register_envfail_kind() -> None:
     register_task_kind(
         ENVFAIL_KIND, "tests.exec.queue_helpers:raise_runtime", replace=True
+    )
+
+
+def run_spanned(payload: dict) -> dict:
+    """Record one of everything the flight ring captures — a metric
+    increment and a log line, under the span the registry opened — then
+    sleep so a kill drill catches the task in flight."""
+    from repro import obs
+
+    obs.get_meter().counter(
+        "repro_test_spanned_total", "flight-drill task executions"
+    ).add(1)
+    obs.get_logger("exec.test-spanned").info("spanned.working")
+    time.sleep(float(payload.get("sleep", 0.0)))
+    return {"ok": True}
+
+
+def spanned_span(payload: dict, attempt: int):
+    return ("test", "spanned.run", (("attempt", attempt),))
+
+
+def register_spanned_kind() -> None:
+    register_task_kind(
+        SPANNED_KIND,
+        "tests.exec.queue_helpers:run_spanned",
+        span="tests.exec.queue_helpers:spanned_span",
+        replace=True,
     )

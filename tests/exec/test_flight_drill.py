@@ -1,0 +1,188 @@
+"""Kill drill: a SIGKILLed worker's flight dump survives and joins up.
+
+The acceptance test for the flight recorder: run a real worker
+subprocess with ``REPRO_OBS`` on, let it get mid-task (span open, log
+line emitted, metric bumped), SIGKILL it, and verify the
+``telemetry/<worker>.flight.json`` it left behind round-trips and
+carries the spans / logs / metric deltas of the in-flight task, all
+joined on the task-fingerprint correlation id.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.exec import QueueExecutor, QueuePolicy, RetryPolicy, Task, WorkQueue
+from repro.obs.flight import load_flight
+from repro.obs.timeseries import FLIGHT_SUFFIX
+from tests.exec.queue_helpers import SPANNED_KIND, register_spanned_kind
+
+register_spanned_kind()
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Worker bootstrap: the drill kind lives in the test tree, so the
+#: subprocess must put the repo root on its path before the registry's
+#: lazy ``module:attr`` reference resolves.
+_WORKER_CODE = """
+import sys
+sys.path.insert(0, {root!r})
+from tests.exec.queue_helpers import register_spanned_kind
+register_spanned_kind()
+from repro.exec.queue_worker import main
+sys.exit(main([{queue!r}, "--worker-id", "victim", "--quiet"]))
+"""
+
+
+def _worker_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    env[obs.ENV_VAR] = "1"
+    return env
+
+
+def _wait_for(predicate, timeout: float = 20.0, interval: float = 0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError("condition not reached before the drill timeout")
+
+
+@pytest.mark.slow
+class TestKillDrill:
+    def test_sigkilled_worker_leaves_a_joined_flight_dump(self, tmp_path):
+        queue = WorkQueue.create(
+            tmp_path / "q", QueuePolicy(lease_ttl=0.9, poll_interval=0.05)
+        )
+        fp = queue.publish_task(
+            Task(kind=SPANNED_KIND, payload={"sleep": 120.0}, key="victim")
+        )
+        dump_path = queue.root / "telemetry" / f"victim{FLIGHT_SUFFIX}"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _WORKER_CODE.format(
+                root=str(REPO_ROOT), queue=str(queue.root)
+            )],
+            env=_worker_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            def drill_captured():
+                if not dump_path.exists():
+                    return None
+                try:
+                    doc = load_flight(dump_path)
+                except ValueError:
+                    return None  # mid-rename; retry
+                kinds = {e["kind"] for e in doc["entries"]}
+                if {"span-open", "log", "metrics"} <= kinds:
+                    return doc
+                return None
+
+            _wait_for(drill_captured)
+            # The task is provably in flight: kill the worker for real.
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+        doc = load_flight(dump_path)  # round-trips after the kill
+        assert doc["schema"] == 1
+        assert doc["worker"] == "victim"
+        entries = doc["entries"]
+
+        opens = [e for e in entries if e["kind"] == "span-open"]
+        assert any(
+            e["name"] == "spanned.run" and e.get("corr") == fp for e in opens
+        )
+        logs = [e for e in entries if e["kind"] == "log"]
+        events = {e["event"] for e in logs}
+        assert {"task.claimed", "spanned.working"} <= events
+        assert all(
+            e.get("corr") == fp for e in logs
+            if e["event"] in ("task.claimed", "spanned.working")
+        )
+        metric_seqs = {e["seq"] for e in entries if e["kind"] == "metrics"}
+        assert metric_seqs
+        merged = {}
+        for e in entries:
+            if e["kind"] == "metrics":
+                merged.update(e["delta"]["metrics"])
+        assert "repro_test_spanned_total" in merged
+
+        # The metric deltas join the same task through the telemetry
+        # stream: the flush records carrying those seqs name fp as the
+        # in-flight fingerprint.
+        stream = [
+            json.loads(line)
+            for line in (queue.root / "telemetry" / "victim.jsonl")
+            .read_text().splitlines()
+        ]
+        by_seq = {rec["seq"]: rec for rec in stream}
+        assert any(
+            by_seq[seq]["current"] == fp
+            for seq in metric_seqs if seq in by_seq
+        )
+
+    def test_inline_run_harvests_flight_dumps(self, tmp_path):
+        # The coordinator-side half: after a run, every worker's on-disk
+        # flight dump is validated and collected into ``flight_dir``.
+        obs.configure(enabled=True)
+        flights = tmp_path / "flights"
+        with QueueExecutor(
+            tmp_path / "q",
+            workers=0,
+            retry=RetryPolicy(max_retries=1, backoff_base=0.0,
+                              backoff_jitter=0.0),
+            task_timeout=30.0,
+            lease_ttl=1.0,
+            flight_dir=flights,
+        ) as ex:
+            report = ex.run([
+                Task(kind="exec.probe", payload={"value": 1}, key="a")
+            ])
+        assert report.complete
+        assert ex.fleet is not None and ex.fleet.workers()
+        dumps = list(flights.glob(f"*{FLIGHT_SUFFIX}"))
+        assert len(dumps) == 1
+        doc = load_flight(dumps[0])
+        assert doc["worker"].startswith("inline-")
+
+    def test_harvest_skips_invalid_dumps(self, tmp_path):
+        from repro.obs.flight import FlightRecorder
+
+        queue = WorkQueue.create(tmp_path / "q", QueuePolicy(lease_ttl=1.0))
+        tdir = queue.root / "telemetry"
+        tdir.mkdir(exist_ok=True)
+        FlightRecorder(worker="good").dump_to(
+            tdir / f"good{FLIGHT_SUFFIX}", trigger="exit"
+        )
+        (tdir / f"torn{FLIGHT_SUFFIX}").write_text('{"schema": 1, "en')
+        flights = tmp_path / "flights"
+        ex = QueueExecutor(
+            tmp_path / "q", workers=0, flight_dir=flights
+        )
+        try:
+            ex._harvest_flight_dumps(queue)
+        finally:
+            ex.close()
+        assert [p.name for p in flights.iterdir()] \
+            == [f"good{FLIGHT_SUFFIX}"]

@@ -1,0 +1,142 @@
+"""Flight recorder: ring bounds, atomic dump round-trips, sink wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.flight import FLIGHT_SCHEMA, FlightRecorder, load_flight
+from repro.obs.log import LogBuffer, StructuredLogger, correlation
+from repro.obs.tracing import TraceCollector, Tracer
+
+
+class Clock:
+    def __init__(self, t: float = 200.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        rec = FlightRecorder(worker="w", limit=2)
+        for i in range(4):
+            rec.record_log({"event": f"e{i}"})
+        assert [e["event"] for e in rec.entries()] == ["e2", "e3"]
+
+    def test_entry_kinds_tagged(self):
+        rec = FlightRecorder(worker="w", clock=Clock(200.0))
+        rec.record_span_open("job", "test", 1000, 7, "fp-1")
+        rec.record_log({"event": "working"})
+        rec.record_metrics(3, {"schema": 1, "metrics": {}})
+        rec.record_span({"name": "job", "dur_us": 5})
+        kinds = [e["kind"] for e in rec.entries()]
+        assert kinds == ["span-open", "log", "metrics", "span"]
+        openm = rec.entries()[0]
+        assert openm["corr"] == "fp-1"
+        assert openm["id"] == 7
+        metrics = rec.entries()[2]
+        assert metrics["seq"] == 3
+        assert metrics["ts"] == 200.0
+
+    def test_span_open_without_correlation_omits_corr(self):
+        rec = FlightRecorder()
+        rec.record_span_open("job", "test", 0, 1, None)
+        assert "corr" not in rec.entries()[0]
+
+    def test_reset_clears(self):
+        rec = FlightRecorder()
+        rec.record_log({"event": "e"})
+        rec.reset()
+        assert rec.entries() == []
+
+
+class TestDump:
+    def test_dump_document_shape(self):
+        rec = FlightRecorder(worker="w9", clock=Clock(333.5))
+        rec.record_log({"event": "e"})
+        doc = rec.dump(trigger="breaker")
+        assert doc["schema"] == FLIGHT_SCHEMA
+        assert doc["worker"] == "w9"
+        assert doc["trigger"] == "breaker"
+        assert doc["dumped_at"] == 333.5
+        assert [e["event"] for e in doc["entries"]] == ["e"]
+
+    def test_dump_to_round_trips_and_is_atomic(self, tmp_path):
+        rec = FlightRecorder(worker="w")
+        rec.record_log({"event": "e", "corr": "fp"})
+        target = tmp_path / "deep" / "w.flight.json"
+        path = rec.dump_to(target, trigger="quarantine")
+        assert path == target
+        doc = load_flight(target)
+        assert doc["trigger"] == "quarantine"
+        assert doc["entries"][0]["corr"] == "fp"
+        # No temp litter after the rename.
+        assert list(target.parent.iterdir()) == [target]
+
+    @pytest.mark.parametrize("payload", [
+        "[]", '{"schema": 99, "entries": []}', '{"schema": 1}',
+    ])
+    def test_load_flight_rejects_malformed(self, tmp_path, payload):
+        path = tmp_path / "bad.flight.json"
+        path.write_text(payload)
+        with pytest.raises(ValueError):
+            load_flight(path)
+
+    def test_load_flight_rejects_garbage_json(self, tmp_path):
+        path = tmp_path / "torn.flight.json"
+        path.write_text('{"schema": 1, "entr')  # torn write
+        with pytest.raises(ValueError):
+            load_flight(path)
+
+
+class TestSinkWiring:
+    def test_collector_sink_sees_open_and_closed_spans(self):
+        coll = TraceCollector(enabled=True)
+        rec = FlightRecorder(worker="w")
+        coll.sink = rec
+        tracer = Tracer("test", coll)
+        with correlation("fp-1"):
+            with tracer.span("job", shard=2):
+                pass
+        kinds = [e["kind"] for e in rec.entries()]
+        assert kinds == ["span-open", "span"]
+        opened, closed = rec.entries()
+        # The open marker lands in the ring when the span *starts*, so a
+        # SIGKILL mid-task still leaves the in-flight work visible.
+        assert opened["corr"] == "fp-1"
+        assert opened["name"] == "job"
+        assert closed["args"]["corr"] == "fp-1"
+
+    def test_log_buffer_sink(self):
+        buffer = LogBuffer(enabled=True)
+        rec = FlightRecorder()
+        buffer.sink = rec
+        with correlation("fp-2"):
+            StructuredLogger("t", buffer).info("working")
+        entry = rec.entries()[0]
+        assert entry["kind"] == "log"
+        assert entry["corr"] == "fp-2"
+
+    def test_install_flight_recorder_wires_everything(self, tmp_path):
+        obs.configure(enabled=True)
+        installed = obs.install_flight_recorder(FlightRecorder(worker="me"))
+        assert obs.flight_recorder() is installed
+        with obs.correlation("fp-3"):
+            with obs.get_tracer("test").span("task"):
+                obs.get_logger("test").info("inside")
+        kinds = [e["kind"] for e in installed.entries()]
+        assert kinds == ["span-open", "log", "span"]
+        assert all(
+            e.get("corr", e.get("args", {}).get("corr")) == "fp-3"
+            for e in installed.entries()
+        )
+        # Uninstall detaches the sinks: nothing further is recorded.
+        obs.install_flight_recorder(None)
+        assert obs.flight_recorder() is None
+        with obs.get_tracer("test").span("after"):
+            pass
+        assert [e["kind"] for e in installed.entries()] == kinds

@@ -1,0 +1,157 @@
+"""``repro obs serve``: routes, exposition validity, queue-dir attachment."""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.exec.queuedir import QueuePolicy, WorkQueue
+from repro.exec.task import Task
+from repro.obs.serve import (
+    PROMETHEUS_CONTENT_TYPE,
+    LiveSource,
+    QueueDirSource,
+    start_server,
+)
+from repro.obs.timeseries import TIMESERIES_SCHEMA
+
+#: name{labels}? value — every sample line of a text exposition.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+)
+
+
+def _get(server, path: str):
+    with urllib.request.urlopen(f"{server.url}{path}", timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type"), \
+            resp.read().decode("utf-8")
+
+
+def _assert_valid_exposition(body: str) -> None:
+    for line in body.rstrip("\n").splitlines():
+        if line.startswith("#"):
+            continue
+        assert _SAMPLE_RE.match(line), f"bad exposition line: {line!r}"
+        float(line.rsplit(" ", 1)[1])  # value must parse
+
+
+@pytest.fixture
+def server_factory():
+    servers = []
+
+    def factory(source):
+        server = start_server(source, host="127.0.0.1", port=0)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+class TestLiveSource:
+    def test_metrics_healthz_and_404(self, server_factory):
+        obs.configure(enabled=True)
+        obs.get_meter().counter(
+            "repro_serve_test_total", "serve test counter"
+        ).add(2)
+        server = server_factory(LiveSource())
+        assert server.port != 0  # port 0 bound a real free port
+
+        status, ctype, body = _get(server, "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert "repro_serve_test_total 2" in body
+        _assert_valid_exposition(body)
+
+        status, ctype, body = _get(server, "/healthz")
+        assert status == 200
+        assert ctype == "application/json"
+        health = json.loads(body)
+        assert health == {"ok": True, "mode": "live", "recording": True}
+
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/nope")
+        assert err.value.code == 404
+        assert json.loads(err.value.read())["ok"] is False
+
+    def test_snapshot_without_fleet(self, server_factory):
+        server = server_factory(LiveSource())
+        _, _, body = _get(server, "/snapshot.json")
+        doc = json.loads(body)
+        assert doc["fleet"] is None
+        assert "metrics" in doc["metrics"]
+
+
+class TestQueueDirSource:
+    def _queue_with_telemetry(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q", QueuePolicy(lease_ttl=5.0))
+        fps = [
+            queue.publish_task(
+                Task(kind="exec.probe", payload={"value": k}, key=k)
+            )
+            for k in range(3)
+        ]
+        queue.try_claim(fps[0], "w1", 0)
+        queue.write_heartbeat("w1", "busy", tasks_done=5, current=fps[0])
+        now = time.time()
+        tdir = queue.root / "telemetry"
+        tdir.mkdir(exist_ok=True)
+        with open(tdir / "w1.jsonl", "w", encoding="utf-8") as handle:
+            for seq, (ts, done) in enumerate(
+                [(now - 10.0, 0), (now, 5)], start=1
+            ):
+                handle.write(json.dumps({
+                    "schema": TIMESERIES_SCHEMA, "ts": ts, "worker": "w1",
+                    "seq": seq, "tasks_done": done, "walls": [0.5] * done,
+                    "current": fps[0],
+                    "delta": {"schema": 1, "metrics": {}},
+                }) + "\n")
+        return queue
+
+    def test_fleet_gauges_from_queue_scan(self, tmp_path, server_factory):
+        queue = self._queue_with_telemetry(tmp_path)
+        server = server_factory(QueueDirSource(queue.root))
+
+        _, ctype, body = _get(server, "/metrics")
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        _assert_valid_exposition(body)
+        assert 'repro_fleet_tasks{state="todo"} 2' in body
+        assert 'repro_fleet_tasks{state="claimed"} 1' in body
+        assert "repro_fleet_workers 1" in body
+        assert 'repro_fleet_rate_tasks_per_second{worker="w1"} 0.5' in body
+        assert "repro_fleet_eta_seconds" in body
+        assert 'repro_fleet_worker_straggler{worker="w1"} 0' in body
+
+        _, _, body = _get(server, "/healthz")
+        health = json.loads(body)
+        assert health["mode"] == "queue-dir"
+        assert health["todo"] == 2
+        assert health["claimed"] == 1
+        assert health["workers"] == 1
+        assert health["stopped"] is False
+
+        _, _, body = _get(server, "/snapshot.json")
+        doc = json.loads(body)
+        assert doc["fleet"]["workers"]["w1"]["tasks_done"] == 5
+        assert doc["fleet"]["workers"]["w1"]["current"] is not None
+        assert doc["fleet"]["fleet"]["remaining"] == 3
+
+    def test_attaches_to_finished_queue(self, tmp_path, server_factory):
+        queue = self._queue_with_telemetry(tmp_path)
+        queue.stop()
+        server = server_factory(QueueDirSource(queue.root))
+        _, _, body = _get(server, "/metrics")
+        assert "repro_fleet_queue_stopped 1" in body
+        # Serving is read-only: repeated scrapes leave the queue unchanged.
+        before = sorted(p.name for p in (queue.root / "todo").iterdir())
+        _get(server, "/metrics")
+        assert sorted(p.name for p in (queue.root / "todo").iterdir()) \
+            == before

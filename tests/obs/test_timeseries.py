@@ -1,0 +1,339 @@
+"""Delta-encoded telemetry: snapshot math, writer/tail plumbing, fleet
+rate/ETA/straggler arithmetic — all with injected clocks and timelines.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    FleetSeries,
+    TelemetryTail,
+    TelemetryWriter,
+    snapshot_delta,
+)
+
+
+class Clock:
+    """Settable injected clock."""
+
+    def __init__(self, t: float = 100.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def record(worker, seq, ts, done, walls=(), current=None, delta=None):
+    return {
+        "schema": TIMESERIES_SCHEMA, "ts": ts, "worker": worker, "seq": seq,
+        "tasks_done": done, "walls": list(walls), "current": current,
+        "delta": delta if delta is not None else {"schema": 1, "metrics": {}},
+    }
+
+
+class TestSnapshotDelta:
+    def _registry(self) -> MetricsRegistry:
+        return MetricsRegistry(enabled=True)
+
+    def test_counters_subtract_pointwise(self):
+        reg = self._registry()
+        calls = reg.counter("repro_test_calls_total", "help")
+        calls.add(3, backend="a")
+        before = reg.snapshot()
+        calls.add(2, backend="a")
+        calls.add(1, backend="b")
+        delta = snapshot_delta(before, reg.snapshot())
+        series = delta["metrics"]["repro_test_calls_total"]["series"]
+        assert sorted(series.values()) == [1, 2]
+
+    def test_counter_below_previous_is_a_reset(self):
+        # Prometheus rate() convention: a drop means the registry was
+        # cleared, and the current value *is* the increment since then.
+        reg = self._registry()
+        reg.counter("repro_test_calls_total").add(7)
+        high = reg.snapshot()
+        fresh = self._registry()
+        fresh.counter("repro_test_calls_total").add(2)
+        delta = snapshot_delta(high, fresh.snapshot())
+        assert list(delta["metrics"]["repro_test_calls_total"]["series"].values()) == [2]
+
+    def test_unchanged_counter_is_dropped(self):
+        reg = self._registry()
+        reg.counter("repro_test_calls_total").add(4)
+        snap = reg.snapshot()
+        delta = snapshot_delta(snap, snap)
+        assert delta == {"schema": 1, "metrics": {}}
+
+    def test_gauges_pass_through(self):
+        reg = self._registry()
+        reg.gauge("repro_test_gauge").set(9)
+        snap = reg.snapshot()
+        # Gauges are instantaneous: same value in prev and curr still shows.
+        delta = snapshot_delta(snap, snap)
+        assert list(delta["metrics"]["repro_test_gauge"]["series"].values()) == [9]
+
+    def test_histogram_subtracts_bucketwise(self):
+        reg = self._registry()
+        hist = reg.histogram("repro_test_seconds", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        before = reg.snapshot()
+        hist.observe(20.0)
+        delta = snapshot_delta(before, reg.snapshot())
+        series = next(iter(delta["metrics"]["repro_test_seconds"]["series"].values()))
+        assert series["count"] == 1
+        assert series["sum"] == pytest.approx(20.0)
+        assert series["buckets"] == [0, 0, 1]
+
+    def test_histogram_count_drop_taken_wholesale(self):
+        reg = self._registry()
+        hist = reg.histogram("repro_test_seconds", buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(0.6)
+        high = reg.snapshot()
+        fresh = self._registry()
+        fresh.histogram("repro_test_seconds", buckets=(1.0,)).observe(2.0)
+        delta = snapshot_delta(high, fresh.snapshot())
+        series = next(iter(delta["metrics"]["repro_test_seconds"]["series"].values()))
+        assert series["count"] == 1
+        assert series["buckets"] == [0, 1]
+
+    def test_unknown_kind_rejected(self):
+        bad = {"schema": 1, "metrics": {"x": {"kind": "summary"}}}
+        with pytest.raises(ObsError, match="unknown kind"):
+            snapshot_delta({"schema": 1, "metrics": {}}, bad)
+
+
+class TestTelemetryWriter:
+    def test_flush_appends_delta_records(self, tmp_path):
+        reg = MetricsRegistry(enabled=True)
+        clock = Clock(100.0)
+        writer = TelemetryWriter(tmp_path, "w1", registry=reg, clock=clock)
+        reg.counter("repro_test_total").add(3)
+        writer.note_task(1.5)
+        writer.set_current("fp-a")
+        first = writer.flush()
+        assert first["seq"] == 1
+        assert first["ts"] == pytest.approx(100.0)
+        assert first["tasks_done"] == 1
+        assert first["walls"] == [1.5]
+        assert first["current"] == "fp-a"
+        assert list(
+            first["delta"]["metrics"]["repro_test_total"]["series"].values()
+        ) == [3]
+
+        clock.t = 105.0
+        second = writer.flush()  # idle interval: empty delta, no walls
+        assert second["seq"] == 2
+        assert second["walls"] == []
+        assert second["delta"]["metrics"] == {}
+
+        lines = (tmp_path / "w1.jsonl").read_text().splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [1, 2]
+
+    def test_disabled_registry_writes_nothing(self, tmp_path):
+        writer = TelemetryWriter(
+            tmp_path, "w1", registry=MetricsRegistry(enabled=False)
+        )
+        assert writer.flush() is None
+        assert not (tmp_path / "w1.jsonl").exists()
+
+    def test_mark_reset_rebases_the_delta_baseline(self, tmp_path):
+        # flush -> owner resets the registry -> mark_reset: the next
+        # flush must carry the full post-reset increments even when they
+        # exceed the pre-reset value (where one-sided reset detection in
+        # snapshot_delta alone would under-count).
+        reg = MetricsRegistry(enabled=True)
+        writer = TelemetryWriter(tmp_path, "w1", registry=reg)
+        reg.counter("repro_test_calls_total").add(3)
+        writer.flush()
+        reg.reset()
+        writer.mark_reset()
+        reg.counter("repro_test_calls_total").add(5)
+        rec = writer.flush()
+        assert list(rec["delta"]["metrics"]["repro_test_calls_total"]["series"].values()) == [5]
+
+    def test_flight_mirror_fed_non_empty_deltas_only(self, tmp_path):
+        class Sink:
+            def __init__(self):
+                self.calls = []
+
+            def record_metrics(self, seq, delta):
+                self.calls.append((seq, delta))
+
+        reg = MetricsRegistry(enabled=True)
+        writer = TelemetryWriter(tmp_path, "w1", registry=reg)
+        writer.flight = Sink()
+        writer.flush()  # empty delta: not mirrored
+        reg.counter("repro_test_calls_total").add(1)
+        writer.flush()
+        assert [seq for seq, _ in writer.flight.calls] == [2]
+
+
+class TestTelemetryTail:
+    def test_consumes_only_complete_lines(self, tmp_path):
+        path = tmp_path / "w1.jsonl"
+        path.write_text(
+            json.dumps(record("w1", 1, 10.0, 0)) + "\n" + '{"worker": "w1"'
+        )
+        tail = TelemetryTail(tmp_path)
+        assert [r["seq"] for r in tail.new_records()] == [1]
+        assert tail.new_records() == []  # torn tail not consumed
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(', "seq": 2, "ts": 11.0}\n')
+        assert [r["seq"] for r in tail.new_records()] == [2]
+
+    def test_skips_garbage_and_workerless_lines(self, tmp_path):
+        (tmp_path / "w1.jsonl").write_text(
+            "not json\n"
+            + json.dumps({"seq": 1, "ts": 1.0}) + "\n"
+            + json.dumps(record("w1", 2, 2.0, 1)) + "\n"
+        )
+        (tmp_path / "w1.flight.json").write_text("{}")  # dumps share the dir
+        records = TelemetryTail(tmp_path).new_records()
+        assert [(r["worker"], r["seq"]) for r in records] == [("w1", 2)]
+
+    def test_merges_workers_in_timestamp_order(self, tmp_path):
+        (tmp_path / "b.jsonl").write_text(
+            json.dumps(record("b", 1, 5.0, 0)) + "\n"
+        )
+        (tmp_path / "a.jsonl").write_text(
+            json.dumps(record("a", 1, 3.0, 0)) + "\n"
+            + json.dumps(record("a", 2, 7.0, 1)) + "\n"
+        )
+        records = TelemetryTail(tmp_path).new_records()
+        assert [(r["worker"], r["ts"]) for r in records] == [
+            ("a", 3.0), ("b", 5.0), ("a", 7.0)
+        ]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert TelemetryTail(tmp_path / "nope").new_records() == []
+
+
+class TestFleetSeries:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ObsError, match="window"):
+            FleetSeries(window=0.0)
+
+    def test_rate_from_cumulative_counts(self):
+        fleet = FleetSeries()
+        fleet.ingest([
+            record("w1", 1, 100.0, 0),
+            record("w1", 2, 110.0, 5),
+            record("w1", 3, 120.0, 10),
+        ])
+        assert fleet.rate("w1", now=120.0) == pytest.approx(0.5)
+        assert fleet.tasks_done("w1") == 10
+        assert fleet.fleet_rate(120.0) == pytest.approx(0.5)
+
+    def test_rate_window_trims_old_samples(self):
+        fleet = FleetSeries(window=8.0)
+        fleet.ingest([
+            record("w1", 1, 0.0, 0),
+            record("w1", 2, 10.0, 100),
+            record("w1", 3, 20.0, 110),
+        ])
+        # Only the last 8 seconds count: (110-100) / (20-10).
+        assert fleet.rate("w1", now=20.0) == pytest.approx(1.0)
+        wide = FleetSeries(window=100.0)
+        wide.ingest([
+            record("w1", 1, 0.0, 0),
+            record("w1", 2, 10.0, 100),
+            record("w1", 3, 20.0, 110),
+        ])
+        assert wide.rate("w1", now=20.0) == pytest.approx(5.5)
+
+    def test_single_sample_has_no_rate(self):
+        fleet = FleetSeries()
+        fleet.ingest([record("w1", 1, 100.0, 4)])
+        assert fleet.rate("w1", now=100.0) == 0.0
+        assert fleet.rate("ghost", now=100.0) == 0.0
+
+    def test_duplicate_and_stale_seq_dropped(self):
+        fleet = FleetSeries()
+        batch = [record("w1", 1, 100.0, 1), record("w1", 2, 110.0, 2)]
+        assert fleet.ingest(batch) == 2
+        # Re-reading the file from offset zero must be harmless.
+        assert fleet.ingest(batch) == 0
+        assert fleet.tasks_done("w1") == 2
+
+    def test_eta_from_fleet_rate(self):
+        fleet = FleetSeries()
+        fleet.ingest([
+            record("w1", 1, 100.0, 0),
+            record("w1", 2, 120.0, 10),
+        ])
+        assert fleet.eta_seconds(10, now=120.0) == pytest.approx(20.0)
+        assert fleet.eta_seconds(0, now=120.0) == 0.0
+        idle = FleetSeries()
+        idle.ingest([record("w1", 1, 100.0, 0)])
+        assert idle.eta_seconds(10, now=120.0) is None
+
+    def _straggler_fleet(self, slow_walls) -> FleetSeries:
+        fleet = FleetSeries()
+        fleet.ingest([
+            record("w1", 1, 100.0, 40, walls=[1.0] * 40),
+            record("w2", 1, 100.0, len(slow_walls), walls=slow_walls),
+        ])
+        return fleet
+
+    def test_straggler_flagged_against_fleet_p90(self):
+        fleet = self._straggler_fleet([30.0, 30.0, 30.0])
+        assert fleet.fleet_p90() == pytest.approx(1.0)
+        assert fleet.worker_p90("w2") == pytest.approx(30.0)
+        assert fleet.stragglers() == ["w2"]
+
+    def test_straggler_needs_min_samples(self):
+        fleet = self._straggler_fleet([30.0, 30.0])  # below min_samples=3
+        assert fleet.stragglers() == []
+
+    def test_lone_worker_never_flags(self):
+        fleet = FleetSeries()
+        fleet.ingest([record("w1", 1, 100.0, 3, walls=[9.0, 9.0, 9.0])])
+        assert fleet.stragglers() == []
+
+    def test_merged_snapshot_sums_worker_deltas(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("repro_test_calls_total").add(3)
+        delta = reg.snapshot()
+        fleet = FleetSeries()
+        fleet.ingest([
+            record("w1", 1, 100.0, 1, delta=delta),
+            record("w2", 1, 101.0, 1, delta=delta),
+        ])
+        merged = fleet.merged_snapshot()
+        assert list(merged["metrics"]["repro_test_calls_total"]["series"].values()) == [6]
+
+    def test_summary_digest(self):
+        fleet = self._straggler_fleet([30.0, 30.0, 30.0])
+        fleet.ingest([record("w1", 2, 120.0, 80, current="fp-live")])
+        summary = fleet.summary(now=121.0, remaining=4)
+        assert summary["schema"] == TIMESERIES_SCHEMA
+        assert summary["fleet"]["tasks_done"] == 83
+        assert summary["fleet"]["stragglers"] == ["w2"]
+        assert summary["fleet"]["remaining"] == 4
+        assert summary["fleet"]["eta_seconds"] == pytest.approx(
+            4 / summary["fleet"]["rate_per_second"], rel=1e-3
+        )
+        w1 = summary["workers"]["w1"]
+        assert w1["rate_per_second"] == pytest.approx(2.0)
+        assert w1["straggler"] is False
+        assert w1["current"] == "fp-live"
+        assert w1["last_report_age_seconds"] == pytest.approx(1.0)
+        assert summary["workers"]["w2"]["straggler"] is True
+
+    def test_from_queue_dir_reads_telemetry_subdir(self, tmp_path):
+        tdir = tmp_path / "telemetry"
+        tdir.mkdir()
+        (tdir / "w1.jsonl").write_text(
+            json.dumps(record("w1", 1, 100.0, 2)) + "\n"
+        )
+        fleet = FleetSeries.from_queue_dir(tmp_path)
+        assert fleet.workers() == ["w1"]
+        assert fleet.tasks_done("w1") == 2
+        assert FleetSeries.from_queue_dir(tmp_path / "empty").workers() == []

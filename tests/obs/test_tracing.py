@@ -157,7 +157,16 @@ def test_module_configure_round_trip():
 
 def test_env_var_parsing():
     assert obs.enabled_from_env({"REPRO_OBS": "1"})
-    assert obs.enabled_from_env({"REPRO_OBS": "trace"})
+    assert obs.enabled_from_env({"REPRO_OBS": "true"})
+    assert obs.enabled_from_env({"REPRO_OBS": " On "})
     assert not obs.enabled_from_env({"REPRO_OBS": "0"})
     assert not obs.enabled_from_env({"REPRO_OBS": "off"})
     assert not obs.enabled_from_env({})
+
+
+def test_env_var_unknown_token_raises():
+    with pytest.raises(ObsError) as exc:
+        obs.enabled_from_env({"REPRO_OBS": "trace"})
+    message = str(exc.value)
+    assert "REPRO_OBS" in message and "'trace'" in message
+    assert "'on'" in message and "'off'" in message  # names valid choices
